@@ -1,0 +1,75 @@
+"""Shared machinery for the Fig. 8-12 application-validation benchmarks.
+
+Each figure compares measured ("exp") and model-predicted runtimes for one
+application across disk configurations and executor core counts, exactly
+as Section V-B does, and reports the average error next to the paper's
+quoted number.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.errors import ExpVsModel, average_error, error_summary
+from repro.analysis.report import render_table
+from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
+from repro.core import Predictor, Profiler
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.runner import measure_workload
+
+CORE_SWEEP = (12, 36)
+NODES = 10
+
+
+def validate_application(workload: WorkloadSpec) -> list[ExpVsModel]:
+    """Profile, measure, and predict one application; return the points.
+
+    Phases listed in the workload's ``phase_groups`` parameter are merged
+    (e.g. SVM's subtract_write + subtract_read into one "subtract" bar), as
+    in the paper's figures.
+    """
+    predictor = Predictor(Profiler(workload, nodes=3).profile())
+    groups = workload.parameters.get(
+        "phase_groups",
+        {stage.name: [stage.name] for stage in workload.stages},
+    )
+    points = []
+    for config in (HYBRID_CONFIGS[0], HYBRID_CONFIGS[3]):
+        cluster = make_paper_cluster(NODES, config)
+        model = predictor.model_for_cluster(cluster)
+        for cores in CORE_SWEEP:
+            measured = measure_workload(cluster, cores, workload)
+            predicted = model.predict(NODES, cores)
+            for phase, stage_names in groups.items():
+                points.append(
+                    ExpVsModel(
+                        label=f"{config.shorthand} {phase} P={cores}",
+                        measured=sum(
+                            measured.stage(name).makespan for name in stage_names
+                        ),
+                        predicted=sum(
+                            predicted.stage(name).t_stage for name in stage_names
+                        ),
+                    )
+                )
+    return points
+
+
+def render_validation(
+    figure: str, app_name: str, paper_error_percent: float,
+    points: list[ExpVsModel],
+) -> str:
+    """Fig. 8-12-style table: exp, model, error per phase/config/P."""
+    rows = [
+        [p.label, f"{p.measured / 60:.1f}", f"{p.predicted / 60:.1f}",
+         f"{p.error * 100:.1f}%"]
+        for p in points
+    ]
+    title = (
+        f"{figure}: {app_name} exp vs model (minutes), N={NODES} — "
+        f"{error_summary(points)} (paper avg: {paper_error_percent:.1f}%)"
+    )
+    return render_table(title, ["point", "exp", "model", "error"], rows)
+
+
+def assert_within_paper_bound(points: list[ExpVsModel]) -> None:
+    """The paper's headline claim: error rate within 10 %."""
+    assert average_error(points) < 0.10

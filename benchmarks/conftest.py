@@ -1,0 +1,67 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  Besides
+the pytest-benchmark timing, each bench renders its table/series as text:
+printed to stdout and saved under ``benchmarks/results/`` so the artifacts
+survive output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
+from repro.core import Predictor, Profiler
+from repro.workloads import make_gatk4_workload
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report_dir():
+    """Directory collecting the rendered tables/figures."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(report_dir):
+    """Callable saving (and echoing) one experiment's rendered output."""
+
+    def _emit(name: str, text: str) -> None:
+        path = report_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def gatk4_workload():
+    return make_gatk4_workload()
+
+
+@pytest.fixture(scope="session")
+def gatk4_report(gatk4_workload):
+    return Profiler(gatk4_workload, nodes=3).profile()
+
+
+@pytest.fixture(scope="session")
+def gatk4_predictor(gatk4_report):
+    return Predictor(gatk4_report)
+
+
+@pytest.fixture(scope="session")
+def paper_clusters():
+    """The four Table III configurations on the 3-slave motivation cluster."""
+    return {
+        config.config_id: make_paper_cluster(3, config)
+        for config in HYBRID_CONFIGS
+    }
+
+
+def run_once(benchmark, func):
+    """Run a heavy experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,48 @@
+"""Fig. 11: Triangle Count exp vs model (paper avg error 3.6%).
+
+The computeTriangleCount phase canonicalizes the graph via a 396 GB
+repartition shuffle; the paper reports a 6.5x HDD/SSD gap on it.
+"""
+
+from app_validation import (
+    assert_within_paper_bound,
+    render_validation,
+    validate_application,
+)
+from conftest import run_once
+
+from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
+from repro.workloads import make_triangle_count_workload
+from repro.workloads.runner import measure_workload
+
+
+def test_fig11_triangle_count_accuracy(benchmark, emit):
+    workload = make_triangle_count_workload()
+    points = run_once(benchmark, lambda: validate_application(workload))
+    emit("fig11_triangle_count", render_validation(
+        "Fig. 11", "TriangleCount", 3.6, points))
+    assert_within_paper_bound(points)
+
+
+def test_fig11_compute_phase_gap(benchmark, emit):
+    """The computeTriangleCount phase's HDD/SSD gap (paper: 6.5x)."""
+    workload = make_triangle_count_workload()
+    stage_names = workload.parameters["phase_groups"]["computeTriangleCount"]
+
+    def measure_gap():
+        times = {}
+        for config in (HYBRID_CONFIGS[0], HYBRID_CONFIGS[3]):
+            run = measure_workload(make_paper_cluster(10, config), 36, workload)
+            times[config.shorthand] = sum(
+                run.stage(name).makespan for name in stage_names
+            )
+        return times
+
+    times = run_once(benchmark, measure_gap)
+    gap = times["2HDD"] / times["2SSD"]
+    emit("fig11_tc_gap", (
+        f"TriangleCount computeTriangleCount phase: SSD"
+        f" {times['2SSD'] / 60:.1f} min, HDD {times['2HDD'] / 60:.1f} min ->"
+        f" {gap:.1f}x (paper: 6.5x)"
+    ))
+    assert 4.5 < gap < 8.5

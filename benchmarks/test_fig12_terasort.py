@@ -1,0 +1,49 @@
+"""Fig. 12: Terasort exp vs model (paper avg error 3.9%).
+
+A shuffle-heavy two-stage sort of 930 GB; the paper reports a ~2.6x
+HDD/SSD gap when switching the Spark-local device.
+"""
+
+from app_validation import (
+    assert_within_paper_bound,
+    render_validation,
+    validate_application,
+)
+from conftest import run_once
+
+from repro.cluster import HYBRID_CONFIGS, HybridDiskConfig, make_paper_cluster
+from repro.workloads import make_terasort_workload
+from repro.workloads.runner import measure_workload
+
+
+def test_fig12_terasort_accuracy(benchmark, emit):
+    workload = make_terasort_workload()
+    points = run_once(benchmark, lambda: validate_application(workload))
+    emit("fig12_terasort", render_validation("Fig. 12", "Terasort", 3.9, points))
+    assert_within_paper_bound(points)
+
+
+def test_fig12_local_device_gap(benchmark, emit):
+    """HDD vs SSD as Spark-local, HDFS fixed at SSD (paper: 2.6x)."""
+    workload = make_terasort_workload()
+
+    def measure_gap():
+        fast_local = HybridDiskConfig(0, hdfs_kind="ssd", local_kind="ssd")
+        slow_local = HybridDiskConfig(0, hdfs_kind="ssd", local_kind="hdd")
+        return {
+            "SSD local": measure_workload(
+                make_paper_cluster(10, fast_local), 36, workload
+            ).total_seconds,
+            "HDD local": measure_workload(
+                make_paper_cluster(10, slow_local), 36, workload
+            ).total_seconds,
+        }
+
+    times = run_once(benchmark, measure_gap)
+    gap = times["HDD local"] / times["SSD local"]
+    emit("fig12_terasort_gap", (
+        f"Terasort total: SSD local {times['SSD local'] / 60:.1f} min,"
+        f" HDD local {times['HDD local'] / 60:.1f} min -> {gap:.1f}x"
+        " (paper: 2.6x)"
+    ))
+    assert 2.0 < gap < 4.5

@@ -1,0 +1,110 @@
+"""Fig. 13: genome-sequencing cost across HDD disk sizes, vs R1 and R2.
+
+The paper fixes DiskTypes = HDD, explores HDFS/local sizes at 16 vCPU, and
+finds an optimum far below the Spark-website (R1, 8 TB) and Cloudera (R2,
+16 TB) provisioning rules — 32% and 52% cheaper in their estimate.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import render_series, render_table
+from repro.cloud import (
+    CostOptimizer,
+    r1_spark_recommendation,
+    r2_cloudera_recommendation,
+)
+
+SIZE_SWEEP = (200, 500, 1000, 2000, 3000, 4000)
+
+
+def _optimizer(gatk4_predictor, gatk4_workload):
+    hdfs_gb, local_gb = CostOptimizer.capacity_requirements(
+        gatk4_workload, num_workers=10
+    )
+    return CostOptimizer(
+        gatk4_predictor, num_workers=10,
+        min_hdfs_gb=hdfs_gb, min_local_gb=local_gb,
+    )
+
+
+def test_fig13a_cost_vs_local_size(benchmark, emit, gatk4_predictor,
+                                   gatk4_workload):
+    optimizer = _optimizer(gatk4_predictor, gatk4_workload)
+
+    def sweep():
+        costs, runtimes = [], []
+        for local_gb in SIZE_SWEEP:
+            evaluated = optimizer.evaluate(
+                optimizer.make_config(16, "pd-standard", 1000,
+                                      "pd-standard", local_gb)
+            )
+            costs.append(evaluated.cost_dollars)
+            runtimes.append(evaluated.runtime_seconds / 60)
+        return costs, runtimes
+
+    costs, runtimes = run_once(benchmark, sweep)
+    emit("fig13a_cost_vs_local_hdd_size", render_series(
+        "Fig. 13a: cost ($) and runtime (min) vs Spark-local HDD size"
+        " (HDFS = 1TB HDD, 16 vCPU x10)",
+        "local GB", {"cost $": costs, "runtime min": runtimes}, SIZE_SWEEP,
+        value_format="{:.2f}"))
+    # The cost curve is U-shaped-ish/flattening: tiny disks pay in runtime.
+    assert costs[0] > min(costs)
+
+
+def test_fig13b_cost_vs_hdfs_size(benchmark, emit, gatk4_predictor,
+                                  gatk4_workload):
+    optimizer = _optimizer(gatk4_predictor, gatk4_workload)
+
+    def sweep():
+        best_local = 2000
+        costs = []
+        for hdfs_gb in SIZE_SWEEP:
+            if hdfs_gb < optimizer.min_hdfs_gb:
+                costs.append(float("nan"))
+                continue
+            evaluated = optimizer.evaluate(
+                optimizer.make_config(16, "pd-standard", hdfs_gb,
+                                      "pd-standard", best_local)
+            )
+            costs.append(evaluated.cost_dollars)
+        return costs
+
+    costs = run_once(benchmark, sweep)
+    emit("fig13b_cost_vs_hdfs_hdd_size", render_series(
+        "Fig. 13b: cost ($) vs HDFS HDD size (local = 2TB HDD, 16 vCPU x10)",
+        "HDFS GB", {"cost $": costs}, SIZE_SWEEP, value_format="{:.2f}"))
+
+
+def test_fig13_optimum_vs_r1_r2(benchmark, emit, gatk4_predictor,
+                                gatk4_workload):
+    optimizer = _optimizer(gatk4_predictor, gatk4_workload)
+
+    def search():
+        hdd_only = optimizer.grid_search(
+            vcpu_grid=(8, 16, 32), disk_kinds=("pd-standard",)
+        )
+        r1 = optimizer.evaluate(r1_spark_recommendation())
+        r2 = optimizer.evaluate(r2_cloudera_recommendation())
+        return hdd_only, r1, r2
+
+    hdd_only, r1, r2 = run_once(benchmark, search)
+    rows = [
+        ["R1 (Spark website, 8TB)", f"${r1.cost_dollars:.2f}",
+         f"{r1.runtime_seconds / 60:.0f} min", "$6.06 (paper)"],
+        ["R2 (Cloudera, 16TB)", f"${r2.cost_dollars:.2f}",
+         f"{r2.runtime_seconds / 60:.0f} min", "$8.65 (paper)"],
+        ["model-chosen HDD optimum", f"${hdd_only.best.cost_dollars:.2f}",
+         f"{hdd_only.best.runtime_seconds / 60:.0f} min", "$4.12 (paper)"],
+        ["savings vs R1", f"{hdd_only.savings_versus(r1) * 100:.0f}%", "",
+         "32% (paper)"],
+        ["savings vs R2", f"{hdd_only.savings_versus(r2) * 100:.0f}%", "",
+         "52% (paper)"],
+    ]
+    emit("fig13_hdd_optimum", render_table(
+        "Fig. 13: HDD-only cost optimization vs recommended configs"
+        f" (optimum: {hdd_only.best.config.label()})",
+        ["configuration", "cost", "runtime", "paper"], rows))
+    assert hdd_only.best.cost_dollars < r1.cost_dollars
+    assert hdd_only.best.cost_dollars < r2.cost_dollars
+    assert hdd_only.savings_versus(r2) > 0.35

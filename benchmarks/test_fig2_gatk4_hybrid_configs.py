@@ -1,0 +1,66 @@
+"""Fig. 2: GATK4 stage runtimes under the four hybrid disk configurations.
+
+Setting: the four-node motivation cluster (3 slaves), P = 36, 500M read
+pairs.  The paper's observations this must reproduce:
+
+1. switching the HDFS device leaves MD unchanged, helps BR a little and
+   SF a lot;
+2. the dominant stage moves from BR (SSD local) to BR+SF (HDD local);
+3. Spark-local is far more I/O-sensitive than HDFS.
+"""
+
+from conftest import run_once
+
+from repro.analysis.figures import render_grouped_bars
+from repro.analysis.report import render_series
+from repro.cluster import HYBRID_CONFIGS
+from repro.workloads.runner import measure_workload
+
+
+def test_fig2_stage_runtimes(benchmark, emit, paper_clusters, gatk4_workload):
+    def sweep():
+        results = {}
+        for config in HYBRID_CONFIGS:
+            cluster = paper_clusters[config.config_id]
+            measurement = measure_workload(cluster, 36, gatk4_workload)
+            results[config.config_id] = {
+                stage.name: stage.makespan / 60 for stage in measurement.stages
+            }
+        return results
+
+    results = run_once(benchmark, sweep)
+    labels = [config.label for config in HYBRID_CONFIGS]
+    series = {
+        stage: [results[config.config_id][stage] for config in HYBRID_CONFIGS]
+        for stage in ("MD", "BR", "SF")
+    }
+    bars = render_grouped_bars(
+        "",
+        {
+            stage: {
+                config.shorthand: results[config.config_id][stage]
+                for config in HYBRID_CONFIGS
+            }
+            for stage in ("MD", "BR", "SF")
+        },
+        unit="min",
+    )
+    emit("fig2_gatk4_hybrid_configs", render_series(
+        "Fig. 2: GATK4 stage runtime (minutes), 3 slaves, P=36",
+        "stage", series, labels) + "\n" + bars)
+
+    md = series["MD"]
+    br = series["BR"]
+    sf = series["SF"]
+    # Observation 1: MD insensitive to the HDFS device.  Config pairs that
+    # differ only in HDFS: 1 (SSD/SSD) vs 2 (HDD/SSD), and 3 (SSD/HDD) vs
+    # 4 (HDD/HDD).
+    assert abs(md[1] - md[0]) / md[0] < 0.05
+    assert abs(md[3] - md[2]) / md[2] < 0.05
+    # Observation 1: SF gains a lot from SSD HDFS when local is SSD.
+    assert sf[1] > 1.5 * sf[0]
+    # Observation 2: with HDD local, BR and SF are the heavy stages.
+    assert br[3] > md[3] and sf[3] > md[3]
+    # Observation 3: local downgrade costs far more than HDFS downgrade.
+    total = lambda i: md[i] + br[i] + sf[i]
+    assert (total(2) - total(0)) > 3 * (total(1) - total(0))

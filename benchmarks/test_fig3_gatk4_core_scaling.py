@@ -1,0 +1,47 @@
+"""Fig. 3: GATK4 runtime for 2HDD and 2SSD at P = 12, 24, 36.
+
+The paper's findings: BR and SF scale with P on 2SSD but stay flat on
+2HDD; MD stays roughly flat in both (write-floor-bound on HDD).
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import render_series
+from repro.cluster import HYBRID_CONFIGS
+from repro.workloads.runner import measure_workload
+
+CORE_COUNTS = (12, 24, 36)
+
+
+def test_fig3_core_scaling(benchmark, emit, paper_clusters, gatk4_workload):
+    def sweep():
+        results = {}
+        for config in (HYBRID_CONFIGS[0], HYBRID_CONFIGS[3]):
+            cluster = paper_clusters[config.config_id]
+            for cores in CORE_COUNTS:
+                measurement = measure_workload(cluster, cores, gatk4_workload)
+                for stage in measurement.stages:
+                    key = (config.shorthand, stage.name)
+                    results.setdefault(key, []).append(stage.makespan / 60)
+        return results
+
+    results = run_once(benchmark, sweep)
+    series = {
+        f"{config}/{stage}": results[(config, stage)]
+        for config in ("2SSD", "2HDD")
+        for stage in ("MD", "BR", "SF")
+    }
+    emit("fig3_gatk4_core_scaling", render_series(
+        "Fig. 3: GATK4 stage runtime (minutes) vs executor cores P",
+        "P", series, CORE_COUNTS))
+
+    # BR and SF scale on SSD...
+    assert results[("2SSD", "BR")][-1] < 0.45 * results[("2SSD", "BR")][0]
+    assert results[("2SSD", "SF")][-1] < 0.55 * results[("2SSD", "SF")][0]
+    # ...but are flat on HDD (shuffle-read floor).
+    for stage in ("BR", "SF"):
+        values = results[("2HDD", stage)]
+        assert max(values) / min(values) < 1.12
+    # MD on HDD is pinned near its shuffle-write floor at higher P.
+    md_hdd = results[("2HDD", "MD")]
+    assert md_hdd[1] / md_hdd[2] < 1.25

@@ -1,0 +1,47 @@
+"""Fig. 5: fio IOPS (a) and effective bandwidth (b) vs read block size."""
+
+from conftest import run_once
+
+from repro.analysis.report import render_series
+from repro.storage.device import make_hdd, make_ssd
+from repro.storage.fio import run_fio_sweep
+from repro.units import KB, MB, fmt_bytes
+
+
+def test_fig5_iops_and_bandwidth(benchmark, emit):
+    def sweep():
+        hdd, ssd = make_hdd(), make_ssd()
+        return run_fio_sweep(hdd), run_fio_sweep(ssd)
+
+    hdd_sweep, ssd_sweep = run_once(benchmark, sweep)
+    sizes = [result.block_size for result in hdd_sweep]
+    labels = [fmt_bytes(size) for size in sizes]
+    bandwidth_series = {
+        "HDD MB/s": [r.bandwidth / MB for r in hdd_sweep],
+        "SSD MB/s": [r.bandwidth / MB for r in ssd_sweep],
+        "SSD/HDD": [
+            s.bandwidth / h.bandwidth for s, h in zip(ssd_sweep, hdd_sweep)
+        ],
+    }
+    iops_series = {
+        "HDD IOPS": [r.iops for r in hdd_sweep],
+        "SSD IOPS": [r.iops for r in ssd_sweep],
+    }
+    emit("fig5a_fio_iops", render_series(
+        "Fig. 5a: IOPS vs read block size", "block", iops_series, labels,
+        value_format="{:.0f}"))
+    emit("fig5b_fio_bandwidth", render_series(
+        "Fig. 5b: effective bandwidth vs read block size", "block",
+        bandwidth_series, labels))
+
+    by_size_hdd = {r.block_size: r for r in hdd_sweep}
+    by_size_ssd = {r.block_size: r for r in ssd_sweep}
+    # The paper's anchor points.
+    assert abs(by_size_hdd[30 * KB].bandwidth / MB - 15) < 0.5
+    assert abs(by_size_ssd[30 * KB].bandwidth / MB - 480) < 5
+    gap_4k = by_size_ssd[4 * KB].bandwidth / by_size_hdd[4 * KB].bandwidth
+    gap_30k = by_size_ssd[30 * KB].bandwidth / by_size_hdd[30 * KB].bandwidth
+    gap_128m = by_size_ssd[128 * MB].bandwidth / by_size_hdd[128 * MB].bandwidth
+    assert round(gap_4k) == 181
+    assert round(gap_30k) == 32
+    assert abs(gap_128m - 3.7) < 0.1

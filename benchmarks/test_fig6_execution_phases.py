@@ -1,0 +1,88 @@
+"""Fig. 6: the three execution phases of the break-point model.
+
+Reconstructs the illustration's setting (T = 60 MB/s, lambda = 4,
+BW = 120 MB/s, so b = 2 and B = 8) and simulates a task set at increasing
+``P``, showing: linear scaling up to the turning point, then a flat
+I/O-bound regime.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import render_series
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+from repro.core.bandwidth import EffectiveBandwidthTable
+from repro.core.breakpoints import BreakPointAnalysis, ExecutionPhase
+from repro.simulator.engine import SimulationEngine
+from repro.simulator.task import ComputePhase, IoPhase, SimTask
+from repro.storage.device import StorageDevice
+from repro.units import GB, KB, MB, TB
+
+CORE_SWEEP = (1, 2, 4, 8, 16, 32)
+NUM_TASKS = 64
+GOLDEN = 0.618033988749895
+
+
+def _cluster():
+    table = EffectiveBandwidthTable({4 * KB: 120 * MB})
+    def device(name):
+        return StorageDevice(name=name, kind="ssd", capacity_bytes=1 * TB,
+                             read_table=table, write_table=table)
+    node = Node(name="n0", num_cores=36, ram_bytes=128 * GB,
+                hdfs_device=device("h"), local_device=device("l"))
+    return Cluster(slaves=[node])
+
+
+def _tasks():
+    tasks = []
+    for index in range(NUM_TASKS):
+        scale = 1.0 + 0.2 * (2.0 * ((index * GOLDEN) % 1.0) - 1.0)
+        tasks.append(
+            SimTask(
+                phases=(
+                    IoPhase(role="local", total_bytes=60 * MB * scale,
+                            request_size=4 * KB, is_write=False,
+                            per_stream_cap=60 * MB),
+                    ComputePhase(3.0 * scale),
+                )
+            )
+        )
+    return tasks
+
+
+def test_fig6_three_phases(benchmark, emit):
+    analysis = BreakPointAnalysis(
+        per_core_throughput=60 * MB, bandwidth=120 * MB, lam=4.0
+    )
+
+    def sweep():
+        cluster = _cluster()
+        makespans = []
+        for cores in CORE_SWEEP:
+            engine = SimulationEngine(cluster, cores_per_node=cores)
+            makespans.append(engine.run(_tasks()))
+        return makespans
+
+    makespans = run_once(benchmark, sweep)
+    phases = [analysis.phase(cores).value for cores in CORE_SWEEP]
+    emit("fig6_execution_phases", render_series(
+        f"Fig. 6: makespan (s) vs P for T=60MB/s, lambda=4, BW=120MB/s"
+        f" (b={analysis.b:.0f}, B={analysis.big_b:.0f})",
+        "P", {"makespan (s)": makespans}, CORE_SWEEP)
+        + "\nphases: " + ", ".join(
+            f"P={c}:{p}" for c, p in zip(CORE_SWEEP, phases)))
+
+    assert analysis.b == 2.0
+    assert analysis.big_b == 8.0
+    assert analysis.phase(2) is ExecutionPhase.NO_CONTENTION
+    assert analysis.phase(8) is ExecutionPhase.CONTENTION_HIDDEN
+    assert analysis.phase(16) is ExecutionPhase.IO_BOUND
+
+    # Scaling holds until B: P=1 -> P=8 is ~8x.
+    assert makespans[0] / makespans[3] > 5.0
+    # Past B, more cores do not help.
+    assert abs(makespans[4] - makespans[5]) / makespans[4] < 0.1
+    # The I/O-bound regime sits at the transfer floor.
+    floor = NUM_TASKS * 60 * MB / (120 * MB)
+    assert makespans[5] >= floor * 0.999
+    assert makespans[5] < floor * 1.35

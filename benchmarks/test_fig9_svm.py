@@ -1,0 +1,67 @@
+"""Fig. 9: Support Vector Machine exp vs model (paper avg error 8.4%).
+
+Phases: dataValidator (HDFS read), 10 in-memory iterations, and the
+170 GB subtract shuffle, where the paper reports a 6.2x HDD/SSD gap.
+"""
+
+from app_validation import (
+    assert_within_paper_bound,
+    render_validation,
+    validate_application,
+)
+from conftest import run_once
+
+from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
+from repro.workloads import make_svm_workload
+from repro.workloads.runner import measure_workload
+
+
+def test_fig9_svm_accuracy(benchmark, emit):
+    workload = make_svm_workload()
+    points = run_once(benchmark, lambda: validate_application(workload))
+    emit("fig9_svm", render_validation("Fig. 9", "SVM", 8.4, points))
+    assert_within_paper_bound(points)
+
+
+def test_fig9_subtract_gap(benchmark, emit):
+    """The subtract phase's HDD/SSD gap (paper: 6.2x)."""
+    workload = make_svm_workload()
+    stage_names = workload.parameters["phase_groups"]["subtract"]
+
+    def measure_gap():
+        times = {}
+        for config in (HYBRID_CONFIGS[0], HYBRID_CONFIGS[3]):
+            run = measure_workload(
+                make_paper_cluster(10, config), 36, workload
+            )
+            times[config.shorthand] = sum(
+                run.stage(name).makespan for name in stage_names
+            )
+        return times
+
+    times = run_once(benchmark, measure_gap)
+    gap = times["2HDD"] / times["2SSD"]
+    emit("fig9_svm_subtract_gap", (
+        f"SVM subtract phase: SSD {times['2SSD'] / 60:.1f} min,"
+        f" HDD {times['2HDD'] / 60:.1f} min -> {gap:.1f}x (paper: 6.2x)"
+    ))
+    assert 4.0 < gap < 9.0
+
+
+def test_fig9_iterations_device_independent(benchmark, emit):
+    workload = make_svm_workload()
+
+    def measure_iterations():
+        return {
+            config.shorthand: measure_workload(
+                make_paper_cluster(10, config), 36, workload
+            ).stage("iteration").makespan
+            for config in (HYBRID_CONFIGS[0], HYBRID_CONFIGS[3])
+        }
+
+    times = run_once(benchmark, measure_iterations)
+    emit("fig9_svm_iteration_phase", (
+        f"SVM iteration phase (cached in memory): SSD"
+        f" {times['2SSD']:.0f}s, HDD {times['2HDD']:.0f}s"
+    ))
+    assert abs(times["2HDD"] - times["2SSD"]) / times["2SSD"] < 0.01

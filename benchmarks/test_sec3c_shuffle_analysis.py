@@ -1,0 +1,58 @@
+"""Section III-C: the shuffle-read analysis, numbers reproduced exactly.
+
+- M = 973 mappers (122 GB / 128 MB blocks), 27 MB per reducer;
+- each shuffle read request is 27 MB / 973 ~ 30 KB (iostat: ~60 sectors);
+- the shuffle-read floor on HDD: 334 GB / 3 nodes / 15 MB/s = 126 min,
+  which matches the simulated BR and SF runtimes on the 2HDD cluster.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.report import render_table
+from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
+from repro.units import KB, MB
+from repro.workloads import make_gatk4_workload
+from repro.workloads.gatk4 import Gatk4Parameters
+from repro.workloads.runner import measure_workload
+
+
+def test_sec3c_shuffle_geometry(benchmark, emit):
+    def build():
+        return Gatk4Parameters().shuffle_plan
+
+    plan = run_once(benchmark, build)
+    rows = [
+        ["mappers M", plan.num_mappers, "973"],
+        ["reducers R", plan.num_reducers, "334GB / 27MB"],
+        ["read request", f"{plan.read_request_size / KB:.1f}KB", "~30KB"],
+        ["iostat avgrq-sz", f"{plan.avgrq_sz_sectors():.0f} sectors", "~60"],
+        ["write chunk", f"{plan.write_request_size / MB:.0f}MB", "~365MB"],
+        ["segments MxR", plan.total_segments, ""],
+    ]
+    emit("sec3c_shuffle_geometry", render_table(
+        "Section III-C: GATK4 shuffle geometry", ["quantity", "value", "paper"],
+        rows))
+    assert plan.num_mappers == 973
+    assert 25 * KB < plan.read_request_size < 32 * KB
+    assert 54 <= plan.avgrq_sz_sectors() <= 62
+
+
+def test_sec3c_126_minute_analysis(benchmark, emit, gatk4_workload):
+    def measure():
+        cluster = make_paper_cluster(3, HYBRID_CONFIGS[3])  # 2HDD
+        return measure_workload(cluster, 36, gatk4_workload)
+
+    measurement = run_once(benchmark, measure)
+    analytical_minutes = 334 * 1024 / 3 / 15 / 60
+    br_minutes = measurement.stage("BR").makespan / 60
+    sf_minutes = measurement.stage("SF").makespan / 60
+    emit("sec3c_126min_analysis", (
+        "Section III-C3: shuffle-read floor = 334GB / 3 nodes / 15MB/s ="
+        f" {analytical_minutes:.0f} min (paper: 126 min).\n"
+        f"Simulated BR on 2HDD: {br_minutes:.0f} min;"
+        f" SF: {sf_minutes:.0f} min — both pinned at the floor."
+    ))
+    assert analytical_minutes == pytest.approx(127, abs=1)
+    assert br_minutes == pytest.approx(analytical_minutes, rel=0.12)
+    assert sf_minutes == pytest.approx(analytical_minutes, rel=0.12)

@@ -1,0 +1,66 @@
+"""Tables I-III: testbed, Spark/HDFS configuration, hybrid disk placements."""
+
+from conftest import run_once
+
+from repro.analysis.report import render_table
+from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
+from repro.spark.conf import PAPER_SPARK_CONF
+from repro.units import GB, MB, TB, fmt_bytes
+
+
+def test_table1_node_configuration(benchmark, emit):
+    def build():
+        return make_paper_cluster(3, HYBRID_CONFIGS[0])
+
+    cluster = run_once(benchmark, build)
+    node = cluster.slaves[0]
+    rows = [
+        ["CPU cores", node.num_cores],
+        ["RAM size", fmt_bytes(node.ram_bytes)],
+        ["Network", "10Gb/s"],
+        ["HDD capacity", fmt_bytes(4 * TB)],
+        ["SSD capacity", fmt_bytes(240 * GB)],
+    ]
+    emit("table1_node_config", render_table("Table I: node configuration",
+                                            ["item", "value"], rows))
+    assert node.num_cores == 36
+    assert node.ram_bytes == 128 * GB
+
+
+def test_table2_spark_hdfs_configuration(benchmark, emit):
+    def build():
+        cluster = make_paper_cluster(3, HYBRID_CONFIGS[0])
+        return cluster.hdfs, PAPER_SPARK_CONF
+
+    hdfs, conf = run_once(benchmark, build)
+    rows = [
+        ["SPARK_WORKER_CORES", conf.worker_cores],
+        ["SPARK_WORKER_MEMORY", fmt_bytes(conf.worker_memory_bytes)],
+        ["storage memory fraction", conf.storage_memory_fraction],
+        ["dfs.blocksize", fmt_bytes(hdfs.block_size)],
+        ["dfs.replication", hdfs.replication],
+    ]
+    emit("table2_spark_hdfs_config", render_table(
+        "Table II: Spark and HDFS configuration", ["key", "value"], rows))
+    assert hdfs.block_size == 128 * MB
+    assert hdfs.replication == 2
+    assert conf.worker_memory_bytes == 90 * GB
+
+
+def test_table3_hybrid_configurations(benchmark, emit):
+    def build():
+        return [make_paper_cluster(1, config) for config in HYBRID_CONFIGS]
+
+    clusters = run_once(benchmark, build)
+    rows = []
+    for config, cluster in zip(HYBRID_CONFIGS, clusters):
+        node = cluster.slaves[0]
+        rows.append(
+            [config.config_id, node.hdfs_device.kind.upper(),
+             node.local_device.kind.upper(), config.shorthand]
+        )
+    emit("table3_hybrid_configs", render_table(
+        "Table III: hybrid configurations of HDDs and SSDs",
+        ["config", "HDFS", "Local (spark.local.dir)", "shorthand"], rows))
+    assert [row[1] for row in rows] == ["SSD", "HDD", "SSD", "HDD"]
+    assert [row[2] for row in rows] == ["SSD", "SSD", "HDD", "HDD"]

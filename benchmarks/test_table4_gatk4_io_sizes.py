@@ -1,0 +1,46 @@
+"""Table IV: I/O data size (GB) in the GATK4 stages."""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.report import render_table
+from repro.units import GB
+from repro.workloads import make_gatk4_workload
+
+KINDS = ("hdfs_read", "shuffle_write", "shuffle_read", "hdfs_write")
+
+#: The paper's Table IV (logical GB; our hdfs_write carries replication x2).
+PAPER_ROWS = {
+    "MD": (122, 334, 0, 0),
+    "BR": (122, 0, 334, 0),
+    "SF": (122, 0, 334, 166),
+}
+
+
+def test_table4_io_sizes(benchmark, emit):
+    def build():
+        workload = make_gatk4_workload()
+        table = {}
+        for stage in workload.stages:
+            table[stage.name] = tuple(
+                stage.total_bytes(kind) / GB for kind in KINDS
+            )
+        return table
+
+    table = run_once(benchmark, build)
+    rows = []
+    for stage, values in table.items():
+        paper = PAPER_ROWS[stage]
+        rows.append([stage] + [f"{v:.0f}" for v in values]
+                    + [" / ".join(str(p) for p in paper)])
+    emit("table4_gatk4_io_sizes", render_table(
+        "Table IV: I/O data size (GB) in different GATK4 stages"
+        " (measured | paper; hdfs_write is physical = logical x2 replication)",
+        ["stage", *KINDS, "paper (logical)"], rows))
+
+    for stage, paper in PAPER_ROWS.items():
+        measured = table[stage]
+        assert measured[0] == pytest.approx(paper[0], rel=0.01)  # hdfs read
+        assert measured[1] == pytest.approx(paper[1], abs=1)  # shuffle write
+        assert measured[2] == pytest.approx(paper[2], abs=1)  # shuffle read
+        assert measured[3] == pytest.approx(paper[3] * 2, abs=1)  # replicated

@@ -1,0 +1,25 @@
+"""Table V: disk prices in the Google Cloud platform."""
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.report import render_table
+from repro.cloud.pricing import DISK_PRICE_PER_GB_MONTH, disk_price_ratio
+
+
+def test_table5_prices(benchmark, emit):
+    def build():
+        return dict(DISK_PRICE_PER_GB_MONTH), disk_price_ratio()
+
+    prices, ratio = run_once(benchmark, build)
+    rows = [
+        ["Standard provisioned space", f"${prices['pd-standard']:.3f}"],
+        ["SSD provisioned space", f"${prices['pd-ssd']:.3f}"],
+        ["SSD / standard ratio", f"{ratio:.2f}x (paper: 4.2x)"],
+    ]
+    emit("table5_disk_prices", render_table(
+        "Table V: disk price in Google Cloud (per GB/month)",
+        ["type", "price"], rows))
+    assert prices["pd-standard"] == 0.040
+    assert prices["pd-ssd"] == 0.170
+    assert ratio == pytest.approx(4.25, abs=0.1)

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Model your own application: from real execution to scaled prediction.
+
+Demonstrates the full loop a library user would follow for a new Spark
+application:
+
+1. run a *small* version of the app for real on the functional RDD engine
+   (word count with a groupByKey shuffle — real data, real grouping);
+2. collect the executed stages' runtime profiles (task counts, shuffle
+   bytes and geometry);
+3. scale the observed profile to production size and convert it into a
+   workload spec;
+4. profile the spec with the four-sample-run procedure and predict the
+   production runtime on candidate clusters.
+
+Run:  python examples/custom_workload_model.py
+"""
+
+import dataclasses
+
+from repro import (
+    DoppioContext,
+    HYBRID_CONFIGS,
+    Predictor,
+    Profiler,
+    make_paper_cluster,
+)
+from repro.analysis.report import render_table
+from repro.spark.stageinfo import profiles_to_workload
+from repro.units import GB, MB, fmt_duration
+from repro.workloads.generators import generate_labelled_points
+
+
+def run_small_app() -> list:
+    """A real mini run: tokenize text lines and count tokens by key."""
+    sc = DoppioContext()
+    lines = generate_labelled_points(4000, 8, seed=42)
+    tokens = (
+        sc.parallelize(lines, 16)
+        .flat_map(str.split)
+        .map(lambda token: (token[:4], 1))
+    )
+    counts = tokens.reduce_by_key(lambda a, b: a + b, 8)
+    print(f"mini run: {counts.count()} distinct keys counted for real")
+    return sc.stage_profiles
+
+
+def scale_profile(profile, factor: float):
+    """Scale an observed stage to production volume."""
+    return dataclasses.replace(
+        profile,
+        num_tasks=max(1, int(profile.num_tasks * factor)),
+        shuffle_write_bytes=profile.shuffle_write_bytes * factor,
+        shuffle_read_bytes=profile.shuffle_read_bytes * factor,
+        num_mappers=max(1, int(profile.num_mappers * factor)),
+        num_reducers=max(1, int(profile.num_reducers * factor)),
+        compute_seconds_per_task=2.0,  # measured per-task CPU at prod size
+    )
+
+
+def main() -> None:
+    profiles = run_small_app()
+    map_profile = next(p for p in profiles if p.shuffle_write_bytes > 0)
+
+    # Scale the mini shuffle (a few hundred KB) up to a 200 GB production
+    # job with the same geometry.
+    factor = 200 * GB / map_profile.shuffle_write_bytes
+    production_map = scale_profile(map_profile, factor)
+    reduce_profile = dataclasses.replace(
+        production_map,
+        name="reduce-stage",
+        num_tasks=production_map.num_reducers,
+        shuffle_write_bytes=0.0,
+        shuffle_read_bytes=production_map.shuffle_write_bytes,
+        compute_seconds_per_task=4.0,
+    )
+    workload = profiles_to_workload(
+        "wordcount-200GB",
+        [production_map, reduce_profile],
+        throughputs={"shuffle_write": 50 * MB, "shuffle_read": 60 * MB},
+    )
+    summary_rows = [
+        [stage.name, stage.num_tasks,
+         " ".join(f"{kind}:{total / GB:.0f}GB"
+                  for kind, (total, _) in stage.channel_summary().items())]
+        for stage in workload.stages
+    ]
+    print("\n" + render_table("Derived production workload",
+                              ["stage", "tasks", "channels"], summary_rows))
+
+    print("\nProfiling the derived workload and predicting production runs:")
+    predictor = Predictor(Profiler(workload, nodes=3).profile())
+    rows = []
+    for config in (HYBRID_CONFIGS[0], HYBRID_CONFIGS[3]):
+        for nodes in (5, 10, 20):
+            cluster = make_paper_cluster(nodes, config)
+            runtime = predictor.predict_runtime(cluster, 24)
+            rows.append([config.shorthand, nodes, fmt_duration(runtime)])
+    print(render_table("Predicted production runtimes (P=24)",
+                       ["disks", "slaves", "runtime"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The GATK4 genome pipeline, analyzed the way Section III does.
+
+Reproduces the motivation study: per-stage I/O sizes (Table IV), stage
+runtimes under the four hybrid HDD/SSD placements (Fig. 2), the shuffle
+geometry behind the 30 KB reads, and the break-point analysis explaining
+which stages scale with cores.
+
+Run:  python examples/genome_pipeline.py
+"""
+
+from repro import HYBRID_CONFIGS, make_gatk4_workload, make_paper_cluster
+from repro.analysis.report import render_series, render_table
+from repro.core.breakpoints import BreakPointAnalysis
+from repro.storage.device import make_hdd, make_ssd
+from repro.units import GB, KB, MB
+from repro.workloads.gatk4 import Gatk4Parameters
+from repro.workloads.runner import measure_workload
+
+
+def show_table_iv(workload) -> None:
+    kinds = ("hdfs_read", "shuffle_write", "shuffle_read", "hdfs_write")
+    rows = [
+        [stage.name] + [f"{stage.total_bytes(kind) / GB:.0f}" for kind in kinds]
+        for stage in workload.stages
+    ]
+    print(render_table("I/O data size (GB) per stage (Table IV)",
+                       ["stage", *kinds], rows))
+
+
+def show_shuffle_geometry(params: Gatk4Parameters) -> None:
+    plan = params.shuffle_plan
+    print(
+        f"\nShuffle geometry: M={plan.num_mappers} map tasks,"
+        f" R={plan.num_reducers} reduce tasks.\n"
+        f"Each reducer reads {plan.bytes_per_reducer / MB:.0f}MB spread over"
+        f" {plan.num_mappers} map files -> {plan.read_request_size / KB:.0f}KB"
+        f" per request ({plan.avgrq_sz_sectors():.0f} iostat sectors).\n"
+        f"Mappers write {plan.write_request_size / MB:.0f}MB sorted chunks —"
+        " which is why MD tolerates an HDD and BR/SF do not."
+    )
+
+
+def show_fig2(workload) -> None:
+    results = {}
+    for config in HYBRID_CONFIGS:
+        cluster = make_paper_cluster(3, config)
+        measurement = measure_workload(cluster, 36, workload)
+        results[config.label] = [
+            measurement.stage(name).makespan / 60 for name in ("MD", "BR", "SF")
+        ]
+    series = {
+        label: values for label, values in results.items()
+    }
+    print("\n" + render_series(
+        "Stage runtime (minutes), 3 slaves, P=36 (Fig. 2)",
+        "config", series, ["MD", "BR", "SF"]))
+
+
+def show_breakpoints(params: Gatk4Parameters) -> None:
+    hdd, ssd = make_hdd(), make_ssd()
+    request = params.shuffle_plan.read_request_size
+    rows = []
+    for device_name, device in (("HDD", hdd), ("SSD", ssd)):
+        analysis = BreakPointAnalysis(
+            per_core_throughput=params.shuffle_read_throughput,
+            bandwidth=device.read_bandwidth(request),
+            lam=params.br_shuffle_lambda,
+        )
+        rows.append(
+            [f"BR shuffle read on {device_name}",
+             f"{analysis.bandwidth / MB:.0f}MB/s",
+             f"{analysis.b:.1f}", f"{analysis.big_b:.0f}",
+             "scales to 36 cores" if analysis.scales_with_cores(36)
+             else "I/O-bound past B"]
+        )
+    print("\n" + render_table(
+        "Break points: when do more cores stop helping? (Section V-A)",
+        ["operation", "BW@28KB", "b=BW/T", "B=lambda*b", "verdict"], rows))
+
+
+def main() -> None:
+    params = Gatk4Parameters()
+    workload = make_gatk4_workload(params)
+    print(f"{workload.name}: {workload.description}\n")
+    show_table_iv(workload)
+    show_shuffle_geometry(params)
+    show_fig2(workload)
+    show_breakpoints(params)
+
+
+if __name__ == "__main__":
+    main()

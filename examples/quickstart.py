@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: profile a workload once, predict it anywhere.
+
+This walks the library's core loop in ~30 lines:
+
+1. build the GATK4 workload model (the paper's flagship application);
+2. run the four-sample-run profiling procedure on a small 3-slave cluster;
+3. predict the runtime on larger clusters with different disks and core
+   counts — no further measurement needed.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    HYBRID_CONFIGS,
+    Predictor,
+    Profiler,
+    make_gatk4_workload,
+    make_paper_cluster,
+    measure_workload,
+)
+from repro.units import fmt_duration
+
+
+def main() -> None:
+    workload = make_gatk4_workload()
+    print(f"Workload: {workload.name} — {workload.description}")
+
+    print("\nProfiling with four sample runs on a 3-slave cluster...")
+    report = Profiler(workload, nodes=3).profile()
+    for stage in report.stages:
+        print(
+            f"  stage {stage.name:3s}: M={stage.num_tasks:6d}"
+            f" t_avg={stage.t_avg:7.2f}s delta_scale={stage.delta_scale:6.2f}s"
+        )
+
+    predictor = Predictor(report)
+    print("\nPredictions for a 10-slave cluster (and a simulation check):")
+    for config in (HYBRID_CONFIGS[0], HYBRID_CONFIGS[3]):
+        cluster = make_paper_cluster(10, config)
+        for cores in (12, 36):
+            predicted = predictor.predict_runtime(cluster, cores)
+            measured = measure_workload(cluster, cores, workload).total_seconds
+            error = abs(predicted - measured) / measured * 100
+            print(
+                f"  {config.shorthand:5s} P={cores:2d}:"
+                f" model {fmt_duration(predicted):>9s},"
+                f" simulated {fmt_duration(measured):>9s}"
+                f"  (error {error:.1f}%)"
+            )
+
+
+if __name__ == "__main__":
+    main()

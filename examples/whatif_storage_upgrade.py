@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""What-if analysis: is an SSD upgrade worth it for *your* workload?
+
+The paper's punchline is that the answer depends on request sizes, not
+peak bandwidths: shuffle-heavy applications gain ~6x from SSDs while
+cached iterative jobs gain almost nothing.  This example profiles all six
+workloads and prints each one's predicted HDD -> SSD speedup along with
+the dominant bottleneck, i.e. the decision support a capacity planner
+would want.
+
+Run:  python examples/whatif_storage_upgrade.py   (takes a few minutes)
+"""
+
+from repro import (
+    HYBRID_CONFIGS,
+    Predictor,
+    Profiler,
+    make_gatk4_workload,
+    make_logistic_regression_workload,
+    make_pagerank_workload,
+    make_svm_workload,
+    make_terasort_workload,
+    make_triangle_count_workload,
+    make_paper_cluster,
+)
+from repro.analysis.report import render_table
+from repro.workloads.logistic_regression import LARGE_DATASET
+
+
+def main() -> None:
+    workloads = [
+        make_gatk4_workload(),
+        make_logistic_regression_workload(num_slaves=10),
+        make_logistic_regression_workload(LARGE_DATASET, num_slaves=10),
+        make_svm_workload(),
+        make_pagerank_workload(),
+        make_triangle_count_workload(),
+        make_terasort_workload(),
+    ]
+    labels = [
+        "GATK4", "LR (small, cached)", "LR (large, persisted)",
+        "SVM", "PageRank", "TriangleCount", "Terasort",
+    ]
+
+    ssd_cluster = make_paper_cluster(10, HYBRID_CONFIGS[0])
+    hdd_cluster = make_paper_cluster(10, HYBRID_CONFIGS[3])
+
+    rows = []
+    for label, workload in zip(labels, workloads):
+        print(f"profiling {label}...")
+        predictor = Predictor(Profiler(workload, nodes=3).profile())
+        hdd_prediction = predictor.predict(hdd_cluster, 36)
+        ssd_prediction = predictor.predict(ssd_cluster, 36)
+        speedup = hdd_prediction.t_app / ssd_prediction.t_app
+        bottleneck = hdd_prediction.bottleneck_stage
+        rows.append(
+            [label,
+             f"{hdd_prediction.t_app / 60:.0f} min",
+             f"{ssd_prediction.t_app / 60:.0f} min",
+             f"{speedup:.1f}x",
+             f"{bottleneck.stage_name} ({bottleneck.bottleneck})"]
+        )
+
+    print("\n" + render_table(
+        "Predicted HDD -> SSD upgrade effect (10 slaves, P=36)",
+        ["workload", "on HDDs", "on SSDs", "speedup", "HDD bottleneck"],
+        rows))
+    print(
+        "\nReading: cached iterative jobs barely move; shuffle-heavy and"
+        " disk-persisted jobs gain multi-x — exactly the paper's Section V"
+        " summary."
+    )
+
+
+if __name__ == "__main__":
+    main()

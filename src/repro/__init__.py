@@ -1,0 +1,77 @@
+"""Doppio: I/O-aware performance analysis, modeling and optimization for
+in-memory computing frameworks.
+
+A from-scratch reproduction of the ISPASS 2018 paper (Zhou et al.).  The
+package layout:
+
+- :mod:`repro.core` — the I/O-aware analytic model (Equation 1), the
+  break-point theory, the four-sample-run profiler, and the predictor.
+- :mod:`repro.storage` — HDD/SSD device models with effective bandwidth
+  vs. request size, HDFS and Spark-local stores, fio/iostat tools.
+- :mod:`repro.cluster` — nodes, networks, and the paper's testbed configs.
+- :mod:`repro.simulator` — the discrete-event cluster simulator that plays
+  the role of the paper's physical measurements.
+- :mod:`repro.spark` — a functional RDD engine plus the framework models
+  (shuffle geometry, storage memory).
+- :mod:`repro.workloads` — GATK4 and the five Section-V applications.
+- :mod:`repro.cloud` — Google Cloud disks, prices, and the cost optimizer.
+- :mod:`repro.analysis` — error metrics, sweeps, and report rendering.
+
+Quickstart::
+
+    from repro import (
+        make_gatk4_workload, Profiler, Predictor, make_paper_cluster,
+        HYBRID_CONFIGS, measure_workload,
+    )
+
+    workload = make_gatk4_workload()
+    predictor = Predictor(Profiler(workload, nodes=3).profile())
+    cluster = make_paper_cluster(10, HYBRID_CONFIGS[0])
+    print(predictor.predict_runtime(cluster, cores_per_node=24))
+"""
+
+from repro.core import (
+    ApplicationModel,
+    EffectiveBandwidthTable,
+    Predictor,
+    Profiler,
+    StageModel,
+)
+from repro.cluster import Cluster, HYBRID_CONFIGS, make_paper_cluster
+from repro.spark import DoppioContext, SparkConf
+from repro.storage import make_hdd, make_ssd
+from repro.workloads import (
+    make_gatk4_workload,
+    make_logistic_regression_workload,
+    make_pagerank_workload,
+    make_svm_workload,
+    make_terasort_workload,
+    make_triangle_count_workload,
+)
+from repro.workloads.runner import measure_stage, measure_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApplicationModel",
+    "EffectiveBandwidthTable",
+    "Predictor",
+    "Profiler",
+    "StageModel",
+    "Cluster",
+    "HYBRID_CONFIGS",
+    "make_paper_cluster",
+    "DoppioContext",
+    "SparkConf",
+    "make_hdd",
+    "make_ssd",
+    "make_gatk4_workload",
+    "make_logistic_regression_workload",
+    "make_pagerank_workload",
+    "make_svm_workload",
+    "make_terasort_workload",
+    "make_triangle_count_workload",
+    "measure_stage",
+    "measure_workload",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Analysis utilities: error metrics, sweeps, and table/figure rendering."""
+
+from repro.analysis.errors import (
+    relative_error,
+    average_error,
+    max_error,
+    ExpVsModel,
+    error_summary,
+)
+from repro.analysis.sweep import sweep_cores, sweep_local_disk_sizes, SweepPoint
+from repro.analysis.report import render_table, render_series, format_row
+from repro.analysis.figures import (
+    render_bars,
+    render_grouped_bars,
+    render_sparkline,
+)
+
+__all__ = [
+    "relative_error",
+    "average_error",
+    "max_error",
+    "ExpVsModel",
+    "error_summary",
+    "sweep_cores",
+    "sweep_local_disk_sizes",
+    "SweepPoint",
+    "render_table",
+    "render_series",
+    "format_row",
+    "render_bars",
+    "render_grouped_bars",
+    "render_sparkline",
+]

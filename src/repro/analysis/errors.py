@@ -1,0 +1,56 @@
+"""Prediction-error metrics, matching how the paper reports accuracy.
+
+The paper quotes the *average* relative error between measured ("exp") and
+model-predicted runtimes per application — e.g. <6% for GATK4 (Fig. 7),
+5.3% for LR, 8.4% for SVM, 5.2% for PR, 3.6% for TC, 3.9% for TS.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+def relative_error(measured: float, predicted: float) -> float:
+    """``|predicted - measured| / measured`` (the paper's error rate)."""
+    if measured <= 0:
+        raise ModelError(f"measured value must be positive, got {measured}")
+    return abs(predicted - measured) / measured
+
+
+@dataclass(frozen=True)
+class ExpVsModel:
+    """One comparison point: a labelled (measured, predicted) pair."""
+
+    label: str
+    measured: float
+    predicted: float
+
+    @property
+    def error(self) -> float:
+        """Relative error of this point."""
+        return relative_error(self.measured, self.predicted)
+
+
+def average_error(points: Sequence[ExpVsModel]) -> float:
+    """Mean relative error over comparison points."""
+    if not points:
+        raise ModelError("cannot average zero comparison points")
+    return sum(point.error for point in points) / len(points)
+
+
+def max_error(points: Sequence[ExpVsModel]) -> float:
+    """Worst relative error over comparison points."""
+    if not points:
+        raise ModelError("cannot take the max of zero comparison points")
+    return max(point.error for point in points)
+
+
+def error_summary(points: Sequence[ExpVsModel]) -> str:
+    """One-line summary: ``avg X.X% / max Y.Y% over N points``."""
+    return (
+        f"avg {average_error(points) * 100:.1f}% /"
+        f" max {max_error(points) * 100:.1f}% over {len(points)} points"
+    )

@@ -1,0 +1,101 @@
+"""ASCII bar charts: figure-shaped output for terminal reports.
+
+The benchmark harness regenerates the paper's figures as tables; these
+helpers additionally render grouped horizontal bar charts so the *shape*
+of a figure (which bar dominates, where a curve flattens) is visible at a
+glance in plain text.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import DoppioError
+
+#: Glyph used for bar bodies.
+BAR = "#"
+
+
+class FigureError(DoppioError):
+    """Invalid figure specification."""
+
+
+def render_bars(
+    title: str,
+    values: Mapping[str, float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """One horizontal bar per labelled value, scaled to the maximum.
+
+    >>> print(render_bars("t", {"a": 2.0, "b": 1.0}, width=4))
+    t
+    a  ####  2.0
+    b  ##    1.0
+    """
+    if not values:
+        raise FigureError("a bar chart needs at least one value")
+    if width <= 0:
+        raise FigureError("bar width must be positive")
+    for label, value in values.items():
+        if value < 0:
+            raise FigureError(f"bar {label!r}: negative values unsupported")
+    peak = max(values.values())
+    label_width = max(len(label) for label in values)
+    lines = [title]
+    for label, value in values.items():
+        length = 0 if peak == 0 else round(value / peak * width)
+        bar = (BAR * length).ljust(width)
+        suffix = f"{value:.1f}{unit}"
+        lines.append(f"{label.ljust(label_width)}  {bar}  {suffix}")
+    return "\n".join(lines)
+
+
+def render_grouped_bars(
+    title: str,
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Grouped bars (e.g. per stage, one bar per configuration).
+
+    All bars share one scale so groups are visually comparable.
+    """
+    if not groups:
+        raise FigureError("a grouped chart needs at least one group")
+    all_values = [
+        value for group in groups.values() for value in group.values()
+    ]
+    if not all_values:
+        raise FigureError("groups must contain values")
+    if any(value < 0 for value in all_values):
+        raise FigureError("negative values unsupported")
+    peak = max(all_values)
+    label_width = max(
+        len(label) for group in groups.values() for label in group
+    )
+    lines = [title]
+    for group_name, group in groups.items():
+        lines.append(f"[{group_name}]")
+        for label, value in group.items():
+            length = 0 if peak == 0 else round(value / peak * width)
+            bar = (BAR * length).ljust(width)
+            lines.append(
+                f"  {label.ljust(label_width)}  {bar}  {value:.1f}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def render_sparkline(values: Sequence[float]) -> str:
+    """A one-line trend (for runtime-vs-size curves in summaries)."""
+    if not values:
+        raise FigureError("a sparkline needs at least one value")
+    glyphs = "▁▂▃▄▅▆▇█"
+    low, high = min(values), max(values)
+    if high == low:
+        return glyphs[0] * len(values)
+    scaled = [
+        glyphs[min(int((v - low) / (high - low) * len(glyphs)), len(glyphs) - 1)]
+        for v in values
+    ]
+    return "".join(scaled)

@@ -1,0 +1,61 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+The benchmark suite regenerates every table and figure of the paper as
+text; these helpers keep the formatting uniform (fixed-width columns,
+units matching the paper's: minutes for stage runtimes, MB/s for
+bandwidths, dollars for costs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_row(cells: Sequence[object], widths: Sequence[int]) -> str:
+    """One fixed-width row; cells are stringified and right-padded."""
+    parts = []
+    for cell, width in zip(cells, widths):
+        text = f"{cell}"
+        parts.append(text.ljust(width))
+    return "  ".join(parts).rstrip()
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """A titled fixed-width table."""
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(f"{cell}"))
+    lines = [title, format_row(headers, widths)]
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(format_row(row, widths) for row in rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    series: dict[str, Sequence[float]],
+    x_values: Sequence[object],
+    value_format: str = "{:.1f}",
+) -> str:
+    """A figure rendered as one row per series (x-values as columns)."""
+    headers = [x_label] + [f"{x}" for x in x_values]
+    rows = []
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for"
+                f" {len(x_values)} x-values"
+            )
+        rows.append([name] + [value_format.format(v) for v in values])
+    return render_table(title, headers, rows)

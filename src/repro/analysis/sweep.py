@@ -1,0 +1,90 @@
+"""Parameter sweeps: the x-axes of the paper's figures.
+
+Two sweeps recur throughout the evaluation: executor cores per node
+(Figs. 3 and 7-12) and provisioned local-disk size (Figs. 13-15).  Each
+sweep point pairs the simulator's measured runtime ("exp") with the
+model's prediction, ready for error reporting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.analysis.errors import ExpVsModel
+from repro.cloud.disks import make_persistent_disk
+from repro.cluster.cluster import Cluster
+from repro.core.predictor import Predictor
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.runner import measure_workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep x-value with per-stage and total comparisons."""
+
+    x: float
+    stage_points: tuple[ExpVsModel, ...]
+    total: ExpVsModel
+
+
+def sweep_cores(
+    workload: WorkloadSpec,
+    predictor: Predictor,
+    cluster: Cluster,
+    core_counts: Sequence[int],
+) -> list[SweepPoint]:
+    """Measure and predict every stage across per-node core counts."""
+    points: list[SweepPoint] = []
+    model = predictor.model_for_cluster(cluster)
+    for cores in core_counts:
+        measurement = measure_workload(cluster, cores, workload)
+        prediction = model.predict(cluster.num_slaves, cores)
+        stage_points = tuple(
+            ExpVsModel(
+                label=f"{stage.name}@P={cores}",
+                measured=measurement.stage(stage.name).makespan,
+                predicted=prediction.stage(stage.name).t_stage,
+            )
+            for stage in workload.stages
+        )
+        points.append(
+            SweepPoint(
+                x=float(cores),
+                stage_points=stage_points,
+                total=ExpVsModel(
+                    label=f"total@P={cores}",
+                    measured=measurement.total_seconds,
+                    predicted=prediction.t_app,
+                ),
+            )
+        )
+    return points
+
+
+def sweep_local_disk_sizes(
+    predictor: Predictor,
+    sizes_gb: Sequence[float],
+    num_workers: int,
+    cores_per_node: int,
+    local_kind: str = "pd-standard",
+    hdfs_kind: str = "pd-standard",
+    hdfs_gb: float = 1000.0,
+    measure: Callable[[dict], float] | None = None,
+) -> list[tuple[float, float]]:
+    """Predicted runtime vs. local-disk size (Fig. 14/15's x-axis).
+
+    Returns ``(size_gb, predicted_seconds)`` pairs.  Pass ``measure`` to
+    also obtain a "measured" value per point — it receives the
+    ``{"hdfs": device, "local": device}`` mapping and returns seconds —
+    which callers can zip against the predictions.
+    """
+    results: list[tuple[float, float]] = []
+    for size_gb in sizes_gb:
+        devices = {
+            "hdfs": make_persistent_disk(hdfs_kind, hdfs_gb),
+            "local": make_persistent_disk(local_kind, size_gb),
+        }
+        model = predictor.model_for_devices(devices)
+        results.append((size_gb, model.runtime(num_workers, cores_per_node)))
+    return results

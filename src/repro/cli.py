@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list-workloads``
+    Show the built-in workload models.
+``fio --device {hdd,ssd}``
+    Print the device's effective-bandwidth sweep (Fig. 5).
+``profile --workload NAME [--nodes N]``
+    Run the four-sample-run procedure and print the fitted constants.
+``predict --workload NAME --slaves N --cores P --hdfs KIND --local KIND``
+    Predict an application runtime on a target cluster.
+``optimize --workload NAME [--workers N]``
+    Search cloud configurations for the cheapest run (Section VI).
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Callable, Sequence
+
+from repro.analysis.report import render_table
+from repro.cloud import (
+    CostOptimizer,
+    r1_spark_recommendation,
+    r2_cloudera_recommendation,
+)
+from repro.cluster import HybridDiskConfig, make_paper_cluster
+from repro.core import Predictor, Profiler, load_report, save_report
+from repro.storage.device import make_hdd, make_ssd
+from repro.storage.fio import run_fio_sweep
+from repro.units import MB, fmt_bytes, fmt_duration
+from repro.workloads import (
+    make_gatk4_workload,
+    make_logistic_regression_workload,
+    make_pagerank_workload,
+    make_svm_workload,
+    make_terasort_workload,
+    make_triangle_count_workload,
+)
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.gatk4_extended import make_extended_gatk4_workload
+from repro.workloads.logistic_regression import LARGE_DATASET
+
+#: Name -> workload factory.
+WORKLOADS: dict[str, Callable[[], WorkloadSpec]] = {
+    "gatk4": make_gatk4_workload,
+    "gatk4-extended": make_extended_gatk4_workload,
+    "lr-small": lambda: make_logistic_regression_workload(num_slaves=10),
+    "lr-large": lambda: make_logistic_regression_workload(
+        LARGE_DATASET, num_slaves=10
+    ),
+    "svm": make_svm_workload,
+    "pagerank": make_pagerank_workload,
+    "triangle-count": make_triangle_count_workload,
+    "terasort": make_terasort_workload,
+}
+
+
+def _workload(name: str) -> WorkloadSpec:
+    try:
+        return WORKLOADS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown workload {name!r}; available: {', '.join(sorted(WORKLOADS))}"
+        ) from None
+
+
+def cmd_list_workloads(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(WORKLOADS):
+        workload = WORKLOADS[name]()
+        rows.append([name, len(workload.stages), workload.description])
+    print(render_table("Built-in workloads", ["name", "stages", "description"],
+                       rows))
+    return 0
+
+
+def cmd_fio(args: argparse.Namespace) -> int:
+    device = make_hdd() if args.device == "hdd" else make_ssd()
+    results = run_fio_sweep(device, is_write=args.write)
+    rows = [
+        [fmt_bytes(r.block_size), f"{r.bandwidth / MB:.1f}", f"{r.iops:.0f}"]
+        for r in results
+    ]
+    direction = "write" if args.write else "read"
+    print(render_table(
+        f"fio sweep: {args.device} ({direction})",
+        ["block size", "MB/s", "IOPS"], rows))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    workload = _workload(args.workload)
+    print(f"profiling {workload.name} on {args.nodes} slaves"
+          " (four sample runs)...")
+    report = Profiler(workload, nodes=args.nodes, fit_gc=args.fit_gc).profile()
+    if args.output:
+        save_report(report, args.output)
+        print(f"report saved to {args.output}")
+    rows = [
+        [stage.name, stage.num_tasks, f"{stage.t_avg:.2f}",
+         f"{stage.delta_scale:.2f}", f"{stage.delta_read:.2f}",
+         f"{stage.delta_write:.2f}", f"{stage.gc_coeff:.2f}"]
+        for stage in report.stages
+    ]
+    print(render_table(
+        f"fitted Equation-1 constants for {workload.name}",
+        ["stage", "M", "t_avg s", "d_scale", "d_read", "d_write", "gc"],
+        rows))
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    workload = _workload(args.workload)
+    if args.report:
+        report = load_report(args.report)
+    else:
+        report = Profiler(workload, nodes=args.profile_nodes).profile()
+    cluster = make_paper_cluster(
+        args.slaves,
+        HybridDiskConfig(0, hdfs_kind=args.hdfs, local_kind=args.local),
+    )
+    prediction = Predictor(report).predict(cluster, args.cores)
+    rows = [
+        [stage.stage_name, fmt_duration(stage.t_stage), stage.bottleneck]
+        for stage in prediction.stages
+    ]
+    rows.append(["TOTAL", fmt_duration(prediction.t_app), ""])
+    print(render_table(
+        f"{workload.name} on {args.slaves} slaves x {args.cores} cores"
+        f" (HDFS={args.hdfs}, local={args.local})",
+        ["stage", "runtime", "bottleneck"], rows))
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    workload = _workload(args.workload)
+    print(f"profiling {workload.name}...")
+    predictor = Predictor(Profiler(workload, nodes=args.profile_nodes).profile())
+    hdfs_gb, local_gb = CostOptimizer.capacity_requirements(
+        workload, num_workers=args.workers
+    )
+    optimizer = CostOptimizer(
+        predictor, num_workers=args.workers,
+        min_hdfs_gb=hdfs_gb, min_local_gb=local_gb,
+    )
+    result = optimizer.grid_search(vcpu_grid=(4, 8, 16, 32))
+    r1 = optimizer.evaluate(r1_spark_recommendation(num_workers=args.workers))
+    r2 = optimizer.evaluate(r2_cloudera_recommendation(num_workers=args.workers))
+    rows = [
+        ["optimum", result.best.config.label(),
+         fmt_duration(result.best.runtime_seconds),
+         f"${result.best.cost_dollars:.2f}"],
+        ["R1 (Spark)", r1.config.label(), fmt_duration(r1.runtime_seconds),
+         f"${r1.cost_dollars:.2f}"],
+        ["R2 (Cloudera)", r2.config.label(), fmt_duration(r2.runtime_seconds),
+         f"${r2.cost_dollars:.2f}"],
+    ]
+    print(render_table(
+        f"cheapest cloud configuration for {workload.name}"
+        f" ({result.num_evaluated} candidates)",
+        ["config", "details", "runtime", "cost"], rows))
+    print(f"savings: {result.savings_versus(r1) * 100:.0f}% vs R1,"
+          f" {result.savings_versus(r2) * 100:.0f}% vs R2")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Doppio: I/O-aware Spark performance modeling toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-workloads", help="show built-in workload models")
+
+    fio = sub.add_parser("fio", help="device bandwidth sweep (Fig. 5)")
+    fio.add_argument("--device", choices=("hdd", "ssd"), default="hdd")
+    fio.add_argument("--write", action="store_true",
+                     help="sweep the write curve instead of read")
+
+    profile = sub.add_parser("profile", help="four-sample-run profiling")
+    profile.add_argument("--workload", required=True)
+    profile.add_argument("--nodes", type=int, default=3)
+    profile.add_argument("--fit-gc", action="store_true",
+                         help="also fit the JVM GC coefficient")
+    profile.add_argument("--output", default=None,
+                         help="save the fitted report as JSON")
+
+    predict = sub.add_parser("predict", help="predict a configuration")
+    predict.add_argument("--workload", required=True)
+    predict.add_argument("--slaves", type=int, default=10)
+    predict.add_argument("--cores", type=int, default=24)
+    predict.add_argument("--hdfs", choices=("hdd", "ssd"), default="ssd")
+    predict.add_argument("--local", choices=("hdd", "ssd"), default="ssd")
+    predict.add_argument("--profile-nodes", type=int, default=3)
+    predict.add_argument("--report", default=None,
+                         help="reuse a saved profiling report (skips profiling)")
+
+    optimize = sub.add_parser("optimize", help="cloud cost optimization")
+    optimize.add_argument("--workload", required=True)
+    optimize.add_argument("--workers", type=int, default=10)
+    optimize.add_argument("--profile-nodes", type=int, default=3)
+
+    return parser
+
+
+_COMMANDS = {
+    "list-workloads": cmd_list_workloads,
+    "fio": cmd_fio,
+    "profile": cmd_profile,
+    "predict": cmd_predict,
+    "optimize": cmd_optimize,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

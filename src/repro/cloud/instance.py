@@ -1,0 +1,54 @@
+"""Google Cloud machine types and hourly prices (2017 us-central1 list).
+
+The paper's exploration varies the vCPU count per worker; the n1-standard
+family prices scale linearly with vCPUs, which is what makes the
+cost-vs-cores tradeoff non-trivial: double the cores halves (at best) the
+compute-bound time but doubles the hourly rate, so I/O-bound stages decide
+the winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+@dataclass(frozen=True)
+class MachineType:
+    """One machine type: vCPUs, RAM, and on-demand hourly price."""
+
+    name: str
+    vcpus: int
+    ram_bytes: float
+    price_per_hour: float
+
+    def __post_init__(self) -> None:
+        if self.vcpus <= 0:
+            raise ConfigurationError(f"{self.name}: vCPUs must be positive")
+        if self.price_per_hour <= 0:
+            raise ConfigurationError(f"{self.name}: price must be positive")
+
+
+#: n1-standard machine family (3.75 GB RAM per vCPU, $0.0475/vCPU-hour).
+N1_STANDARD: tuple[MachineType, ...] = tuple(
+    MachineType(
+        name=f"n1-standard-{vcpus}",
+        vcpus=vcpus,
+        ram_bytes=vcpus * 3.75 * GB,
+        price_per_hour=round(vcpus * 0.0475, 4),
+    )
+    for vcpus in (1, 2, 4, 8, 16, 32, 64)
+)
+
+
+def machine_for_vcpus(vcpus: int) -> MachineType:
+    """The n1-standard machine with exactly ``vcpus`` cores."""
+    for machine in N1_STANDARD:
+        if machine.vcpus == vcpus:
+            return machine
+    raise ConfigurationError(
+        f"no n1-standard machine with {vcpus} vCPUs;"
+        f" available: {[m.vcpus for m in N1_STANDARD]}"
+    )

@@ -1,0 +1,24 @@
+"""Cluster substrate: nodes, devices, and the network.
+
+Reproduces the paper's testbeds: the four-node motivation cluster
+(Section III), the eleven-node evaluation cluster (Section V), and the
+Google Cloud worker pools of Section VI — all as parametric models.
+"""
+
+from repro.cluster.node import Node
+from repro.cluster.network import NetworkModel
+from repro.cluster.cluster import (
+    Cluster,
+    HybridDiskConfig,
+    HYBRID_CONFIGS,
+    make_paper_cluster,
+)
+
+__all__ = [
+    "Node",
+    "NetworkModel",
+    "Cluster",
+    "HybridDiskConfig",
+    "HYBRID_CONFIGS",
+    "make_paper_cluster",
+]

@@ -1,0 +1,172 @@
+"""Cluster assembly and the paper's named configurations.
+
+Builds the paper's testbeds:
+
+- Table I node (2x Xeon E5-2699v3 = 36 cores, 128 GB RAM, 10 Gb/s);
+- Table III's four hybrid HDD/SSD placements for HDFS vs. Spark-local;
+- the four-node motivation cluster (Section III: 1 master + 3 slaves) and
+  the eleven-node evaluation cluster (Section V: 1 master + 10 slaves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.network import NetworkModel
+from repro.cluster.node import Node
+from repro.errors import ConfigurationError
+from repro.storage.device import StorageDevice, make_hdd, make_ssd
+from repro.storage.hdfs import Hdfs
+from repro.units import GB, MB, TB
+
+#: Table I values.
+PAPER_CORES_PER_NODE = 36
+PAPER_RAM_BYTES = 128 * GB
+
+
+@dataclass(frozen=True)
+class HybridDiskConfig:
+    """One column of Table III: device kinds for HDFS and Spark-local.
+
+    ``"ssd"`` / ``"hdd"`` per role.  The shorthand names follow the paper's
+    prose: config 1 = "2SSD", config 4 = "2HDD".
+    """
+
+    config_id: int
+    hdfs_kind: str
+    local_kind: str
+
+    @property
+    def label(self) -> str:
+        """Readable label, e.g. ``"HDFS=SSD, Local=HDD"``."""
+        return f"HDFS={self.hdfs_kind.upper()}, Local={self.local_kind.upper()}"
+
+    @property
+    def shorthand(self) -> str:
+        """``"2SSD"``, ``"2HDD"``, or the mixed forms."""
+        if self.hdfs_kind == self.local_kind:
+            return f"2{self.hdfs_kind.upper()}"
+        return f"{self.hdfs_kind.upper()}+{self.local_kind.upper()}local"
+
+
+#: Table III, columns 1-4.
+HYBRID_CONFIGS: tuple[HybridDiskConfig, ...] = (
+    HybridDiskConfig(1, hdfs_kind="ssd", local_kind="ssd"),
+    HybridDiskConfig(2, hdfs_kind="hdd", local_kind="ssd"),
+    HybridDiskConfig(3, hdfs_kind="ssd", local_kind="hdd"),
+    HybridDiskConfig(4, hdfs_kind="hdd", local_kind="hdd"),
+)
+
+
+class Cluster:
+    """A master plus ``N`` slave nodes, an HDFS namespace, and a network."""
+
+    def __init__(
+        self,
+        slaves: list[Node],
+        network: NetworkModel | None = None,
+        hdfs_block_size: float = 128 * MB,
+        hdfs_replication: int = 2,
+    ) -> None:
+        if not slaves:
+            raise ConfigurationError("a cluster needs at least one slave node")
+        names = [node.name for node in slaves]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate node names: {names}")
+        self.slaves = list(slaves)
+        self.network = network or NetworkModel()
+        replication = min(hdfs_replication, len(slaves))
+        self.hdfs = Hdfs(
+            devices=[node.hdfs_device for node in slaves],
+            block_size=hdfs_block_size,
+            replication=replication,
+        )
+
+    @property
+    def num_slaves(self) -> int:
+        """``N`` in the model: slave (worker) node count."""
+        return len(self.slaves)
+
+    @property
+    def total_cores(self) -> int:
+        """Sum of slave cores."""
+        return sum(node.num_cores for node in self.slaves)
+
+    @property
+    def cores_per_node(self) -> int:
+        """Core count of the (homogeneous) slaves.
+
+        Raises when slaves are heterogeneous — the model's ``P`` assumes a
+        uniform worker pool, as do the paper's clusters.
+        """
+        counts = {node.num_cores for node in self.slaves}
+        if len(counts) != 1:
+            raise ConfigurationError(f"heterogeneous slave core counts: {sorted(counts)}")
+        return counts.pop()
+
+    def node(self, name: str) -> Node:
+        """Look up a slave by name."""
+        for candidate in self.slaves:
+            if candidate.name == name:
+                return candidate
+        raise ConfigurationError(f"no such node: {name}")
+
+    def local_devices(self) -> list[StorageDevice]:
+        """Each slave's Spark-local device."""
+        return [node.local_device for node in self.slaves]
+
+    def hdfs_devices(self) -> list[StorageDevice]:
+        """Each slave's HDFS device."""
+        return [node.hdfs_device for node in self.slaves]
+
+    def __repr__(self) -> str:
+        sample = self.slaves[0]
+        return (
+            f"Cluster({self.num_slaves} slaves x {sample.num_cores} cores,"
+            f" hdfs={sample.hdfs_device.kind}, local={sample.local_device.kind})"
+        )
+
+
+def _make_device(kind: str, name: str, capacity_bytes: float | None) -> StorageDevice:
+    if kind == "hdd":
+        return make_hdd(name=name, capacity_bytes=capacity_bytes or 4 * TB)
+    if kind == "ssd":
+        # The physical testbed SSD is 240 GB; give simulated SSDs enough
+        # room for paper-scale shuffles unless the caller limits them.
+        return make_ssd(name=name, capacity_bytes=capacity_bytes or 4 * TB)
+    raise ConfigurationError(f"unknown device kind: {kind!r}")
+
+
+def make_paper_cluster(
+    num_slaves: int,
+    config: HybridDiskConfig,
+    cores_per_node: int = PAPER_CORES_PER_NODE,
+    ram_bytes: float = PAPER_RAM_BYTES,
+    device_capacity: float | None = None,
+) -> Cluster:
+    """Build a Table-I-style cluster under one Table III disk placement.
+
+    ``num_slaves`` counts workers only (the paper's "four-node cluster" is
+    ``num_slaves=3`` plus a master; the Section V cluster is
+    ``num_slaves=10``).
+    """
+    if num_slaves <= 0:
+        raise ConfigurationError("need at least one slave")
+    slaves = []
+    for index in range(num_slaves):
+        hdfs_dev = _make_device(
+            config.hdfs_kind, f"slave{index}-hdfs-{config.hdfs_kind}", device_capacity
+        )
+        local_dev = _make_device(
+            config.local_kind, f"slave{index}-local-{config.local_kind}", device_capacity
+        )
+        slaves.append(
+            Node(
+                name=f"slave-{index}",
+                num_cores=cores_per_node,
+                ram_bytes=ram_bytes,
+                hdfs_device=hdfs_dev,
+                local_device=local_dev,
+            )
+        )
+    return Cluster(slaves=slaves)

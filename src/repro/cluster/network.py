@@ -1,0 +1,67 @@
+"""Cluster network model.
+
+The paper's clusters use a 10 Gb/s network and note (after [5]) that it is
+usually not the Spark bottleneck; shuffle read moves roughly
+``(N - 1) / N`` of its bytes across the network, the rest being local.
+The model here exists mainly to *check* that assumption: it can compute
+the network-floor time of a transfer so callers can assert the disk floor
+dominates, and it flags configurations where that would not hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: 10 Gb/s in bytes per second.
+TEN_GBPS = 10e9 / 8.0
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Full-bisection network with a per-node link bandwidth.
+
+    Attributes
+    ----------
+    link_bandwidth:
+        Per-node link speed in bytes/s (default 10 Gb/s, Table I).
+    """
+
+    link_bandwidth: float = TEN_GBPS
+
+    def __post_init__(self) -> None:
+        if self.link_bandwidth <= 0:
+            raise ConfigurationError("network link bandwidth must be positive")
+
+    def remote_fraction(self, num_slaves: int) -> float:
+        """Fraction of shuffle bytes that cross the network.
+
+        With uniformly distributed keys each reducer pulls ``1/N`` of its
+        data from its own node, so ``(N-1)/N`` crosses the wire.
+        """
+        if num_slaves <= 0:
+            raise ConfigurationError("slave count must be positive")
+        return (num_slaves - 1) / num_slaves
+
+    def transfer_floor_seconds(self, total_bytes: float, num_slaves: int) -> float:
+        """Lower bound on moving ``total_bytes`` of shuffle over the network.
+
+        Every node sends/receives its ``1/N`` share of the remote bytes in
+        parallel over its own link.
+        """
+        if total_bytes < 0:
+            raise ConfigurationError("transfer size must be non-negative")
+        remote_bytes = total_bytes * self.remote_fraction(num_slaves)
+        per_node = remote_bytes / num_slaves
+        return per_node / self.link_bandwidth
+
+    def is_bottleneck(
+        self, total_bytes: float, num_slaves: int, disk_floor_seconds: float
+    ) -> bool:
+        """True when the network floor exceeds the disk floor.
+
+        For every configuration the paper studies this is False — the
+        justification for modeling I/O only (Section III-B1).
+        """
+        return self.transfer_floor_seconds(total_bytes, num_slaves) > disk_floor_seconds

@@ -1,0 +1,73 @@
+"""A slave/worker node: cores, memory, and its two storage roles.
+
+Each node carries (Table I) a CPU core count and RAM size, plus the two
+directories whose device placement the paper varies (Table III):
+
+- ``hdfs_device`` — where the HDFS datanode stores blocks;
+- ``local_device`` — where ``spark.local.dir`` points.
+
+The two roles may share one physical device or use separate ones; both
+arrangements appear in the paper's configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.storage.device import StorageDevice
+from repro.storage.local import SparkLocalDir
+from repro.units import GB
+
+
+@dataclass
+class Node:
+    """One cluster node.
+
+    Attributes
+    ----------
+    name:
+        Node label, e.g. ``"slave-3"``.
+    num_cores:
+        Physical cores available to the Spark worker (36 in Table I).
+    ram_bytes:
+        Total RAM (128 GB in Table I).
+    hdfs_device:
+        Device backing the HDFS datanode directory.
+    local_device:
+        Device backing ``spark.local.dir``.
+    """
+
+    name: str
+    num_cores: int
+    ram_bytes: float
+    hdfs_device: StorageDevice
+    local_device: StorageDevice
+    local_dir: SparkLocalDir = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ConfigurationError(f"node {self.name}: core count must be positive")
+        if self.ram_bytes <= 0:
+            raise ConfigurationError(f"node {self.name}: RAM must be positive")
+        self.local_dir = SparkLocalDir(self.local_device)
+
+    @property
+    def shares_device(self) -> bool:
+        """True when HDFS and Spark-local live on the same physical device."""
+        return self.hdfs_device is self.local_device
+
+    def device_for(self, role: str) -> StorageDevice:
+        """Device backing ``"hdfs"`` or ``"local"``."""
+        if role == "hdfs":
+            return self.hdfs_device
+        if role == "local":
+            return self.local_device
+        raise ConfigurationError(f"unknown storage role: {role!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Node({self.name}, {self.num_cores} cores,"
+            f" {self.ram_bytes / GB:.0f}GB RAM,"
+            f" hdfs={self.hdfs_device.kind}, local={self.local_device.kind})"
+        )

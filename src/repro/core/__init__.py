@@ -1,0 +1,75 @@
+"""Doppio's core contribution: the I/O-aware analytic performance model.
+
+This subpackage implements Section IV of the paper:
+
+- :mod:`repro.core.bandwidth` — effective I/O bandwidth as a function of the
+  request (block) size, the quantity Fig. 5 measures with fio.
+- :mod:`repro.core.variables` — the model variables of Section IV-A
+  (``T``, ``lambda``, ``b``, ``B``, ``t_avg``, ``BW``, ``D``, ``M``...).
+- :mod:`repro.core.breakpoints` — the break-point theory ``b = BW / T`` and
+  ``B = lambda * b`` with the three execution phases of Fig. 6.
+- :mod:`repro.core.stage_model` — Equation 1:
+  ``t_stage = max(t_scale, t_read_limit, t_write_limit)``.
+- :mod:`repro.core.app_model` — application runtime as the sum of stages.
+- :mod:`repro.core.profiler` — the four-sample-run profiling procedure of
+  Section VI-1 that derives every constant in Equation 1.
+- :mod:`repro.core.predictor` — a facade: profile once, predict any
+  configuration.
+"""
+
+from repro.core.bandwidth import EffectiveBandwidthTable
+from repro.core.variables import IoChannel, StageModelVariables
+from repro.core.breakpoints import (
+    ExecutionPhase,
+    break_point,
+    classify_phase,
+    turning_point,
+)
+from repro.core.stage_model import StageModel, StagePrediction
+from repro.core.app_model import ApplicationModel, ApplicationPrediction
+from repro.core.calibration import (
+    fit_scale_constants,
+    fit_io_delta,
+    CalibrationResult,
+)
+from repro.core.gc import (
+    fit_gc_coefficient,
+    gc_scale_term_seconds,
+    gc_seconds_per_task,
+)
+from repro.core.profiler import Profiler, ProfilingReport, SampleRun
+from repro.core.predictor import Predictor
+from repro.core.serialization import (
+    load_report,
+    report_from_dict,
+    report_to_dict,
+    save_report,
+)
+
+__all__ = [
+    "EffectiveBandwidthTable",
+    "IoChannel",
+    "StageModelVariables",
+    "ExecutionPhase",
+    "break_point",
+    "classify_phase",
+    "turning_point",
+    "StageModel",
+    "StagePrediction",
+    "ApplicationModel",
+    "ApplicationPrediction",
+    "fit_scale_constants",
+    "fit_io_delta",
+    "CalibrationResult",
+    "fit_gc_coefficient",
+    "gc_scale_term_seconds",
+    "gc_seconds_per_task",
+    "Profiler",
+    "ProfilingReport",
+    "SampleRun",
+    "Predictor",
+    "load_report",
+    "report_from_dict",
+    "report_to_dict",
+    "save_report",
+]

@@ -1,0 +1,137 @@
+"""Deriving Equation-1 constants from sample-run measurements.
+
+Section VI-1 explains that ``t_avg`` and ``delta_scale`` cannot be measured
+directly; instead the profiler measures ``t_scale`` at two different core
+counts (both chosen so that I/O is *not* the bottleneck) and solves the
+two-equation linear system::
+
+    t1 = M / (N * P1) * t_avg + delta_scale
+    t2 = M / (N * P2) * t_avg + delta_scale
+
+Likewise the I/O delta constants come from a run where the corresponding
+channel *is* the bottleneck: ``delta_io = t_measured - D / (N * BW)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProfilingError
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """The solved scale-term constants for one stage."""
+
+    t_avg: float
+    delta_scale: float
+
+
+def fit_scale_constants(
+    num_tasks: int,
+    nodes: int,
+    point_a: tuple[int, float],
+    point_b: tuple[int, float],
+) -> CalibrationResult:
+    """Solve ``t_avg`` and ``delta_scale`` from two ``(P, t_scale)`` samples.
+
+    Parameters
+    ----------
+    num_tasks:
+        ``M`` for the stage.
+    nodes:
+        ``N`` used in both sample runs.
+    point_a, point_b:
+        ``(cores_per_node, measured_stage_seconds)`` pairs from the first
+        and second sample runs (the paper uses ``P = 1`` and ``P = 2``).
+
+    Raises
+    ------
+    ProfilingError
+        If the two samples use the same core count, or the solved constants
+        are non-physical (negative ``t_avg``), which indicates the sanity
+        check "I/O is not the bottleneck" was violated.
+    """
+    (cores_a, time_a), (cores_b, time_b) = point_a, point_b
+    if cores_a <= 0 or cores_b <= 0:
+        raise ProfilingError("sample-run core counts must be positive")
+    if cores_a == cores_b:
+        raise ProfilingError(
+            "calibration needs two different core counts, got"
+            f" P={cores_a} twice"
+        )
+    if nodes <= 0:
+        raise ProfilingError(f"node count must be positive, got {nodes}")
+    if num_tasks <= 0:
+        raise ProfilingError(f"task count must be positive, got {num_tasks}")
+
+    coeff_a = num_tasks / (nodes * cores_a)
+    coeff_b = num_tasks / (nodes * cores_b)
+    t_avg = (time_a - time_b) / (coeff_a - coeff_b)
+    delta_scale = time_a - coeff_a * t_avg
+    if t_avg < 0:
+        raise ProfilingError(
+            "solved a negative t_avg"
+            f" ({t_avg:.3f}s) — the runtime did not shrink when cores"
+            " increased, so I/O was probably the bottleneck in a sample run;"
+            " re-sample with a larger/faster disk (Section VI-1)"
+        )
+    # A slightly negative delta (measurement noise) is clamped to zero; a
+    # large negative delta means the scale term does not describe the stage.
+    if delta_scale < 0:
+        if abs(delta_scale) > 0.05 * max(time_a, time_b):
+            raise ProfilingError(
+                f"solved delta_scale={delta_scale:.3f}s, more than 5% below"
+                " zero — sample runs are inconsistent with the scale model"
+            )
+        delta_scale = 0.0
+    return CalibrationResult(t_avg=t_avg, delta_scale=delta_scale)
+
+
+def fit_io_delta(
+    measured_seconds: float,
+    total_bytes: float,
+    nodes: int,
+    bandwidth: float,
+) -> float:
+    """Solve an I/O delta constant: ``delta = t_measured - D / (N * BW)``.
+
+    Used with the third/fourth sample runs where the channel is forced to be
+    the bottleneck.  A small negative residual (the transfer estimate being
+    slightly pessimistic) is clamped to zero.
+    """
+    if nodes <= 0:
+        raise ProfilingError(f"node count must be positive, got {nodes}")
+    if bandwidth <= 0:
+        raise ProfilingError(f"bandwidth must be positive, got {bandwidth}")
+    if total_bytes < 0:
+        raise ProfilingError(f"data size must be non-negative, got {total_bytes}")
+    delta = measured_seconds - total_bytes / (nodes * bandwidth)
+    return max(delta, 0.0)
+
+
+def sanity_check_not_io_bound(
+    measured_seconds: float,
+    total_bytes: float,
+    nodes: int,
+    bandwidth: float,
+    label: str = "stage",
+    margin: float = 0.02,
+) -> None:
+    """Section VI-1's sanity check: require ``t_stage > D / (N * BW)``.
+
+    The first two sample runs are only usable for solving the scale term if
+    I/O was genuinely not the bottleneck.  Raises :class:`ProfilingError`
+    when the measured time is at (or within ``margin`` of) the I/O floor —
+    a measurement *at* the floor means the device, not the CPU, paced the
+    stage.
+    """
+    if total_bytes == 0:
+        return
+    floor = total_bytes / (nodes * bandwidth)
+    if measured_seconds <= floor * (1.0 + margin):
+        raise ProfilingError(
+            f"{label}: measured {measured_seconds:.1f}s is not above the I/O"
+            f" floor {floor:.1f}s — I/O was the bottleneck; double the sampled"
+            " disk size and re-run (Section VI-1)"
+        )

@@ -1,0 +1,70 @@
+"""JVM garbage-collection overhead: the paper's acknowledged model gap.
+
+Section V-A1 notes that GATK4's MD stage does not scale with cores on SSDs
+"because the garbage collection time increases with larger P and dominates
+the execution time of MD, which is currently not included in our model and
+will be dealt with in future work."  This module is that future work.
+
+Model: concurrent tasks share one JVM heap, so allocation pressure — and
+with it each task's GC stall time — grows with the number of co-resident
+tasks ``P``.  With a per-task overhead of ``gc_coeff * P`` seconds, the
+scale term becomes::
+
+    t_scale = M / (N * P) * (t_avg + gc_coeff * P) + delta_scale
+            = M * t_avg / (N * P) + M * gc_coeff / N + delta_scale
+
+The GC contribution is *independent of P*: adding cores stops helping once
+``gc_coeff * P`` rivals ``t_avg`` — exactly the flat MD curve of Fig. 3.
+
+:func:`fit_gc_coefficient` extracts ``gc_coeff`` from one extra
+high-``P`` sample run on fast disks (a fifth profiling run), the natural
+extension of the Section VI-1 procedure.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProfilingError
+
+
+def gc_seconds_per_task(gc_coeff: float, cores_per_node: int) -> float:
+    """Per-task GC stall time at ``P`` co-resident tasks."""
+    if gc_coeff < 0:
+        raise ProfilingError("GC coefficient must be non-negative")
+    if cores_per_node <= 0:
+        raise ProfilingError("core count must be positive")
+    return gc_coeff * cores_per_node
+
+
+def gc_scale_term_seconds(
+    gc_coeff: float, num_tasks: int, nodes: int
+) -> float:
+    """The P-independent GC contribution to ``t_scale``: ``M * gc / N``."""
+    if num_tasks <= 0 or nodes <= 0:
+        raise ProfilingError("task and node counts must be positive")
+    return gc_seconds_per_task(gc_coeff, 1) * num_tasks / nodes
+
+
+def fit_gc_coefficient(
+    measured_seconds: float,
+    baseline_prediction_seconds: float,
+    num_tasks: int,
+    nodes: int,
+    min_residual_fraction: float = 0.10,
+) -> float:
+    """Solve ``gc_coeff`` from a high-P sample run on fast disks.
+
+    ``baseline_prediction_seconds`` is the GC-free Equation-1 prediction at
+    the sample run's operating point; the residual above it is attributed
+    to GC: ``gc_coeff = (measured - baseline) * N / M``.
+
+    Residuals below ``min_residual_fraction`` of the measurement are
+    treated as noise and yield 0 — most stages are not GC-bound.
+    """
+    if num_tasks <= 0 or nodes <= 0:
+        raise ProfilingError("task and node counts must be positive")
+    if measured_seconds < 0 or baseline_prediction_seconds < 0:
+        raise ProfilingError("times must be non-negative")
+    residual = measured_seconds - baseline_prediction_seconds
+    if residual <= min_residual_fraction * measured_seconds:
+        return 0.0
+    return residual * nodes / num_tasks

@@ -1,0 +1,144 @@
+"""Predictor facade: profile once, predict any configuration.
+
+Binds a device-independent :class:`~repro.core.profiler.ProfilingReport`
+to a *target* cluster: each profiled channel's effective bandwidth is
+looked up in the target device's curve at the channel's request size, and
+the resulting :class:`~repro.core.app_model.ApplicationModel` evaluates
+Equation 1 at any ``(N, P)``.
+
+This is the workflow of Sections V and VI: four sample runs on a small
+cluster, then predictions across core counts, disk types, disk sizes, and
+node counts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.app_model import ApplicationModel, ApplicationPrediction
+from repro.core.profiler import ProfilingReport, StageProfileData
+from repro.core.stage_model import StageModel
+from repro.core.variables import IoChannel, StageModelVariables
+from repro.errors import ModelError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.cluster import Cluster
+    from repro.storage.device import StorageDevice
+
+
+class Predictor:
+    """Turns a profiling report into runtime predictions for any target."""
+
+    def __init__(self, report: ProfilingReport) -> None:
+        self.report = report
+
+    def model_for_devices(
+        self,
+        devices_by_role: dict[str, StorageDevice],
+        network_bandwidth: float | None = None,
+    ) -> ApplicationModel:
+        """Build the application model for explicit per-role devices.
+
+        ``devices_by_role`` maps ``"hdfs"`` and ``"local"`` to the device
+        models of one (representative) slave node.
+
+        ``network_bandwidth`` (bytes/s per node link) enables the network
+        extension: shuffle-read bytes also cross the wire, so each
+        shuffle-read channel contributes an extra read-limit group on a
+        virtual ``"network"`` device — ``D_shuffle / (N * link_bw)``.  The
+        paper omits this term because its 10 Gb/s links never bind
+        (Section III-B1, after [5]); on slow links it dominates, as
+        Trivedi et al. [34] observed moving from 1 Gb/s to 10 Gb/s.
+        """
+        if network_bandwidth is not None and network_bandwidth <= 0:
+            raise ModelError("network bandwidth must be positive when given")
+        stage_models = [
+            StageModel(
+                self._stage_variables(stage, devices_by_role, network_bandwidth)
+            )
+            for stage in self.report.stages
+        ]
+        return ApplicationModel(self.report.workload_name, stage_models)
+
+    def model_for_cluster(self, cluster: Cluster) -> ApplicationModel:
+        """Build the application model for a (homogeneous) cluster."""
+        sample = cluster.slaves[0]
+        for node in cluster.slaves:
+            if (
+                node.hdfs_device.kind != sample.hdfs_device.kind
+                or node.local_device.kind != sample.local_device.kind
+            ):
+                raise ModelError(
+                    "prediction requires homogeneous slave storage; node"
+                    f" {node.name} differs from {sample.name}"
+                )
+        return self.model_for_devices(
+            {"hdfs": sample.hdfs_device, "local": sample.local_device}
+        )
+
+    def predict(
+        self, cluster: Cluster, cores_per_node: int
+    ) -> ApplicationPrediction:
+        """Predict the full application at ``(cluster, P)``."""
+        model = self.model_for_cluster(cluster)
+        return model.predict(cluster.num_slaves, cores_per_node)
+
+    def predict_runtime(self, cluster: Cluster, cores_per_node: int) -> float:
+        """Predicted application seconds at ``(cluster, P)``."""
+        return self.predict(cluster, cores_per_node).t_app
+
+    # -- internals -----------------------------------------------------------
+
+    def _stage_variables(
+        self,
+        stage: StageProfileData,
+        devices_by_role: dict[str, StorageDevice],
+        network_bandwidth: float | None = None,
+    ) -> StageModelVariables:
+        channels = []
+        for profile in stage.channels:
+            if profile.total_bytes == 0:
+                continue
+            try:
+                device = devices_by_role[profile.role]
+            except KeyError:
+                raise ModelError(
+                    f"stage {stage.name}: no target device for role"
+                    f" {profile.role!r}"
+                ) from None
+            bandwidth = device.bandwidth(profile.request_size, profile.is_write)
+            channels.append(
+                IoChannel(
+                    kind=profile.kind,
+                    total_bytes=profile.total_bytes,
+                    request_size=profile.request_size,
+                    bandwidth=bandwidth,
+                    is_write=profile.is_write,
+                    device=profile.role,
+                )
+            )
+            if network_bandwidth is not None and profile.kind == "shuffle_read":
+                # Reducer-side bytes also cross the network (remote
+                # fraction (N-1)/N ~ 1); a separate per-device group means
+                # the slower of disk and wire sets the read floor.
+                channels.append(
+                    IoChannel(
+                        kind=profile.kind,
+                        total_bytes=profile.total_bytes,
+                        request_size=profile.request_size,
+                        bandwidth=network_bandwidth,
+                        is_write=False,
+                        device="network",
+                    )
+                )
+        return StageModelVariables(
+            name=stage.name,
+            num_tasks=stage.num_tasks,
+            t_avg=stage.t_avg,
+            delta_scale=stage.delta_scale,
+            channels=tuple(channels),
+            delta_read=stage.delta_read,
+            delta_write=stage.delta_write,
+            fill_seconds=stage.fill_seconds,
+            gc_coeff=stage.gc_coeff,
+        )

@@ -1,0 +1,110 @@
+"""Profiling-report persistence: profile once, predict forever.
+
+The four sample runs are the expensive part of the workflow (on a real
+cluster they cost four application executions).  These helpers serialize a
+:class:`~repro.core.profiler.ProfilingReport` to plain JSON — everything
+Equation 1 needs, nothing environment-specific — so a report captured
+today parameterizes predictions in any later session, host, or CI job.
+
+Sample-run measurements are deliberately *not* serialized: they are raw
+evidence, not model constants, and contain no information the fitted
+constants do not.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.profiler import ChannelProfile, ProfilingReport, StageProfileData
+from repro.errors import ModelError
+
+#: Format marker for forward compatibility.
+FORMAT_VERSION = 1
+
+
+def report_to_dict(report: ProfilingReport) -> dict:
+    """Plain-dict form of a profiling report (JSON-ready)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "workload_name": report.workload_name,
+        "nodes": report.nodes,
+        "stages": [
+            {
+                "name": stage.name,
+                "num_tasks": stage.num_tasks,
+                "t_avg": stage.t_avg,
+                "delta_scale": stage.delta_scale,
+                "delta_read": stage.delta_read,
+                "delta_write": stage.delta_write,
+                "fill_seconds": stage.fill_seconds,
+                "gc_coeff": stage.gc_coeff,
+                "channels": [
+                    {
+                        "kind": channel.kind,
+                        "role": channel.role,
+                        "total_bytes": channel.total_bytes,
+                        "request_size": channel.request_size,
+                        "is_write": channel.is_write,
+                    }
+                    for channel in stage.channels
+                ],
+            }
+            for stage in report.stages
+        ],
+    }
+
+
+def report_from_dict(data: dict) -> ProfilingReport:
+    """Rebuild a report from :func:`report_to_dict` output."""
+    try:
+        version = data["format_version"]
+        if version != FORMAT_VERSION:
+            raise ModelError(
+                f"unsupported profiling-report format {version};"
+                f" this library reads version {FORMAT_VERSION}"
+            )
+        stages = tuple(
+            StageProfileData(
+                name=stage["name"],
+                num_tasks=int(stage["num_tasks"]),
+                t_avg=float(stage["t_avg"]),
+                delta_scale=float(stage["delta_scale"]),
+                delta_read=float(stage["delta_read"]),
+                delta_write=float(stage["delta_write"]),
+                fill_seconds=float(stage["fill_seconds"]),
+                gc_coeff=float(stage.get("gc_coeff", 0.0)),
+                channels=tuple(
+                    ChannelProfile(
+                        kind=channel["kind"],
+                        role=channel["role"],
+                        total_bytes=float(channel["total_bytes"]),
+                        request_size=float(channel["request_size"]),
+                        is_write=bool(channel["is_write"]),
+                    )
+                    for channel in stage["channels"]
+                ),
+            )
+            for stage in data["stages"]
+        )
+        return ProfilingReport(
+            workload_name=data["workload_name"],
+            nodes=int(data["nodes"]),
+            stages=stages,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ModelError(f"malformed profiling-report data: {exc}") from exc
+
+
+def save_report(report: ProfilingReport, path: str | Path) -> None:
+    """Write a report to a JSON file."""
+    Path(path).write_text(json.dumps(report_to_dict(report), indent=2))
+
+
+def load_report(path: str | Path) -> ProfilingReport:
+    """Read a report from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ModelError(f"cannot read profiling report {path}: {exc}") from exc
+    return report_from_dict(data)

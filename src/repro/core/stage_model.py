@@ -1,0 +1,159 @@
+"""Equation 1: the per-stage runtime model.
+
+For each stage ``i``::
+
+    t_stage = max(t_scale, t_read_limit, t_write_limit)
+
+    t_scale       = M / (N * P) * t_avg + delta_scale
+    t_read_limit  = D_read  / (N * BW_read)  + fill + delta_read
+    t_write_limit = D_write / (N * BW_write) + fill + delta_write
+
+``t_scale`` is the compute-bound estimate that scales with ``N * P``;
+the two limit terms are the floor set by the stage's aggregate read and
+write traffic against the effective bandwidth at the stage's request
+sizes.  Following Section IV-B's phase-3 formula (``D/(N*BW) + t_avg``),
+each limit term carries a pipeline-fill latency on top of the transfer
+floor — one task time by default, ``t_avg / K`` for stages whose tasks
+stream their I/O in K chunks.  Whichever term is largest is the stage's
+bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.variables import StageModelVariables
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class StagePrediction:
+    """The model's output for one stage at one ``(N, P)`` operating point.
+
+    All times are in seconds.  ``bottleneck`` names the term that won the
+    ``max`` in Equation 1: ``"scale"``, ``"read"`` or ``"write"``.
+    """
+
+    stage_name: str
+    nodes: int
+    cores_per_node: int
+    t_scale: float
+    t_read_limit: float
+    t_write_limit: float
+
+    @property
+    def t_stage(self) -> float:
+        """``max(t_scale, t_read_limit, t_write_limit)``."""
+        return max(self.t_scale, self.t_read_limit, self.t_write_limit)
+
+    @property
+    def bottleneck(self) -> str:
+        """Which Equation-1 term dominates this operating point."""
+        best = max(
+            ("scale", self.t_scale),
+            ("read", self.t_read_limit),
+            ("write", self.t_write_limit),
+            key=lambda item: item[1],
+        )
+        return best[0]
+
+    @property
+    def io_bound(self) -> bool:
+        """True when an I/O limit term (read or write) is the bottleneck."""
+        return self.bottleneck != "scale"
+
+
+class StageModel:
+    """Equation 1 for a single stage.
+
+    Parameters
+    ----------
+    variables:
+        The calibrated :class:`~repro.core.variables.StageModelVariables`.
+    """
+
+    def __init__(self, variables: StageModelVariables) -> None:
+        self.variables = variables
+
+    @property
+    def name(self) -> str:
+        """Stage label."""
+        return self.variables.name
+
+    def t_scale(self, nodes: int, cores_per_node: int) -> float:
+        """``M / (N * P) * (t_avg + gc * P) + delta_scale``.
+
+        The GC term (zero by default) expands to a P-independent
+        ``M * gc / N`` — the mechanism behind stages whose runtime stops
+        improving with cores on fast disks (see :mod:`repro.core.gc`).
+        """
+        self._check_operating_point(nodes, cores_per_node)
+        v = self.variables
+        per_task = v.t_avg + v.gc_coeff * cores_per_node
+        return v.num_tasks / (nodes * cores_per_node) * per_task + v.delta_scale
+
+    def t_read_limit(self, nodes: int) -> float:
+        """``D_read / (N * BW_read) + fill + delta_read`` (0 when nothing is read)."""
+        self._check_nodes(nodes)
+        v = self.variables
+        per_node = v.read_limit_seconds_per_node()
+        if per_node == 0.0:
+            return 0.0
+        return per_node / nodes + v.effective_fill_seconds + v.delta_read
+
+    def t_write_limit(self, nodes: int) -> float:
+        """``D_write / (N * BW_write) + fill + delta_write`` (0 when nothing is written)."""
+        self._check_nodes(nodes)
+        v = self.variables
+        per_node = v.write_limit_seconds_per_node()
+        if per_node == 0.0:
+            return 0.0
+        return per_node / nodes + v.effective_fill_seconds + v.delta_write
+
+    def predict(self, nodes: int, cores_per_node: int) -> StagePrediction:
+        """Evaluate Equation 1 at ``(N, P)`` and return all three terms."""
+        return StagePrediction(
+            stage_name=self.name,
+            nodes=nodes,
+            cores_per_node=cores_per_node,
+            t_scale=self.t_scale(nodes, cores_per_node),
+            t_read_limit=self.t_read_limit(nodes),
+            t_write_limit=self.t_write_limit(nodes),
+        )
+
+    def runtime(self, nodes: int, cores_per_node: int) -> float:
+        """``t_stage`` in seconds at ``(N, P)``."""
+        return self.predict(nodes, cores_per_node).t_stage
+
+    def saturation_cores(self, nodes: int) -> float | None:
+        """Cores per node past which Equation 1 stops improving, or None.
+
+        This is where ``t_scale`` crosses the larger I/O limit term: the
+        Equation-1 view of the turning point ``B``.  Returns ``None`` when
+        the stage has no I/O floor (no channels), i.e. it scales forever.
+        """
+        self._check_nodes(nodes)
+        v = self.variables
+        floor = max(self.t_read_limit(nodes), self.t_write_limit(nodes))
+        if floor <= v.delta_scale or v.t_avg == 0.0:
+            return None
+        return v.num_tasks * v.t_avg / (nodes * (floor - v.delta_scale))
+
+    def _check_operating_point(self, nodes: int, cores_per_node: int) -> None:
+        self._check_nodes(nodes)
+        if cores_per_node <= 0:
+            raise ModelError(
+                f"stage {self.name}: cores per node must be positive,"
+                f" got {cores_per_node}"
+            )
+
+    def _check_nodes(self, nodes: int) -> None:
+        if nodes <= 0:
+            raise ModelError(f"stage {self.name}: node count must be positive, got {nodes}")
+
+    def __repr__(self) -> str:
+        v = self.variables
+        return (
+            f"StageModel({v.name}: M={v.num_tasks}, t_avg={v.t_avg:.3f}s,"
+            f" D_read={v.read_bytes:.0f}B, D_write={v.write_bytes:.0f}B)"
+        )

@@ -1,0 +1,179 @@
+"""Model variable definitions (Section IV-A of the paper).
+
+The paper defines, per stage and per I/O channel:
+
+- ``T`` — I/O throughput per core when there is no bandwidth contention
+  (measured with a single-core executor on SSD).
+- ``t_avg`` — average execution time of a single task.
+- ``t_lat`` — initial latency of the pipelined batches (smaller than
+  ``t_avg``; folded into the delta constants in Equation 1).
+- ``lambda`` — ratio of entire task execution time to its I/O access time.
+- ``BW`` — effective bandwidth at the channel's average request size.
+- ``b = BW / T`` — break point in cores, after which cores contend for I/O.
+- ``B = lambda * b`` — turning point after which I/O is the bottleneck.
+- ``D`` — total data size moved on the channel.
+- ``P`` — executor cores per node; ``N`` — slave nodes; ``M`` — tasks.
+
+:class:`StageModelVariables` bundles everything Equation 1 needs for one
+stage.  The per-channel quantities live in :class:`IoChannel` so a stage can
+carry an arbitrary set of channels (HDFS read, shuffle read, persist read,
+HDFS write, shuffle write, persist write ...), of which the model uses the
+aggregate read side and write side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class IoChannel:
+    """One I/O channel of a stage (e.g. "shuffle read" or "HDFS write").
+
+    Attributes
+    ----------
+    kind:
+        Free-form label; the canonical kinds used by the library are
+        ``hdfs_read``, ``hdfs_write``, ``shuffle_read``, ``shuffle_write``,
+        ``persist_read`` and ``persist_write``.
+    total_bytes:
+        ``D`` — total bytes moved on this channel across the whole stage.
+    request_size:
+        Average request (block) size in bytes, the quantity ``iostat``
+        reports as ``avgrq-sz`` (in sectors) and that the effective
+        bandwidth tables are keyed on.
+    bandwidth:
+        ``BW`` — effective bandwidth (bytes/s) of the backing device at
+        ``request_size``, i.e. ``table.bandwidth(request_size)``.
+    is_write:
+        Whether the channel writes (True) or reads (False).
+    device:
+        Label of the backing device ("hdfs"/"local"/...).  Channels on the
+        *same* device serialize (their limit times add); channels on
+        different devices proceed in parallel (the limit is their max).
+        Defaults to the channel kind when unset.
+    """
+
+    kind: str
+    total_bytes: float
+    request_size: float
+    bandwidth: float
+    is_write: bool
+    device: str = ""
+
+    def __post_init__(self) -> None:
+        if self.total_bytes < 0:
+            raise ModelError(f"channel {self.kind}: negative data size")
+        if self.request_size <= 0:
+            raise ModelError(f"channel {self.kind}: request size must be positive")
+        if self.bandwidth <= 0:
+            raise ModelError(f"channel {self.kind}: bandwidth must be positive")
+
+    @property
+    def device_label(self) -> str:
+        """Grouping key for the per-device I/O limits."""
+        return self.device or self.kind
+
+    @property
+    def limit_seconds_per_node(self) -> float:
+        """``D / BW`` without the node count: seconds if one node moved it all."""
+        return self.total_bytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class StageModelVariables:
+    """Everything Equation 1 needs to predict one stage's runtime.
+
+    Attributes
+    ----------
+    name:
+        Stage label (``"MD"``, ``"BR"``, ``"iteration"``...).
+    num_tasks:
+        ``M`` — number of tasks / data partitions in the stage.
+    t_avg:
+        Average single-task execution time in seconds (at the no-contention
+        operating point; see :mod:`repro.core.calibration`).
+    delta_scale:
+        ``delta_scale`` — serial seconds that do not parallelize.
+    channels:
+        The stage's I/O channels.  For each direction, the limit term is
+        computed per device (channels sharing a device add their ``D/BW``
+        times) and the slowest device sets the limit (devices work in
+        parallel).
+    delta_read, delta_write:
+        Constants added to the I/O-limit terms in Equation 1.
+    """
+
+    name: str
+    num_tasks: int
+    t_avg: float
+    delta_scale: float = 0.0
+    channels: tuple[IoChannel, ...] = field(default=())
+    delta_read: float = 0.0
+    delta_write: float = 0.0
+    #: Pipeline-fill latency added to the I/O limit terms (Section IV-B's
+    #: "+ t_avg").  ``None`` means one full task time; stages whose tasks
+    #: stream their I/O in K chunks fill the pipeline after t_avg / K.
+    fill_seconds: float | None = None
+    #: JVM garbage-collection coefficient: extra seconds per task per
+    #: co-resident task.  Adds a P-independent ``M * gc / N`` term to
+    #: ``t_scale`` (see :mod:`repro.core.gc`); 0 recovers the paper's model.
+    gc_coeff: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_tasks <= 0:
+            raise ModelError(f"stage {self.name}: M must be positive")
+        if self.t_avg < 0:
+            raise ModelError(f"stage {self.name}: t_avg must be non-negative")
+        if self.fill_seconds is not None and self.fill_seconds < 0:
+            raise ModelError(f"stage {self.name}: fill time must be non-negative")
+        if self.gc_coeff < 0:
+            raise ModelError(f"stage {self.name}: gc_coeff must be non-negative")
+
+    @property
+    def effective_fill_seconds(self) -> float:
+        """Fill latency used by the limit terms (defaults to ``t_avg``)."""
+        if self.fill_seconds is None:
+            return self.t_avg
+        return self.fill_seconds
+
+    @property
+    def read_channels(self) -> tuple[IoChannel, ...]:
+        """Channels that read data."""
+        return tuple(ch for ch in self.channels if not ch.is_write)
+
+    @property
+    def write_channels(self) -> tuple[IoChannel, ...]:
+        """Channels that write data."""
+        return tuple(ch for ch in self.channels if ch.is_write)
+
+    @property
+    def read_bytes(self) -> float:
+        """``D_read`` — total bytes read in the stage."""
+        return sum(ch.total_bytes for ch in self.read_channels)
+
+    @property
+    def write_bytes(self) -> float:
+        """``D_write`` — total bytes written in the stage."""
+        return sum(ch.total_bytes for ch in self.write_channels)
+
+    def read_limit_seconds_per_node(self) -> float:
+        """Slowest-device read floor: ``max over devices of sum(D_i / BW_i)``."""
+        return _per_device_limit(self.read_channels)
+
+    def write_limit_seconds_per_node(self) -> float:
+        """Slowest-device write floor: ``max over devices of sum(D_i / BW_i)``."""
+        return _per_device_limit(self.write_channels)
+
+
+def _per_device_limit(channels: tuple[IoChannel, ...]) -> float:
+    """Sum ``D/BW`` within each device group, take the max across groups."""
+    per_device: dict[str, float] = {}
+    for channel in channels:
+        label = channel.device_label
+        per_device[label] = per_device.get(label, 0.0) + channel.limit_seconds_per_node
+    if not per_device:
+        return 0.0
+    return max(per_device.values())

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the Doppio library.
+
+Every exception raised by this package derives from :class:`DoppioError`
+so callers can catch one type at the API boundary.  Subclasses are grouped
+by subsystem; they carry plain messages and never wrap other exceptions
+silently.
+"""
+
+from __future__ import annotations
+
+
+class DoppioError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(DoppioError):
+    """A cluster, Spark, or cloud configuration is invalid or inconsistent."""
+
+
+class StorageError(DoppioError):
+    """A storage device, HDFS, or Spark-local operation failed."""
+
+
+class FileNotFoundInStoreError(StorageError):
+    """A read referenced a path that the store does not contain."""
+
+
+class SimulationError(DoppioError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class SchedulerError(DoppioError):
+    """The DAG or task scheduler could not plan the requested computation."""
+
+
+class ModelError(DoppioError):
+    """The analytic model was given unusable variables (e.g. zero bandwidth)."""
+
+
+class ProfilingError(DoppioError):
+    """A profiling sample run violated its sanity check (Section VI-1)."""
+
+
+class OptimizationError(DoppioError):
+    """The cloud cost optimizer could not find a feasible configuration."""
+
+
+class WorkloadError(DoppioError):
+    """A workload specification is malformed (e.g. negative data sizes)."""

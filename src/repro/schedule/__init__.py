@@ -1,0 +1,30 @@
+"""Prediction-driven job scheduling — the paper's suggested application.
+
+From the introduction: "in a shared cluster environment with a job
+scheduler, our performance prediction model can allow the scheduler to
+know ahead the approximating job execution time and thus enable better
+job scheduling with less job waiting time."
+
+:mod:`repro.schedule.scheduler` implements that: a batch queue on a shared
+cluster where FIFO ordering is compared against
+shortest-predicted-job-first ordering with Doppio runtimes, plus the
+oracle (true-runtime) ordering as an upper bound.
+"""
+
+from repro.schedule.scheduler import (
+    Job,
+    ScheduledJob,
+    ScheduleResult,
+    simulate_queue,
+    fifo_order,
+    spjf_order,
+)
+
+__all__ = [
+    "Job",
+    "ScheduledJob",
+    "ScheduleResult",
+    "simulate_queue",
+    "fifo_order",
+    "spjf_order",
+]

@@ -1,0 +1,148 @@
+"""A shared-cluster batch queue driven by Doppio predictions.
+
+The model: one cluster, jobs submitted at known arrival times, executed
+one at a time (a coarse but standard abstraction for capacity-bound
+clusters).  A scheduling *policy* orders the pending queue; classic
+queueing theory says shortest-job-first minimizes mean waiting time — but
+SJF needs to know job lengths ahead of time, which is exactly what the
+Doppio predictor provides without running anything.
+
+``simulate_queue`` scores a policy; :func:`spjf_order` is
+shortest-*predicted*-job-first using a runtime estimate per job.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import DoppioError
+
+
+class SchedulingError(DoppioError):
+    """A job queue or policy is malformed."""
+
+
+@dataclass(frozen=True)
+class Job:
+    """One queued job.
+
+    Attributes
+    ----------
+    name:
+        Label.
+    true_runtime:
+        Seconds the job actually takes (the simulator's measurement).
+    predicted_runtime:
+        The model's estimate, available *before* running.
+    arrival_time:
+        Submission time (seconds; batch queues use 0 for all).
+    """
+
+    name: str
+    true_runtime: float
+    predicted_runtime: float
+    arrival_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.true_runtime < 0 or self.predicted_runtime < 0:
+            raise SchedulingError(f"job {self.name}: runtimes must be non-negative")
+        if self.arrival_time < 0:
+            raise SchedulingError(f"job {self.name}: arrival must be non-negative")
+
+
+@dataclass(frozen=True)
+class ScheduledJob:
+    """A job with its realized schedule."""
+
+    job: Job
+    start_time: float
+    finish_time: float
+
+    @property
+    def waiting_time(self) -> float:
+        """Seconds between arrival and start."""
+        return self.start_time - self.job.arrival_time
+
+    @property
+    def turnaround_time(self) -> float:
+        """Seconds between arrival and completion."""
+        return self.finish_time - self.job.arrival_time
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of one policy over one job set."""
+
+    policy: str
+    scheduled: tuple[ScheduledJob, ...] = field(default=())
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """Average waiting time across jobs."""
+        if not self.scheduled:
+            raise SchedulingError("no jobs were scheduled")
+        return sum(s.waiting_time for s in self.scheduled) / len(self.scheduled)
+
+    @property
+    def mean_turnaround_time(self) -> float:
+        """Average turnaround time across jobs."""
+        if not self.scheduled:
+            raise SchedulingError("no jobs were scheduled")
+        return sum(s.turnaround_time for s in self.scheduled) / len(self.scheduled)
+
+    @property
+    def makespan(self) -> float:
+        """When the last job finishes."""
+        if not self.scheduled:
+            raise SchedulingError("no jobs were scheduled")
+        return max(s.finish_time for s in self.scheduled)
+
+
+#: A policy orders the *pending* jobs (those that have arrived and not
+#: run); the scheduler picks the first.
+Policy = Callable[[Sequence[Job]], Sequence[Job]]
+
+
+def fifo_order(pending: Sequence[Job]) -> Sequence[Job]:
+    """First-come-first-served (ties broken by name for determinism)."""
+    return sorted(pending, key=lambda job: (job.arrival_time, job.name))
+
+
+def spjf_order(pending: Sequence[Job]) -> Sequence[Job]:
+    """Shortest-predicted-job-first: the Doppio-enabled policy."""
+    return sorted(pending, key=lambda job: (job.predicted_runtime, job.name))
+
+
+def oracle_order(pending: Sequence[Job]) -> Sequence[Job]:
+    """Shortest-true-job-first: the unachievable lower bound."""
+    return sorted(pending, key=lambda job: (job.true_runtime, job.name))
+
+
+def simulate_queue(
+    jobs: Sequence[Job], policy: Policy, policy_name: str = "policy"
+) -> ScheduleResult:
+    """Run the queue to completion under ``policy``.
+
+    Non-preemptive: at each decision point the policy ranks the jobs that
+    have already arrived; if none has, the clock jumps to the next
+    arrival.
+    """
+    if not jobs:
+        raise SchedulingError("cannot schedule an empty job set")
+    remaining = list(jobs)
+    clock = 0.0
+    scheduled: list[ScheduledJob] = []
+    while remaining:
+        pending = [job for job in remaining if job.arrival_time <= clock]
+        if not pending:
+            clock = min(job.arrival_time for job in remaining)
+            continue
+        chosen = policy(pending)[0]
+        remaining.remove(chosen)
+        start = max(clock, chosen.arrival_time)
+        finish = start + chosen.true_runtime
+        scheduled.append(ScheduledJob(job=chosen, start_time=start,
+                                      finish_time=finish))
+        clock = finish
+    return ScheduleResult(policy=policy_name, scheduled=tuple(scheduled))

@@ -1,0 +1,158 @@
+"""Stage/application measurement drivers.
+
+These wrap :class:`~repro.simulator.engine.SimulationEngine` and return the
+measurement records the rest of the library consumes: the makespan (the
+"exp" bar of Figs. 7-12), per-task-group average times (``t_avg``), byte
+totals per direction, and iostat request-size samples.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import Cluster
+from repro.errors import SimulationError
+from repro.simulator.engine import SimulationEngine
+from repro.simulator.task import SimTask
+from repro.storage.iostat import IostatCollector, IostatSample
+
+
+@dataclass(frozen=True)
+class StageMeasurement:
+    """What one simulated stage run produced.
+
+    Attributes
+    ----------
+    name:
+        Stage label.
+    nodes, cores_per_node:
+        The operating point ``(N, P)``.
+    makespan:
+        Wall-clock seconds from first launch to last finish.
+    num_tasks:
+        ``M``.
+    task_avg_seconds:
+        Mean task duration per task group (e.g. GATK4's BR stage has a
+        ``"shuffle"`` and an ``"hdfs_scan"`` group).
+    first_finish_seconds:
+        When the earliest task finished — an estimate of the pipeline
+        latency ``t_lat``.
+    read_bytes / write_bytes:
+        Total bytes moved, per direction, across all tasks.
+    iostat_samples:
+        Request statistics per (device, direction) observed during the run.
+    """
+
+    name: str
+    nodes: int
+    cores_per_node: int
+    makespan: float
+    num_tasks: int
+    task_avg_seconds: dict[str, float]
+    task_counts: dict[str, int]
+    first_finish_seconds: float
+    read_bytes: float
+    write_bytes: float
+    iostat_samples: tuple[IostatSample, ...] = field(default=())
+    #: Mean per-task JVM GC stall — the task metric the GC-aware profiler
+    #: consumes (zero for GC-free workload specs).
+    avg_gc_seconds: float = 0.0
+
+    @property
+    def t_avg(self) -> float:
+        """Mean task duration across all tasks (group means weighted by count)."""
+        if not self.task_avg_seconds:
+            raise SimulationError(f"stage {self.name} measured no tasks")
+        total_time = sum(
+            self.task_avg_seconds[group] * self.task_counts[group]
+            for group in self.task_avg_seconds
+        )
+        return total_time / sum(self.task_counts.values())
+
+    def group_t_avg(self, group: str) -> float:
+        """Mean task duration of one group."""
+        try:
+            return self.task_avg_seconds[group]
+        except KeyError:
+            raise SimulationError(
+                f"stage {self.name} has no task group {group!r};"
+                f" groups: {sorted(self.task_avg_seconds)}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class ApplicationMeasurement:
+    """Measurements of a full application: stages run back to back."""
+
+    name: str
+    stages: tuple[StageMeasurement, ...]
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of stage makespans — the application runtime."""
+        return sum(stage.makespan for stage in self.stages)
+
+    def stage(self, name: str) -> StageMeasurement:
+        """Look up one stage measurement by name."""
+        for measurement in self.stages:
+            if measurement.name == name:
+                return measurement
+        raise SimulationError(f"{self.name}: no measured stage named {name!r}")
+
+
+def run_stage(
+    cluster: Cluster,
+    cores_per_node: int,
+    tasks: list[SimTask],
+    name: str = "stage",
+) -> StageMeasurement:
+    """Simulate one stage and collect its measurement record."""
+    iostat = IostatCollector()
+    engine = SimulationEngine(cluster, cores_per_node, iostat=iostat)
+    makespan = engine.run(tasks)
+
+    durations_by_group: dict[str, list[float]] = defaultdict(list)
+    for task in tasks:
+        durations_by_group[task.group].append(task.duration)
+    task_avg = {
+        group: sum(values) / len(values)
+        for group, values in durations_by_group.items()
+    }
+    task_counts = {group: len(values) for group, values in durations_by_group.items()}
+    samples = []
+    for device_name in iostat.devices():
+        for is_write in (False, True):
+            sample = iostat.sample(device_name, is_write)
+            if sample.num_requests > 0:
+                samples.append(sample)
+    return StageMeasurement(
+        name=name,
+        nodes=cluster.num_slaves,
+        cores_per_node=cores_per_node,
+        makespan=makespan,
+        num_tasks=len(tasks),
+        task_avg_seconds=task_avg,
+        task_counts=task_counts,
+        first_finish_seconds=min((t.finish_time for t in tasks), default=0.0),
+        read_bytes=sum(t.io_bytes(is_write=False) for t in tasks),
+        write_bytes=sum(t.io_bytes(is_write=True) for t in tasks),
+        iostat_samples=tuple(samples),
+        avg_gc_seconds=(
+            sum(t.gc_seconds for t in tasks) / len(tasks) if tasks else 0.0
+        ),
+    )
+
+
+def run_application(
+    cluster: Cluster,
+    cores_per_node: int,
+    staged_tasks: list[tuple[str, list[SimTask]]],
+    name: str = "app",
+) -> ApplicationMeasurement:
+    """Simulate stages sequentially (Spark stages synchronize at shuffles)."""
+    measurements = [
+        run_stage(cluster, cores_per_node, tasks, name=stage_name)
+        for stage_name, tasks in staged_tasks
+    ]
+    return ApplicationMeasurement(name=name, stages=tuple(measurements))

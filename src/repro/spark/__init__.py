@@ -1,0 +1,37 @@
+"""A functional Spark-like engine plus the framework-level models.
+
+Two halves live here:
+
+1. **Framework models** used by the performance work: executor/memory
+   configuration (:mod:`repro.spark.conf`), the storage-memory manager that
+   decides whether an RDD fits in cache (:mod:`repro.spark.memory`), and
+   the shuffle file model that explains the 30 KB reads
+   (:mod:`repro.spark.shuffle`).
+2. **A functional RDD engine** (:mod:`repro.spark.rdd`,
+   :mod:`repro.spark.dag`, :mod:`repro.spark.scheduler`,
+   :mod:`repro.spark.context`) that really executes transformations over
+   partitioned Python data — groupByKey really groups — so the library's
+   semantics can be tested end to end, and small applications can be
+   translated into workload specs automatically.
+"""
+
+from repro.spark.conf import SparkConf
+from repro.spark.memory import StorageMemoryManager, fits_in_storage_memory
+from repro.spark.shuffle import ShufflePlan, shuffle_read_request_size
+from repro.spark.rdd import RDD
+from repro.spark.context import DoppioContext
+from repro.spark.dag import build_stages, Stage
+from repro.spark.stageinfo import StageRuntimeProfile
+
+__all__ = [
+    "SparkConf",
+    "StorageMemoryManager",
+    "fits_in_storage_memory",
+    "ShufflePlan",
+    "shuffle_read_request_size",
+    "RDD",
+    "DoppioContext",
+    "build_stages",
+    "Stage",
+    "StageRuntimeProfile",
+]

@@ -1,0 +1,61 @@
+"""Spark configuration (Table II).
+
+Only the knobs the paper's analysis touches are modeled:
+
+- ``SPARK_WORKER_CORES`` — executor cores per node (``P`` when fully used);
+- ``SPARK_WORKER_MEMORY`` — executor memory per node (90 GB in Table II);
+- the storage-memory fraction — the paper assumes "around 40% of the
+  entire Spark executor memory is used as storage memory" when reasoning
+  about which RDDs can be cached (Section III-B2);
+- default parallelism — partitions for RDDs without an HDFS source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+@dataclass(frozen=True)
+class SparkConf:
+    """Immutable Spark framework configuration."""
+
+    worker_cores: int = 36
+    worker_memory_bytes: float = 90 * GB
+    storage_memory_fraction: float = 0.40
+    default_parallelism: int = 36
+
+    def __post_init__(self) -> None:
+        if self.worker_cores <= 0:
+            raise ConfigurationError("SPARK_WORKER_CORES must be positive")
+        if self.worker_memory_bytes <= 0:
+            raise ConfigurationError("SPARK_WORKER_MEMORY must be positive")
+        if not 0.0 < self.storage_memory_fraction <= 1.0:
+            raise ConfigurationError(
+                "storage memory fraction must be in (0, 1],"
+                f" got {self.storage_memory_fraction}"
+            )
+        if self.default_parallelism <= 0:
+            raise ConfigurationError("default parallelism must be positive")
+
+    @property
+    def storage_memory_bytes(self) -> float:
+        """Per-node bytes available for caching RDD partitions."""
+        return self.worker_memory_bytes * self.storage_memory_fraction
+
+    def cluster_storage_memory_bytes(self, num_slaves: int) -> float:
+        """Total cache capacity across ``num_slaves`` workers."""
+        if num_slaves <= 0:
+            raise ConfigurationError("slave count must be positive")
+        return self.storage_memory_bytes * num_slaves
+
+
+#: The exact Table II configuration.
+PAPER_SPARK_CONF = SparkConf(
+    worker_cores=36,
+    worker_memory_bytes=90 * GB,
+    storage_memory_fraction=0.40,
+    default_parallelism=36,
+)

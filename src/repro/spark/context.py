@@ -1,0 +1,70 @@
+"""DoppioContext: the functional engine's entry point (a mini SparkContext)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import SchedulerError
+from repro.spark.conf import SparkConf
+from repro.spark.rdd import RDD, SourceRDD
+from repro.spark.scheduler import LocalRuntime
+from repro.spark.stageinfo import StageRuntimeProfile
+
+
+class DoppioContext:
+    """Creates RDDs and owns the runtime that executes them.
+
+    Parameters
+    ----------
+    conf:
+        Spark configuration; the storage-memory pool size is
+        ``conf.storage_memory_bytes * num_slaves``.
+    num_slaves:
+        Modeled worker count (affects only the cache pool size here —
+        execution is in-process).
+    """
+
+    def __init__(self, conf: SparkConf | None = None, num_slaves: int = 1) -> None:
+        if num_slaves <= 0:
+            raise SchedulerError("context needs at least one slave")
+        self.conf = conf or SparkConf()
+        self.num_slaves = num_slaves
+        self.runtime = LocalRuntime(
+            storage_memory_bytes=self.conf.cluster_storage_memory_bytes(num_slaves)
+        )
+
+    def parallelize(self, data: Iterable, num_slices: int | None = None) -> RDD:
+        """Distribute a Python collection into an RDD."""
+        rows = list(data)
+        slices = self.conf.default_parallelism if num_slices is None else num_slices
+        if slices <= 0:
+            raise SchedulerError("slice count must be positive")
+        if not rows:
+            return SourceRDD(self, [[]])
+        slices = min(slices, len(rows))
+        chunk, remainder = divmod(len(rows), slices)
+        partitions: list[list] = []
+        start = 0
+        for index in range(slices):
+            size = chunk + (1 if index < remainder else 0)
+            partitions.append(rows[start : start + size])
+            start += size
+        return SourceRDD(self, partitions)
+
+    def text_file(self, lines: Sequence[str], num_slices: int | None = None) -> RDD:
+        """An RDD of text lines (the engine's stand-in for ``textFile``)."""
+        return self.parallelize(list(lines), num_slices)
+
+    def union(self, rdds: Sequence[RDD]) -> RDD:
+        """Union an arbitrary list of RDDs."""
+        if not rdds:
+            raise SchedulerError("cannot union zero RDDs")
+        result = rdds[0]
+        for other in rdds[1:]:
+            result = result.union(other)
+        return result
+
+    @property
+    def stage_profiles(self) -> list[StageRuntimeProfile]:
+        """Profiles of every stage executed so far."""
+        return self.runtime.stage_profiles

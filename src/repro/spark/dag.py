@@ -1,0 +1,91 @@
+"""Lineage-to-stage planning.
+
+Spark splits an RDD lineage graph into stages at *wide* (shuffle)
+dependencies: everything upstream of a ``ShuffledRDD`` runs as a map stage
+whose outputs are materialized as shuffle files; the shuffle's reduce side
+starts a new stage.  ``build_stages`` performs the same cut and returns
+stages in a valid execution order (parents before dependents).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulerError
+from repro.spark.rdd import RDD, ShuffledRDD
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One executable stage.
+
+    Attributes
+    ----------
+    stage_id:
+        Position in execution order.
+    boundary:
+        The RDD whose partitions the stage materializes: a
+        :class:`~repro.spark.rdd.ShuffledRDD`'s *parent* for map stages, or
+        the action's target RDD for the final (result) stage.
+    shuffle:
+        The downstream ``ShuffledRDD`` this stage feeds, or ``None`` for
+        the result stage.
+    """
+
+    stage_id: int
+    boundary: RDD
+    shuffle: ShuffledRDD | None = field(default=None)
+
+    @property
+    def num_tasks(self) -> int:
+        """One task per partition of the boundary RDD."""
+        return self.boundary.num_partitions
+
+    @property
+    def is_result_stage(self) -> bool:
+        """True for the stage that produces the action's output."""
+        return self.shuffle is None
+
+    @property
+    def name(self) -> str:
+        """Readable label."""
+        if self.shuffle is not None:
+            return f"map-stage({self.shuffle.name})"
+        return f"result-stage({self.boundary.name})"
+
+
+def shuffle_dependencies(target: RDD) -> list[ShuffledRDD]:
+    """All ShuffledRDDs reachable from ``target``, parents before children."""
+    ordered: list[ShuffledRDD] = []
+    seen: set[int] = set()
+
+    def visit(rdd: RDD) -> None:
+        if rdd.rdd_id in seen:
+            return
+        seen.add(rdd.rdd_id)
+        for parent in rdd.parents:
+            visit(parent)
+        if isinstance(rdd, ShuffledRDD):
+            ordered.append(rdd)
+
+    visit(target)
+    return ordered
+
+
+def build_stages(target: RDD) -> list[Stage]:
+    """Plan the stages needed to materialize ``target``.
+
+    Every shuffle dependency yields one map stage (over the shuffle's
+    parent); the final result stage computes ``target`` itself.  A stage's
+    own lineage stops at upstream shuffle boundaries, whose outputs are read
+    from shuffle files rather than recomputed.
+    """
+    if target is None:
+        raise SchedulerError("cannot plan stages for a null RDD")
+    stages: list[Stage] = []
+    for index, shuffled in enumerate(shuffle_dependencies(target)):
+        stages.append(
+            Stage(stage_id=index, boundary=shuffled.parents[0], shuffle=shuffled)
+        )
+    stages.append(Stage(stage_id=len(stages), boundary=target, shuffle=None))
+    return stages

@@ -1,0 +1,122 @@
+"""Storage-memory management: can an RDD be cached, and what spills.
+
+Section III-B2's analysis: caching GATK4's ``markedReads`` UnionRDD for a
+122 GB input needs ~870 GB of deserialized memory; at a 40 % storage
+fraction that is ~2.18 TB of executor memory — 25 nodes of the paper's
+hardware — so the RDD *cannot* be cached and must be persisted on disk or
+recomputed.  :func:`fits_in_storage_memory` captures that decision rule,
+and :class:`StorageMemoryManager` is the runtime version used by the
+functional engine: LRU caching with eviction-to-disk accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.spark.conf import SparkConf
+
+
+def fits_in_storage_memory(
+    rdd_bytes: float,
+    num_slaves: int,
+    conf: SparkConf,
+) -> bool:
+    """Whether an RDD's (deserialized) footprint fits in the cluster cache.
+
+    ``rdd_bytes`` must be the *runtime* (decompressed, deserialized) size,
+    which for GATK4 is ~7x the compressed on-disk size (870 GB vs. 122 GB).
+    """
+    if rdd_bytes < 0:
+        raise ConfigurationError("RDD size must be non-negative")
+    return rdd_bytes <= conf.cluster_storage_memory_bytes(num_slaves)
+
+
+def required_slaves_to_cache(
+    rdd_bytes: float,
+    conf: SparkConf,
+) -> int:
+    """How many workers it takes to cache an RDD (the paper's "25 nodes")."""
+    if rdd_bytes < 0:
+        raise ConfigurationError("RDD size must be non-negative")
+    if rdd_bytes == 0:
+        return 1
+    per_node = conf.storage_memory_bytes
+    return int(math.ceil(rdd_bytes / per_node))
+
+
+@dataclass(frozen=True)
+class EvictionEvent:
+    """One block pushed out of memory (and therefore onto Spark-local)."""
+
+    block_id: str
+    size_bytes: float
+
+
+class StorageMemoryManager:
+    """LRU cache of RDD partition blocks with eviction accounting.
+
+    This mirrors Spark's storage-memory pool: blocks are inserted on first
+    materialization; when the pool is full, least-recently-used blocks are
+    evicted.  Evicted blocks of disk-backed persistence levels land on
+    Spark-local — the I/O source the paper's persist read/write channels
+    model.
+    """
+
+    def __init__(self, capacity_bytes: float) -> None:
+        if capacity_bytes <= 0:
+            raise ConfigurationError("storage memory capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._blocks: OrderedDict[str, float] = OrderedDict()
+
+    @property
+    def used_bytes(self) -> float:
+        """Bytes currently cached."""
+        return sum(self._blocks.values())
+
+    @property
+    def free_bytes(self) -> float:
+        """Remaining pool space."""
+        return self.capacity_bytes - self.used_bytes
+
+    def contains(self, block_id: str) -> bool:
+        """Whether the block is cached (does not touch recency)."""
+        return block_id in self._blocks
+
+    def get(self, block_id: str) -> bool:
+        """Cache lookup; a hit refreshes the block's recency."""
+        if block_id not in self._blocks:
+            return False
+        self._blocks.move_to_end(block_id)
+        return True
+
+    def put(self, block_id: str, size_bytes: float) -> list[EvictionEvent]:
+        """Insert a block, evicting LRU blocks as needed.
+
+        Returns the eviction events (oldest first).  A block larger than
+        the whole pool is not cached at all — Spark skips caching such
+        blocks — and the returned list is empty.
+        """
+        if size_bytes < 0:
+            raise ConfigurationError("block size must be non-negative")
+        if block_id in self._blocks:
+            self._blocks.move_to_end(block_id)
+            return []
+        if size_bytes > self.capacity_bytes:
+            return []
+        evicted: list[EvictionEvent] = []
+        while self.used_bytes + size_bytes > self.capacity_bytes:
+            old_id, old_size = self._blocks.popitem(last=False)
+            evicted.append(EvictionEvent(block_id=old_id, size_bytes=old_size))
+        self._blocks[block_id] = size_bytes
+        return evicted
+
+    def remove(self, block_id: str) -> bool:
+        """Drop a block (unpersist); returns whether it was present."""
+        return self._blocks.pop(block_id, None) is not None
+
+    def cached_blocks(self) -> list[str]:
+        """Block ids in LRU order (least recent first)."""
+        return list(self._blocks)

@@ -1,0 +1,89 @@
+"""Partitions and partitioners for the functional RDD engine."""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import SchedulerError
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One materialized data partition."""
+
+    index: int
+    rows: tuple
+
+    @property
+    def num_rows(self) -> int:
+        """Row count."""
+        return len(self.rows)
+
+
+def estimate_bytes(rows: Iterable) -> float:
+    """Rough in-memory footprint of a row collection.
+
+    Good enough for shuffle/persist accounting in the functional engine;
+    paper-scale workloads use explicit byte sizes instead.
+    """
+    return float(sum(sys.getsizeof(row) for row in rows))
+
+
+class HashPartitioner:
+    """Spark's default partitioner: ``hash(key) % numPartitions``."""
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions <= 0:
+            raise SchedulerError("partitioner needs a positive partition count")
+        self.num_partitions = num_partitions
+
+    def partition_of(self, key) -> int:
+        """Target partition for a key."""
+        return hash(key) % self.num_partitions
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, HashPartitioner)
+            and other.num_partitions == self.num_partitions
+        )
+
+    def __hash__(self) -> int:
+        return hash(("hash", self.num_partitions))
+
+
+class RangePartitioner:
+    """Range partitioner over sorted split points (used by sortByKey)."""
+
+    def __init__(self, boundaries: Sequence) -> None:
+        self.boundaries = tuple(boundaries)
+        self.num_partitions = len(self.boundaries) + 1
+
+    def partition_of(self, key) -> int:
+        """Index of the first range whose upper boundary exceeds the key."""
+        # Linear scan: boundary lists are tiny (numPartitions - 1 entries).
+        for index, boundary in enumerate(self.boundaries):
+            if key <= boundary:
+                return index
+        return len(self.boundaries)
+
+    @staticmethod
+    def from_sample(keys: Sequence, num_partitions: int) -> "RangePartitioner":
+        """Derive balanced boundaries from a sample of keys."""
+        if num_partitions <= 0:
+            raise SchedulerError("partitioner needs a positive partition count")
+        if num_partitions == 1 or not keys:
+            return RangePartitioner(())
+        ordered = sorted(keys)
+        boundaries = []
+        for i in range(1, num_partitions):
+            position = int(round(i * len(ordered) / num_partitions)) - 1
+            position = min(max(position, 0), len(ordered) - 1)
+            boundaries.append(ordered[position])
+        # De-duplicate while preserving order to keep ranges disjoint.
+        unique = []
+        for boundary in boundaries:
+            if not unique or boundary > unique[-1]:
+                unique.append(boundary)
+        return RangePartitioner(unique)

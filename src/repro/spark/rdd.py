@@ -1,0 +1,358 @@
+"""A functional, lazily evaluated RDD.
+
+This is the semantic half of the library: transformations build a lineage
+graph; actions hand the graph to the scheduler, which splits it into
+stages at shuffle boundaries and really executes the closures over
+partitioned Python data.  ``groupByKey`` really groups; ``sortByKey``
+really sorts.  The engine exists so the reproduction's mechanisms (stage
+splitting, M x R shuffles, caching decisions) can be tested end to end
+against real data, not just modeled.
+
+The API mirrors the subset of Spark 1.6 the paper's applications use:
+``map``, ``filter``, ``flatMap``, ``mapPartitions``, ``union``,
+``groupByKey``, ``reduceByKey``, ``repartition``, ``sortByKey``,
+``persist``/``cache``, and the actions ``collect``, ``count``, ``take``,
+``reduce``, ``countByKey``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Iterable
+from typing import TYPE_CHECKING
+
+from repro.errors import SchedulerError
+from repro.spark.partition import HashPartitioner, RangePartitioner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.spark.context import DoppioContext
+
+_rdd_ids = itertools.count()
+
+#: Persistence levels supported by the engine.
+MEMORY_ONLY = "MEMORY_ONLY"
+DISK_ONLY = "DISK_ONLY"
+NONE = "NONE"
+
+
+class RDD:
+    """Base class: a lazily computed, partitioned dataset.
+
+    Subclasses define ``parents`` (lineage), ``num_partitions`` and
+    ``compute_partition`` (how to produce partition ``i`` given the
+    runtime).  User code never instantiates subclasses directly — it calls
+    transformations.
+    """
+
+    def __init__(self, context: "DoppioContext", parents: tuple["RDD", ...]) -> None:
+        self.context = context
+        self.parents = parents
+        self.rdd_id = next(_rdd_ids)
+        self.storage_level = NONE
+        self.name = type(self).__name__
+
+    # -- to be provided by subclasses ---------------------------------------
+
+    @property
+    def num_partitions(self) -> int:
+        """Partition count of this RDD."""
+        raise NotImplementedError
+
+    def compute_partition(self, index: int, runtime) -> list:
+        """Materialize partition ``index`` (narrow computation only)."""
+        raise NotImplementedError
+
+    @property
+    def is_shuffle_boundary(self) -> bool:
+        """True for RDDs whose parents are a shuffle dependency."""
+        return False
+
+    # -- persistence ----------------------------------------------------------
+
+    def persist(self, level: str = MEMORY_ONLY) -> "RDD":
+        """Mark this RDD for caching at ``level``."""
+        if level not in (MEMORY_ONLY, DISK_ONLY):
+            raise SchedulerError(f"unsupported storage level: {level!r}")
+        self.storage_level = level
+        return self
+
+    def cache(self) -> "RDD":
+        """Alias for ``persist(MEMORY_ONLY)``."""
+        return self.persist(MEMORY_ONLY)
+
+    def unpersist(self) -> "RDD":
+        """Drop the persistence mark and any cached blocks."""
+        self.storage_level = NONE
+        self.context.runtime.drop_cached(self)
+        return self
+
+    # -- transformations (narrow) --------------------------------------------
+
+    def map(self, fn: Callable) -> "RDD":
+        """Apply ``fn`` to every row."""
+        return MappedRDD(self, lambda rows: [fn(row) for row in rows], "map")
+
+    def filter(self, predicate: Callable) -> "RDD":
+        """Keep rows where ``predicate`` is truthy."""
+        return MappedRDD(
+            self, lambda rows: [row for row in rows if predicate(row)], "filter"
+        )
+
+    def flat_map(self, fn: Callable) -> "RDD":
+        """Apply ``fn`` and flatten one level."""
+        return MappedRDD(
+            self,
+            lambda rows: [item for row in rows for item in fn(row)],
+            "flatMap",
+        )
+
+    def map_partitions(self, fn: Callable[[list], Iterable]) -> "RDD":
+        """Apply ``fn`` to each whole partition."""
+        return MappedRDD(self, lambda rows: list(fn(rows)), "mapPartitions")
+
+    def key_by(self, fn: Callable) -> "RDD":
+        """Turn rows into ``(fn(row), row)`` pairs."""
+        return MappedRDD(self, lambda rows: [(fn(row), row) for row in rows], "keyBy")
+
+    def map_values(self, fn: Callable) -> "RDD":
+        """Apply ``fn`` to the value of each key/value pair."""
+        return MappedRDD(
+            self, lambda rows: [(key, fn(value)) for key, value in rows], "mapValues"
+        )
+
+    def union(self, other: "RDD") -> "RDD":
+        """Concatenate two RDDs' partition lists (no shuffle)."""
+        return UnionRDD(self, other)
+
+    # -- transformations (wide: shuffle) --------------------------------------
+
+    def group_by_key(self, num_partitions: int | None = None) -> "RDD":
+        """Group pair rows by key (the paper's Fig. 4 operation)."""
+        partitioner = HashPartitioner(num_partitions or self.num_partitions)
+        return ShuffledRDD(
+            self, partitioner, combine=_group_values, name="groupByKey"
+        )
+
+    def reduce_by_key(self, fn: Callable, num_partitions: int | None = None) -> "RDD":
+        """Merge values per key with ``fn``."""
+        partitioner = HashPartitioner(num_partitions or self.num_partitions)
+
+        def combine(pairs: list) -> list:
+            merged: dict = {}
+            for key, value in pairs:
+                merged[key] = fn(merged[key], value) if key in merged else value
+            return list(merged.items())
+
+        return ShuffledRDD(self, partitioner, combine=combine, name="reduceByKey")
+
+    def repartition(self, num_partitions: int) -> "RDD":
+        """Redistribute rows round-robin into ``num_partitions`` (a shuffle)."""
+        keyed = MappedRDD(
+            self,
+            lambda rows: [(index, row) for index, row in enumerate(rows)],
+            "repartition-key",
+        )
+        partitioner = HashPartitioner(num_partitions)
+        return ShuffledRDD(
+            keyed,
+            partitioner,
+            combine=lambda pairs: [row for _, row in pairs],
+            name="repartition",
+        )
+
+    def sort_by_key(self, num_partitions: int | None = None) -> "RDD":
+        """Globally sort pair rows by key via range partitioning (a shuffle).
+
+        The boundary sample triggers a small pre-pass job, as in Spark.
+        """
+        target = num_partitions or self.num_partitions
+        sample = [key for key, _ in self.take(10_000)]
+        partitioner = RangePartitioner.from_sample(sample, target)
+        return ShuffledRDD(
+            self,
+            partitioner,
+            combine=lambda pairs: sorted(pairs, key=lambda pair: pair[0]),
+            name="sortByKey",
+        )
+
+    def sort_by(self, key_fn: Callable, num_partitions: int | None = None) -> "RDD":
+        """Globally sort rows by ``key_fn(row)`` (a shuffle)."""
+        keyed = self.key_by(key_fn)
+        return keyed.sort_by_key(num_partitions).map(lambda pair: pair[1])
+
+    def distinct(self, num_partitions: int | None = None) -> "RDD":
+        """Deduplicate rows (a shuffle, like Spark's reduceByKey trick)."""
+        keyed = MappedRDD(self, lambda rows: [(row, None) for row in rows],
+                          "distinct-key")
+        reduced = keyed.reduce_by_key(lambda a, b: a, num_partitions)
+        return reduced.map(lambda pair: pair[0])
+
+    def cogroup(self, other: "RDD", num_partitions: int | None = None) -> "RDD":
+        """Group two pair-RDDs by key: ``(key, (left_values, right_values))``."""
+        if other.context is not self.context:
+            raise SchedulerError("cannot cogroup RDDs from different contexts")
+        left = self.map_values(lambda value: ("L", value))
+        right = other.map_values(lambda value: ("R", value))
+        target = num_partitions or max(self.num_partitions, other.num_partitions)
+
+        def split(pair):
+            key, tagged = pair
+            lefts = [value for tag, value in tagged if tag == "L"]
+            rights = [value for tag, value in tagged if tag == "R"]
+            return (key, (lefts, rights))
+
+        return left.union(right).group_by_key(target).map(split)
+
+    def join(self, other: "RDD", num_partitions: int | None = None) -> "RDD":
+        """Inner join of two pair-RDDs: ``(key, (left, right))`` pairs."""
+
+        def expand(pair):
+            key, (lefts, rights) = pair
+            return [(key, (lv, rv)) for lv in lefts for rv in rights]
+
+        return self.cogroup(other, num_partitions).flat_map(expand)
+
+    # -- actions --------------------------------------------------------------
+
+    def collect(self) -> list:
+        """Materialize every partition, in partition order."""
+        return [
+            row
+            for partition in self.context.runtime.run_job(self)
+            for row in partition
+        ]
+
+    def count(self) -> int:
+        """Number of rows."""
+        return sum(len(partition) for partition in self.context.runtime.run_job(self))
+
+    def take(self, limit: int) -> list:
+        """First ``limit`` rows in partition order."""
+        taken: list = []
+        for partition in self.context.runtime.run_job(self):
+            taken.extend(partition[: limit - len(taken)])
+            if len(taken) >= limit:
+                break
+        return taken
+
+    def reduce(self, fn: Callable):
+        """Fold all rows with ``fn``; raises on an empty RDD."""
+        rows = self.collect()
+        if not rows:
+            raise SchedulerError("reduce() of an empty RDD")
+        result = rows[0]
+        for row in rows[1:]:
+            result = fn(result, row)
+        return result
+
+    def count_by_key(self) -> dict:
+        """Count pair rows per key."""
+        counts: dict = {}
+        for key, _ in self.collect():
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def take_ordered(self, limit: int, key_fn: Callable | None = None) -> list:
+        """Smallest ``limit`` rows by ``key_fn`` (or natural order)."""
+        return sorted(self.collect(), key=key_fn)[:limit]
+
+    def glom(self) -> list[list]:
+        """Materialize partitions as lists (debug/test helper)."""
+        return self.context.runtime.run_job(self)
+
+    def __repr__(self) -> str:
+        return f"{self.name}(id={self.rdd_id}, partitions={self.num_partitions})"
+
+
+def _group_values(pairs: list) -> list:
+    grouped: dict = {}
+    for key, value in pairs:
+        grouped.setdefault(key, []).append(value)
+    return [(key, values) for key, values in grouped.items()]
+
+
+class SourceRDD(RDD):
+    """An RDD materialized from in-memory data (``parallelize``)."""
+
+    def __init__(self, context: "DoppioContext", slices: list[list]) -> None:
+        super().__init__(context, parents=())
+        if not slices:
+            raise SchedulerError("cannot build an RDD with zero partitions")
+        self._slices = [list(chunk) for chunk in slices]
+        self.name = "SourceRDD"
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._slices)
+
+    def compute_partition(self, index: int, runtime) -> list:
+        return list(self._slices[index])
+
+
+class MappedRDD(RDD):
+    """Narrow one-parent transformation applying ``fn`` per partition."""
+
+    def __init__(self, parent: RDD, fn: Callable[[list], list], name: str) -> None:
+        super().__init__(parent.context, parents=(parent,))
+        self._fn = fn
+        self.name = name
+
+    @property
+    def num_partitions(self) -> int:
+        return self.parents[0].num_partitions
+
+    def compute_partition(self, index: int, runtime) -> list:
+        return self._fn(runtime.partition_of(self.parents[0], index))
+
+
+class UnionRDD(RDD):
+    """Concatenation of two parents' partitions (narrow)."""
+
+    def __init__(self, left: RDD, right: RDD) -> None:
+        if left.context is not right.context:
+            raise SchedulerError("cannot union RDDs from different contexts")
+        super().__init__(left.context, parents=(left, right))
+        self.name = "UnionRDD"
+
+    @property
+    def num_partitions(self) -> int:
+        return self.parents[0].num_partitions + self.parents[1].num_partitions
+
+    def compute_partition(self, index: int, runtime) -> list:
+        left, right = self.parents
+        if index < left.num_partitions:
+            return runtime.partition_of(left, index)
+        return runtime.partition_of(right, index - left.num_partitions)
+
+
+class ShuffledRDD(RDD):
+    """A wide dependency: rows are redistributed by a partitioner.
+
+    ``combine`` post-processes each reduce partition (group, merge, sort).
+    The scheduler materializes the map outputs (the shuffle files) and
+    feeds each reduce partition the segments destined for it.
+    """
+
+    def __init__(
+        self,
+        parent: RDD,
+        partitioner,
+        combine: Callable[[list], list],
+        name: str,
+    ) -> None:
+        super().__init__(parent.context, parents=(parent,))
+        self.partitioner = partitioner
+        self.combine = combine
+        self.name = name
+
+    @property
+    def num_partitions(self) -> int:
+        return self.partitioner.num_partitions
+
+    @property
+    def is_shuffle_boundary(self) -> bool:
+        return True
+
+    def compute_partition(self, index: int, runtime) -> list:
+        segments = runtime.shuffle_segments_for(self, index)
+        return self.combine(segments)

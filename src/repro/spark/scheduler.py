@@ -1,0 +1,186 @@
+"""The functional engine's runtime: job execution, caching, shuffles.
+
+``LocalRuntime`` executes action jobs over the lineage graph:
+
+1. :func:`~repro.spark.dag.build_stages` plans the stages;
+2. map stages compute their boundary RDD's partitions, split every row by
+   the shuffle's partitioner and materialize the buckets as "shuffle
+   files" (an in-memory ``(shuffle, map_index) -> {reduce_index: rows}``
+   map, with byte accounting);
+3. the result stage computes the target partitions, reading shuffle
+   segments instead of recomputing across boundaries;
+4. RDDs marked ``persist()`` are cached through a
+   :class:`~repro.spark.memory.StorageMemoryManager`; memory-level blocks
+   that do not fit fall through to the disk block store, exactly the
+   spill path whose I/O the paper models.
+
+Every executed stage appends a
+:class:`~repro.spark.stageinfo.StageRuntimeProfile` to ``stage_profiles``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import SchedulerError
+from repro.spark.dag import Stage, build_stages
+from repro.spark.memory import StorageMemoryManager
+from repro.spark.partition import estimate_bytes
+from repro.spark.rdd import DISK_ONLY, MEMORY_ONLY, NONE, RDD, ShuffledRDD
+from repro.spark.stageinfo import StageRuntimeProfile
+
+
+class LocalRuntime:
+    """Executes jobs for one :class:`~repro.spark.context.DoppioContext`."""
+
+    def __init__(self, storage_memory_bytes: float) -> None:
+        self.memory = StorageMemoryManager(storage_memory_bytes)
+        # Cached partition data: block id -> rows.  Memory- and disk-level
+        # blocks live in separate maps so eviction can demote correctly.
+        self._memory_blocks: dict[str, list] = {}
+        self._disk_blocks: dict[str, list] = {}
+        # (shuffle rdd_id, map_index) -> {reduce_index: rows}
+        self._shuffle_outputs: dict[tuple[int, int], dict[int, list]] = {}
+        self._completed_shuffles: set[int] = set()
+        self.stage_profiles: list[StageRuntimeProfile] = []
+        self.disk_spill_bytes = 0.0
+
+    # -- job driver ----------------------------------------------------------
+
+    def run_job(self, target: RDD) -> list[list]:
+        """Materialize every partition of ``target``, running needed stages."""
+        stages = build_stages(target)
+        for stage in stages[:-1]:
+            assert stage.shuffle is not None
+            self._run_map_stage(stage)
+        result_stage = stages[-1]
+        partitions = [
+            self.partition_of(target, index)
+            for index in range(target.num_partitions)
+        ]
+        self.stage_profiles.append(
+            StageRuntimeProfile(
+                name=result_stage.name,
+                num_tasks=result_stage.num_tasks,
+            )
+        )
+        return partitions
+
+    # -- partition materialization --------------------------------------------
+
+    def partition_of(self, rdd: RDD, index: int) -> list:
+        """Partition ``index`` of ``rdd``, honouring the cache."""
+        if rdd.storage_level == NONE:
+            return rdd.compute_partition(index, self)
+        block_id = f"rdd_{rdd.rdd_id}_part_{index}"
+        cached = self._lookup_block(block_id)
+        if cached is not None:
+            return cached
+        rows = rdd.compute_partition(index, self)
+        self._store_block(block_id, rows, rdd.storage_level)
+        return rows
+
+    def _lookup_block(self, block_id: str) -> list | None:
+        if self.memory.get(block_id):
+            return self._memory_blocks[block_id]
+        if block_id in self._disk_blocks:
+            return self._disk_blocks[block_id]
+        return None
+
+    def _store_block(self, block_id: str, rows: list, level: str) -> None:
+        size = estimate_bytes(rows)
+        if level == MEMORY_ONLY:
+            evicted = self.memory.put(block_id, size)
+            if self.memory.contains(block_id):
+                self._memory_blocks[block_id] = rows
+            else:
+                # Too big for the pool: Spark drops MEMORY_ONLY blocks.
+                pass
+            for event in evicted:
+                # Demote evicted blocks to the disk store (spill).
+                demoted = self._memory_blocks.pop(event.block_id, None)
+                if demoted is not None:
+                    self._disk_blocks[event.block_id] = demoted
+                    self.disk_spill_bytes += event.size_bytes
+        elif level == DISK_ONLY:
+            self._disk_blocks[block_id] = rows
+            self.disk_spill_bytes += size
+        else:  # pragma: no cover - persist() validates levels
+            raise SchedulerError(f"unsupported storage level: {level!r}")
+
+    def drop_cached(self, rdd: RDD) -> None:
+        """Remove all cached blocks of an RDD (unpersist)."""
+        prefix = f"rdd_{rdd.rdd_id}_part_"
+        for block_id in [b for b in self._memory_blocks if b.startswith(prefix)]:
+            self.memory.remove(block_id)
+            del self._memory_blocks[block_id]
+        for block_id in [b for b in self._disk_blocks if b.startswith(prefix)]:
+            del self._disk_blocks[block_id]
+
+    # -- shuffle machinery ------------------------------------------------------
+
+    def _run_map_stage(self, stage: Stage) -> None:
+        shuffled = stage.shuffle
+        assert shuffled is not None
+        if shuffled.rdd_id in self._completed_shuffles:
+            return
+        parent = shuffled.parents[0]
+        partitioner = shuffled.partitioner
+        write_bytes = 0.0
+        for map_index in range(parent.num_partitions):
+            rows = self.partition_of(parent, map_index)
+            buckets: dict[int, list] = defaultdict(list)
+            for row in rows:
+                try:
+                    key = row[0]
+                except (TypeError, IndexError):
+                    raise SchedulerError(
+                        f"{shuffled.name} requires (key, value) rows;"
+                        f" got {row!r}"
+                    ) from None
+                buckets[partitioner.partition_of(key)].append(row)
+            self._shuffle_outputs[(shuffled.rdd_id, map_index)] = dict(buckets)
+            write_bytes += estimate_bytes(rows)
+        self._completed_shuffles.add(shuffled.rdd_id)
+        self.stage_profiles.append(
+            StageRuntimeProfile(
+                name=stage.name,
+                num_tasks=parent.num_partitions,
+                shuffle_write_bytes=write_bytes,
+                num_mappers=parent.num_partitions,
+                num_reducers=shuffled.num_partitions,
+            )
+        )
+
+    def shuffle_segments_for(self, shuffled: ShuffledRDD, reduce_index: int) -> list:
+        """All map-side segments destined for one reduce partition.
+
+        Mirrors a reducer touching ``M`` separate map output files
+        (Section III-C2).
+        """
+        if shuffled.rdd_id not in self._completed_shuffles:
+            raise SchedulerError(
+                f"shuffle for {shuffled.name} (rdd {shuffled.rdd_id}) has not"
+                " been materialized; run the map stage first"
+            )
+        segments: list = []
+        parent = shuffled.parents[0]
+        for map_index in range(parent.num_partitions):
+            output = self._shuffle_outputs.get((shuffled.rdd_id, map_index), {})
+            segments.extend(output.get(reduce_index, []))
+        return segments
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def cached_memory_bytes(self) -> float:
+        """Bytes currently held by the memory cache."""
+        return self.memory.used_bytes
+
+    def shuffle_segment_count(self, shuffled: ShuffledRDD) -> int:
+        """Number of non-empty (map, reduce) segments a shuffle produced."""
+        count = 0
+        for (rdd_id, _), buckets in self._shuffle_outputs.items():
+            if rdd_id == shuffled.rdd_id:
+                count += sum(1 for rows in buckets.values() if rows)
+        return count

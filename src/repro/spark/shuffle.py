@@ -1,0 +1,128 @@
+"""The shuffle file model: why shuffle read issues tiny requests.
+
+Section III-C2: with ``M`` map tasks, each mapper writes one local output
+file indexed by all ``R`` reducer ids (sort-based shuffle).  Each reducer
+then reads its segment out of *every* map file, so a reducer moving
+``reducer_bytes`` of data issues ``M`` reads of ``reducer_bytes / M`` each.
+For GATK4: 27 MB per reducer across M = 973 map files → ~30 KB per read,
+which is where HDDs lose 32x to SSDs.
+
+Shuffle *write*, in contrast, emits large sorted chunks (~365 MB in GATK4),
+where HDDs do fine — the reason the MD stage is insensitive to the local
+device even though it moves the same 334 GB.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+
+def shuffle_read_request_size(total_shuffle_bytes: float, num_mappers: int, num_reducers: int) -> float:
+    """Average size of one shuffle-read request: ``(D/R) / M``."""
+    if total_shuffle_bytes <= 0:
+        raise WorkloadError("shuffle size must be positive")
+    if num_mappers <= 0 or num_reducers <= 0:
+        raise WorkloadError("mapper and reducer counts must be positive")
+    per_reducer = total_shuffle_bytes / num_reducers
+    return per_reducer / num_mappers
+
+
+def reducers_for_target_input(total_shuffle_bytes: float, target_bytes_per_reducer: float) -> int:
+    """``R`` such that each reduce task reads ~``target_bytes_per_reducer``.
+
+    This is how GATK4 tunes its reducer count (27 MB per reducer).
+    """
+    if total_shuffle_bytes <= 0 or target_bytes_per_reducer <= 0:
+        raise WorkloadError("shuffle size and reducer target must be positive")
+    return max(1, round(total_shuffle_bytes / target_bytes_per_reducer))
+
+
+@dataclass(frozen=True)
+class ShufflePlan:
+    """Geometry of one shuffle: sizes and request sizes on both sides.
+
+    Attributes
+    ----------
+    total_bytes:
+        Bytes moved through the shuffle (Table IV's "Shuffle write" =
+        "Shuffle read" size).
+    num_mappers:
+        ``M`` — map-side tasks (one output file each).
+    num_reducers:
+        ``R`` — reduce-side tasks (one segment per map file each).
+    """
+
+    total_bytes: float
+    num_mappers: int
+    num_reducers: int
+
+    def __post_init__(self) -> None:
+        if self.total_bytes <= 0:
+            raise WorkloadError("shuffle plan needs positive total bytes")
+        if self.num_mappers <= 0 or self.num_reducers <= 0:
+            raise WorkloadError("shuffle plan needs positive mapper/reducer counts")
+
+    @property
+    def bytes_per_mapper(self) -> float:
+        """Map-side output per task — also the sorted-chunk write size."""
+        return self.total_bytes / self.num_mappers
+
+    @property
+    def bytes_per_reducer(self) -> float:
+        """Reduce-side input per task."""
+        return self.total_bytes / self.num_reducers
+
+    @property
+    def write_request_size(self) -> float:
+        """Shuffle-write request size: one sorted chunk (large)."""
+        return self.bytes_per_mapper
+
+    @property
+    def read_request_size(self) -> float:
+        """Shuffle-read request size: one segment of one map file (small)."""
+        return shuffle_read_request_size(
+            self.total_bytes, self.num_mappers, self.num_reducers
+        )
+
+    @property
+    def total_segments(self) -> int:
+        """``M * R`` — the number of distinct segments reducers fetch."""
+        return self.num_mappers * self.num_reducers
+
+    def reads_per_reducer(self) -> int:
+        """How many separate files each reducer touches (= ``M``)."""
+        return self.num_mappers
+
+    def avgrq_sz_sectors(self) -> float:
+        """Read request size in 512-byte sectors, as iostat reports it.
+
+        The paper measures ~60 sectors during GATK4's BR/SF stages.
+        """
+        return self.read_request_size / 512.0
+
+    def segments_matrix_shape(self) -> tuple[int, int]:
+        """(M, R): the logical matrix of shuffle segments."""
+        return (self.num_mappers, self.num_reducers)
+
+    @staticmethod
+    def from_reducer_target(
+        total_bytes: float, num_mappers: int, target_bytes_per_reducer: float
+    ) -> "ShufflePlan":
+        """Build a plan the way GATK4 does: fix the per-reducer input size."""
+        return ShufflePlan(
+            total_bytes=total_bytes,
+            num_mappers=num_mappers,
+            num_reducers=reducers_for_target_input(
+                total_bytes, target_bytes_per_reducer
+            ),
+        )
+
+
+def mappers_for_hdfs_input(input_bytes: float, block_size: float) -> int:
+    """``M`` for a stage reading an HDFS file: one task per block."""
+    if input_bytes <= 0 or block_size <= 0:
+        raise WorkloadError("input and block sizes must be positive")
+    return int(math.ceil(input_bytes / block_size))

@@ -1,0 +1,102 @@
+"""Runtime stage profiles produced by the functional engine.
+
+Every executed stage records what the paper's profiling runs would log:
+task count, bytes moved per channel kind, and the shuffle geometry.  The
+records can be turned into :class:`~repro.workloads.base.StageSpec` /
+``WorkloadSpec`` objects, closing the loop from *running a real (small)
+application* to *modeling it at scale*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.spark.shuffle import shuffle_read_request_size
+from repro.units import MB
+from repro.workloads.base import ChannelSpec, StageSpec, TaskGroupSpec, WorkloadSpec
+
+
+@dataclass
+class StageRuntimeProfile:
+    """Observed facts about one executed stage."""
+
+    name: str
+    num_tasks: int
+    hdfs_read_bytes: float = 0.0
+    hdfs_write_bytes: float = 0.0
+    shuffle_write_bytes: float = 0.0
+    shuffle_read_bytes: float = 0.0
+    persist_read_bytes: float = 0.0
+    persist_write_bytes: float = 0.0
+    num_mappers: int = 0
+    num_reducers: int = 0
+    compute_seconds_per_task: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    def channel_bytes(self) -> dict[str, float]:
+        """Non-zero channel totals keyed by canonical channel kind."""
+        raw = {
+            "hdfs_read": self.hdfs_read_bytes,
+            "hdfs_write": self.hdfs_write_bytes,
+            "shuffle_read": self.shuffle_read_bytes,
+            "shuffle_write": self.shuffle_write_bytes,
+            "persist_read": self.persist_read_bytes,
+            "persist_write": self.persist_write_bytes,
+        }
+        return {kind: total for kind, total in raw.items() if total > 0}
+
+    def to_stage_spec(
+        self,
+        default_request_size: float = 1 * MB,
+        throughputs: dict[str, float] | None = None,
+    ) -> StageSpec:
+        """Convert the observed profile into a modelable stage spec.
+
+        Request sizes: shuffle reads use the ``(D/R)/M`` geometry rule; the
+        other channels use ``default_request_size`` unless the profile's
+        ``extras`` carry a ``"<kind>_request_size"`` override.
+        """
+        if self.num_tasks <= 0:
+            raise WorkloadError(f"stage {self.name}: no tasks recorded")
+        reads: list[ChannelSpec] = []
+        writes: list[ChannelSpec] = []
+        for kind, total in self.channel_bytes().items():
+            per_task = total / self.num_tasks
+            request_size = self.extras.get(f"{kind}_request_size")
+            if request_size is None:
+                if kind == "shuffle_read" and self.num_mappers and self.num_reducers:
+                    request_size = shuffle_read_request_size(
+                        total, self.num_mappers, self.num_reducers
+                    )
+                else:
+                    request_size = min(per_task, default_request_size)
+            throughput = (throughputs or {}).get(kind)
+            channel = ChannelSpec(
+                kind=kind,
+                bytes_per_task=per_task,
+                request_size=request_size,
+                per_core_throughput=throughput,
+            )
+            (writes if channel.is_write else reads).append(channel)
+        group = TaskGroupSpec(
+            name="tasks",
+            count=self.num_tasks,
+            read_channels=tuple(reads),
+            compute_seconds=self.compute_seconds_per_task,
+            write_channels=tuple(writes),
+        )
+        return StageSpec(name=self.name, groups=(group,))
+
+
+def profiles_to_workload(
+    name: str, profiles: list[StageRuntimeProfile], **spec_kwargs
+) -> WorkloadSpec:
+    """Bundle executed-stage profiles into a workload spec."""
+    if not profiles:
+        raise WorkloadError("cannot build a workload from zero stage profiles")
+    return WorkloadSpec(
+        name=name,
+        stages=tuple(profile.to_stage_spec(**spec_kwargs) for profile in profiles),
+        description=f"derived from {len(profiles)} executed stages",
+    )

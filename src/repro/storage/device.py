@@ -1,0 +1,169 @@
+"""Storage device models with request-size-dependent effective bandwidth.
+
+The anchor curves below are calibrated to every number the paper reports
+for its Western Digital 7200-RPM HDD and Samsung SATA SSD (Table I and
+Section III-C):
+
+- at 30 KB requests (Spark shuffle read): HDD 15 MB/s, SSD 480 MB/s — 32x;
+- at 4 KB requests the gap is 181x;
+- at 128 MB requests (the HDFS block size) the gap is 3.7x;
+- HDD shuffle *write* at the ~365 MB sorted-chunk size ≈ 100 MB/s
+  (Section V-A1: ``BW_write = 100 MB/s``);
+- HDFS-read break points ``b = 4.3`` (HDD) and ``16`` (SSD) at a per-core
+  throughput ``T = 33 MB/s`` imply 128 MB-read bandwidths of ~142 and
+  ~525 MB/s.
+
+Intermediate request sizes interpolate in log-log space, which reproduces
+the smooth fio curves of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bandwidth import EffectiveBandwidthTable
+from repro.errors import StorageError
+from repro.units import GB, KB, MB, TB
+
+#: HDD read bandwidth anchors: seek-dominated at small requests, ~142 MB/s
+#: sequential.  (request_size_bytes, bytes_per_second)
+HDD_READ_ANCHORS: tuple[tuple[float, float], ...] = (
+    (4 * KB, 2.6 * MB),
+    (30 * KB, 15.0 * MB),
+    (128 * KB, 40.0 * MB),
+    (1 * MB, 90.0 * MB),
+    (16 * MB, 130.0 * MB),
+    (128 * MB, 142.0 * MB),
+    (512 * MB, 145.0 * MB),
+)
+
+#: SSD read bandwidth anchors: near-flat, ~480-525 MB/s.
+SSD_READ_ANCHORS: tuple[tuple[float, float], ...] = (
+    (4 * KB, 470.6 * MB),
+    (30 * KB, 480.0 * MB),
+    (128 * KB, 495.0 * MB),
+    (1 * MB, 510.0 * MB),
+    (16 * MB, 520.0 * MB),
+    (128 * MB, 525.4 * MB),
+    (512 * MB, 526.0 * MB),
+)
+
+#: HDD write bandwidth anchors; peak ~100 MB/s at the large sorted-chunk
+#: sizes shuffle write produces (Section V-A1).
+HDD_WRITE_ANCHORS: tuple[tuple[float, float], ...] = (
+    (4 * KB, 2.5 * MB),
+    (30 * KB, 14.0 * MB),
+    (128 * KB, 35.0 * MB),
+    (1 * MB, 60.0 * MB),
+    (16 * MB, 85.0 * MB),
+    (128 * MB, 98.0 * MB),
+    (512 * MB, 102.0 * MB),
+)
+
+#: SSD write bandwidth anchors (SATA datacenter SSD).
+SSD_WRITE_ANCHORS: tuple[tuple[float, float], ...] = (
+    (4 * KB, 180.0 * MB),
+    (30 * KB, 300.0 * MB),
+    (128 * KB, 340.0 * MB),
+    (1 * MB, 380.0 * MB),
+    (16 * MB, 410.0 * MB),
+    (128 * MB, 420.0 * MB),
+    (512 * MB, 425.0 * MB),
+)
+
+
+@dataclass
+class StorageDevice:
+    """A block device with request-size-dependent read/write bandwidth.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports, e.g. ``"hdd0"`` or ``"pd-ssd-500GB"``.
+    kind:
+        ``"hdd"``, ``"ssd"``, or a cloud type like ``"pd-standard"``.
+    capacity_bytes:
+        Provisioned capacity.  Filesystems check writes against it.
+    read_table / write_table:
+        :class:`~repro.core.bandwidth.EffectiveBandwidthTable` curves.
+    used_bytes:
+        Bytes currently stored on the device (maintained by the stores that
+        share it).
+    """
+
+    name: str
+    kind: str
+    capacity_bytes: float
+    read_table: EffectiveBandwidthTable
+    write_table: EffectiveBandwidthTable
+    used_bytes: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise StorageError(f"device {self.name}: capacity must be positive")
+
+    @property
+    def free_bytes(self) -> float:
+        """Capacity not yet allocated."""
+        return self.capacity_bytes - self.used_bytes
+
+    def read_bandwidth(self, request_size: float) -> float:
+        """Effective read bandwidth (bytes/s) at ``request_size``."""
+        return self.read_table.bandwidth(request_size)
+
+    def write_bandwidth(self, request_size: float) -> float:
+        """Effective write bandwidth (bytes/s) at ``request_size``."""
+        return self.write_table.bandwidth(request_size)
+
+    def bandwidth(self, request_size: float, is_write: bool) -> float:
+        """Dispatch to the read or write curve."""
+        if is_write:
+            return self.write_bandwidth(request_size)
+        return self.read_bandwidth(request_size)
+
+    def allocate(self, num_bytes: float) -> None:
+        """Reserve space for a file; raises when the device is full."""
+        if num_bytes < 0:
+            raise StorageError(f"device {self.name}: cannot allocate negative bytes")
+        if self.used_bytes + num_bytes > self.capacity_bytes:
+            raise StorageError(
+                f"device {self.name} is full: {self.used_bytes:.0f}B used of"
+                f" {self.capacity_bytes:.0f}B, cannot allocate {num_bytes:.0f}B"
+            )
+        self.used_bytes += num_bytes
+
+    def release(self, num_bytes: float) -> None:
+        """Return previously allocated space."""
+        if num_bytes < 0:
+            raise StorageError(f"device {self.name}: cannot release negative bytes")
+        if num_bytes > self.used_bytes + 1e-6:
+            raise StorageError(
+                f"device {self.name}: releasing {num_bytes:.0f}B but only"
+                f" {self.used_bytes:.0f}B is allocated"
+            )
+        self.used_bytes = max(0.0, self.used_bytes - num_bytes)
+
+    def __repr__(self) -> str:
+        return f"StorageDevice({self.name}, {self.kind}, {self.capacity_bytes / GB:.0f}GB)"
+
+
+def make_hdd(name: str = "hdd", capacity_bytes: float = 4 * TB) -> StorageDevice:
+    """The paper's HDD: WD 4000FYYZ, 7200 RPM, 4 TB (Table I)."""
+    return StorageDevice(
+        name=name,
+        kind="hdd",
+        capacity_bytes=capacity_bytes,
+        read_table=EffectiveBandwidthTable(HDD_READ_ANCHORS, name=f"{name}-read"),
+        write_table=EffectiveBandwidthTable(HDD_WRITE_ANCHORS, name=f"{name}-write"),
+    )
+
+
+def make_ssd(name: str = "ssd", capacity_bytes: float = 240 * GB) -> StorageDevice:
+    """The paper's SSD: Samsung MZ7LM240, 240 GB SATA (Table I)."""
+    return StorageDevice(
+        name=name,
+        kind="ssd",
+        capacity_bytes=capacity_bytes,
+        read_table=EffectiveBandwidthTable(SSD_READ_ANCHORS, name=f"{name}-read"),
+        write_table=EffectiveBandwidthTable(SSD_WRITE_ANCHORS, name=f"{name}-write"),
+    )

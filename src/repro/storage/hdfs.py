@@ -1,0 +1,138 @@
+"""A minimal HDFS model: files, fixed-size blocks, replication.
+
+What the rest of the library needs from HDFS (Table II: 128 MB blocks,
+replication 2):
+
+- the number of blocks of an input file — this is ``M``, the number of map
+  tasks of the stage that reads it (Section III-C2: a 122 GB genome yields
+  973 partitions);
+- capacity accounting across the slave nodes' HDFS devices, including the
+  replication factor;
+- the request size of HDFS reads and writes (one block), which selects the
+  effective bandwidth the model uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, FileNotFoundInStoreError, StorageError
+from repro.storage.device import StorageDevice
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class HdfsFile:
+    """One file stored in HDFS."""
+
+    path: str
+    size_bytes: float
+    block_size: float
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of HDFS blocks, i.e. default partitions when read by Spark."""
+        if self.size_bytes == 0:
+            return 1
+        return int(math.ceil(self.size_bytes / self.block_size))
+
+
+class Hdfs:
+    """An HDFS namespace over the slave nodes' HDFS devices.
+
+    Parameters
+    ----------
+    devices:
+        One HDFS device per slave node (the ``dfs.data.dir`` disk).
+    block_size:
+        ``dfs.blocksize``; the paper uses the 128 MB default.
+    replication:
+        ``dfs.replication``; the paper uses 2.
+    """
+
+    def __init__(
+        self,
+        devices: list[StorageDevice],
+        block_size: float = 128 * MB,
+        replication: int = 2,
+    ) -> None:
+        if not devices:
+            raise ConfigurationError("HDFS needs at least one datanode device")
+        if block_size <= 0:
+            raise ConfigurationError(f"HDFS block size must be positive, got {block_size}")
+        if replication < 1:
+            raise ConfigurationError(f"HDFS replication must be >= 1, got {replication}")
+        if replication > len(devices):
+            raise ConfigurationError(
+                f"replication {replication} exceeds datanode count {len(devices)}"
+            )
+        self.devices = list(devices)
+        self.block_size = block_size
+        self.replication = replication
+        self._files: dict[str, HdfsFile] = {}
+
+    def put(self, path: str, size_bytes: float) -> HdfsFile:
+        """Create a file, allocating ``size * replication`` across datanodes.
+
+        Space is spread evenly: HDFS's block placement is
+        round-robin-with-replicas, which for capacity purposes is an even
+        spread across datanodes.
+        """
+        if size_bytes < 0:
+            raise StorageError(f"file size must be non-negative, got {size_bytes}")
+        if path in self._files:
+            raise StorageError(f"HDFS path already exists: {path}")
+        per_device = size_bytes * self.replication / len(self.devices)
+        allocated: list[StorageDevice] = []
+        try:
+            for device in self.devices:
+                device.allocate(per_device)
+                allocated.append(device)
+        except StorageError:
+            for device in allocated:
+                device.release(per_device)
+            raise
+        hdfs_file = HdfsFile(path=path, size_bytes=size_bytes, block_size=self.block_size)
+        self._files[path] = hdfs_file
+        return hdfs_file
+
+    def get(self, path: str) -> HdfsFile:
+        """Look up a file's metadata."""
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundInStoreError(f"no such HDFS file: {path}") from None
+
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` is in the namespace."""
+        return path in self._files
+
+    def delete(self, path: str) -> None:
+        """Remove a file and free its replicated space."""
+        hdfs_file = self.get(path)
+        per_device = hdfs_file.size_bytes * self.replication / len(self.devices)
+        for device in self.devices:
+            device.release(per_device)
+        del self._files[path]
+
+    def list_files(self) -> list[HdfsFile]:
+        """All files, sorted by path."""
+        return [self._files[path] for path in sorted(self._files)]
+
+    @property
+    def total_stored_bytes(self) -> float:
+        """Logical bytes stored (before replication)."""
+        return sum(f.size_bytes for f in self._files.values())
+
+    def read_request_size(self) -> float:
+        """Request size of HDFS reads: one block."""
+        return self.block_size
+
+    def write_request_size(self) -> float:
+        """Request size of HDFS writes: one block."""
+        return self.block_size
+
+    def write_amplification(self) -> float:
+        """Bytes physically written per logical byte (the replication factor)."""
+        return float(self.replication)

@@ -1,0 +1,90 @@
+"""iostat-style request accounting.
+
+The paper uses ``iostat`` to log the average I/O request size during each
+stage (reported as ``avgrq-sz`` in 512-byte sectors) and then looks up the
+effective bandwidth at that size.  :class:`IostatCollector` plays the same
+role for simulated runs: every I/O the simulator issues is recorded here,
+and the profiler asks for the byte-weighted average request size per
+device and direction.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.units import SECTOR
+
+
+@dataclass(frozen=True)
+class IostatSample:
+    """Aggregated statistics for one (device, direction) pair."""
+
+    device_name: str
+    is_write: bool
+    total_bytes: float
+    num_requests: float
+
+    @property
+    def avg_request_size(self) -> float:
+        """Byte-weighted average request size in bytes."""
+        if self.num_requests == 0:
+            raise StorageError(
+                f"no requests recorded for {self.device_name}"
+                f" ({'write' if self.is_write else 'read'})"
+            )
+        return self.total_bytes / self.num_requests
+
+    @property
+    def avgrq_sz_sectors(self) -> float:
+        """The request size in 512-byte sectors, as iostat prints it.
+
+        The paper observes ~60 sectors (30 KB) during shuffle read.
+        """
+        return self.avg_request_size / SECTOR
+
+
+class IostatCollector:
+    """Accumulates I/O request statistics per device and direction."""
+
+    def __init__(self) -> None:
+        self._bytes: dict[tuple[str, bool], float] = defaultdict(float)
+        self._requests: dict[tuple[str, bool], float] = defaultdict(float)
+
+    def record(
+        self,
+        device_name: str,
+        total_bytes: float,
+        request_size: float,
+        is_write: bool,
+    ) -> None:
+        """Record a transfer of ``total_bytes`` issued at ``request_size``."""
+        if total_bytes < 0:
+            raise StorageError("cannot record a negative-size transfer")
+        if request_size <= 0:
+            raise StorageError("request size must be positive")
+        if total_bytes == 0:
+            return
+        key = (device_name, is_write)
+        self._bytes[key] += total_bytes
+        self._requests[key] += total_bytes / request_size
+
+    def sample(self, device_name: str, is_write: bool) -> IostatSample:
+        """Aggregated stats for one device/direction."""
+        key = (device_name, is_write)
+        return IostatSample(
+            device_name=device_name,
+            is_write=is_write,
+            total_bytes=self._bytes.get(key, 0.0),
+            num_requests=self._requests.get(key, 0.0),
+        )
+
+    def devices(self) -> list[str]:
+        """All device names with recorded traffic."""
+        return sorted({name for name, _ in self._bytes})
+
+    def reset(self) -> None:
+        """Clear all recorded statistics (start of a new stage window)."""
+        self._bytes.clear()
+        self._requests.clear()

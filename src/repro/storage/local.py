@@ -1,0 +1,90 @@
+"""The Spark-local directory (``spark.local.dir``) of one slave node.
+
+Spark keeps two kinds of data here (Section II-A):
+
+- **shuffle files** — each map task writes one sorted, partitioned output
+  file; reducers later read their segment out of every map file; and
+- **persisted RDD blocks** — partitions persisted with ``DISK_ONLY`` or
+  evicted from storage memory.
+
+This store tracks both against the node's local device capacity, and knows
+the characteristic request sizes (a reducer reads ``segment = reducer_bytes
+/ M`` per map file — the paper's 30 KB; persist I/O moves whole partition
+blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FileNotFoundInStoreError, StorageError
+from repro.storage.device import StorageDevice
+
+
+@dataclass(frozen=True)
+class LocalFile:
+    """One file in a Spark-local directory."""
+
+    name: str
+    size_bytes: float
+    kind: str  # "shuffle" or "persist"
+
+
+class SparkLocalDir:
+    """Shuffle/persist file catalog bound to one node's local device."""
+
+    SHUFFLE = "shuffle"
+    PERSIST = "persist"
+
+    def __init__(self, device: StorageDevice) -> None:
+        self.device = device
+        self._files: dict[str, LocalFile] = {}
+
+    def write(self, name: str, size_bytes: float, kind: str) -> LocalFile:
+        """Create a file of ``kind`` (``"shuffle"`` or ``"persist"``)."""
+        if kind not in (self.SHUFFLE, self.PERSIST):
+            raise StorageError(f"unknown local file kind: {kind!r}")
+        if size_bytes < 0:
+            raise StorageError(f"file size must be non-negative, got {size_bytes}")
+        if name in self._files:
+            raise StorageError(f"local file already exists: {name}")
+        self.device.allocate(size_bytes)
+        local_file = LocalFile(name=name, size_bytes=size_bytes, kind=kind)
+        self._files[name] = local_file
+        return local_file
+
+    def get(self, name: str) -> LocalFile:
+        """Look up a file."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundInStoreError(f"no such local file: {name}") from None
+
+    def exists(self, name: str) -> bool:
+        """Whether the file exists."""
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        """Remove a file, releasing its space."""
+        local_file = self.get(name)
+        self.device.release(local_file.size_bytes)
+        del self._files[name]
+
+    def clear(self, kind: str | None = None) -> None:
+        """Delete all files, or only those of one kind (end of application)."""
+        for name in list(self._files):
+            if kind is None or self._files[name].kind == kind:
+                self.delete(name)
+
+    @property
+    def used_bytes(self) -> float:
+        """Bytes held by this directory's files."""
+        return sum(f.size_bytes for f in self._files.values())
+
+    def used_bytes_of(self, kind: str) -> float:
+        """Bytes held by files of one kind."""
+        return sum(f.size_bytes for f in self._files.values() if f.kind == kind)
+
+    def list_files(self) -> list[LocalFile]:
+        """All files, sorted by name."""
+        return [self._files[name] for name in sorted(self._files)]

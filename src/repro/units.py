@@ -1,0 +1,79 @@
+"""Units and formatting helpers used across the Doppio library.
+
+All sizes inside the library are plain floats in **bytes**, all times in
+**seconds**, and all bandwidths in **bytes per second**.  The constants here
+exist so that call sites can say ``30 * KB`` or ``128 * MB`` instead of
+sprinkling magic powers of two around.
+
+The paper mixes decimal-looking labels ("128MB HDFS block") with binary
+arithmetic ("122GB * 1024 (MB/GB) / 128 (MB/HDFS block)"); we follow the
+paper and use binary (IEC) multiples throughout, which is also what HDFS and
+Spark use internally.
+"""
+
+from __future__ import annotations
+
+#: One kibibyte, in bytes.
+KB = 1024.0
+#: One mebibyte, in bytes.
+MB = 1024.0 * KB
+#: One gibibyte, in bytes.
+GB = 1024.0 * MB
+#: One tebibyte, in bytes.
+TB = 1024.0 * GB
+
+#: One second, in seconds (for symmetry in workload definitions).
+SECOND = 1.0
+#: One minute, in seconds.
+MINUTE = 60.0
+#: One hour, in seconds.
+HOUR = 3600.0
+#: Average Gregorian month, in hours.  Google Cloud bills disk space per
+#: GB-month; we convert with this constant (365.25 / 12 days).
+MONTH_HOURS = 730.5
+
+#: Disk sector size used by ``iostat`` when reporting average request sizes.
+SECTOR = 512.0
+
+_SIZE_STEPS = ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB"))
+
+
+def fmt_bytes(num_bytes: float) -> str:
+    """Render a byte count with a human-friendly IEC suffix.
+
+    >>> fmt_bytes(30 * 1024)
+    '30.0KB'
+    >>> fmt_bytes(128 * 1024 * 1024)
+    '128.0MB'
+    """
+    for step, suffix in _SIZE_STEPS:
+        if abs(num_bytes) >= step:
+            return f"{num_bytes / step:.1f}{suffix}"
+    return f"{num_bytes:.0f}B"
+
+
+def fmt_bandwidth(bytes_per_sec: float) -> str:
+    """Render a bandwidth as ``<value>MB/s`` (the unit the paper uses).
+
+    >>> fmt_bandwidth(15 * 1024 * 1024)
+    '15.0MB/s'
+    """
+    return f"{bytes_per_sec / MB:.1f}MB/s"
+
+
+def fmt_duration(seconds: float) -> str:
+    """Render a duration like the paper does (minutes for long stages).
+
+    >>> fmt_duration(126 * 60)
+    '126.0min'
+    >>> fmt_duration(42.0)
+    '42.0s'
+    """
+    if abs(seconds) >= MINUTE:
+        return f"{seconds / MINUTE:.1f}min"
+    return f"{seconds:.1f}s"
+
+
+def fmt_dollars(amount: float) -> str:
+    """Render a cost in dollars with cents, e.g. ``$4.12``."""
+    return f"${amount:.2f}"

@@ -1,0 +1,49 @@
+"""Workload models: GATK4 plus the five Section-V benchmark applications.
+
+Each workload is a :class:`~repro.workloads.base.WorkloadSpec` — an ordered
+list of stages, each stage an ordered list of task groups with per-task I/O
+channels and compute time.  The specs carry the paper's exact data sizes
+and software-path parameters (``T`` per channel, ``lambda`` per task kind),
+and can be rendered into simulator tasks or summarized for the analytic
+model.
+"""
+
+from repro.workloads.base import (
+    ChannelSpec,
+    TaskGroupSpec,
+    StageSpec,
+    WorkloadSpec,
+    CHANNEL_KINDS,
+)
+from repro.workloads.gatk4 import make_gatk4_workload, Gatk4Parameters
+from repro.workloads.logistic_regression import (
+    make_logistic_regression_workload,
+    LogisticRegressionParameters,
+)
+from repro.workloads.svm import make_svm_workload, SvmParameters
+from repro.workloads.pagerank import make_pagerank_workload, PageRankParameters
+from repro.workloads.triangle_count import (
+    make_triangle_count_workload,
+    TriangleCountParameters,
+)
+from repro.workloads.terasort import make_terasort_workload, TerasortParameters
+
+__all__ = [
+    "ChannelSpec",
+    "TaskGroupSpec",
+    "StageSpec",
+    "WorkloadSpec",
+    "CHANNEL_KINDS",
+    "make_gatk4_workload",
+    "Gatk4Parameters",
+    "make_logistic_regression_workload",
+    "LogisticRegressionParameters",
+    "make_svm_workload",
+    "SvmParameters",
+    "make_pagerank_workload",
+    "PageRankParameters",
+    "make_triangle_count_workload",
+    "TriangleCountParameters",
+    "make_terasort_workload",
+    "TerasortParameters",
+]

@@ -1,0 +1,232 @@
+"""The GATK4 workload model (Sections II-B, III, V-A).
+
+Pipeline stages, matching Fig. 1 and Table IV (sizes in GiB):
+
+========  =========  =============  ============  ==========
+stage     HDFS read  shuffle write  shuffle read  HDFS write
+========  =========  =============  ============  ==========
+MD        122        334            0             0
+BR        122        0              334           0
+SF        122        0              334           166
+========  =========  =============  ============  ==========
+
+Geometry and software-path parameters, all from the paper:
+
+- ``M = 973`` map tasks (122 GB input / 128 MB HDFS blocks);
+- each reducer reads 27 MB of shuffle data → ``R = 12 667`` reduce tasks,
+  and each shuffle-read request is ``27 MB / 973 ≈ 28 KB`` (the measured
+  ~30 KB / 60 sectors);
+- shuffle write emits one sorted chunk of ``334 GB / 973 ≈ 352 MB`` per
+  mapper (the paper quotes ~365 MB);
+- HDFS-read per-core throughput ``T = 33 MB/s`` (so the break points are
+  ``b = 142/33 = 4.3`` on HDD and ``525/33 = 16`` on SSD, as quoted);
+- shuffle-read per-core throughput ``T = 60 MB/s`` with ``lambda = 20`` in
+  BR (``b = 480/60 = 8``, ``B = 160`` on SSD) and a smaller ``lambda`` in
+  SF;
+- MD's ``lambda = 12`` against its HDFS read;
+- the BR/SF stages also rescan the 122 GB input for ``nonPrimaryReads``
+  with ``lambda = 1.3`` (I/O-dominated filter tasks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.spark.shuffle import ShufflePlan, mappers_for_hdfs_input
+from repro.units import GB, MB
+from repro.workloads.base import (
+    ChannelSpec,
+    StageSpec,
+    TaskGroupSpec,
+    WorkloadSpec,
+    compute_seconds_from_lambda,
+)
+
+
+@dataclass(frozen=True)
+class Gatk4Parameters:
+    """Tunable GATK4 workload parameters (defaults = the paper's genome).
+
+    The default input is the HCC1954 30x whole genome: 500 M read pairs,
+    122 GB compressed BAM in, 166 GB analysis-ready BAM out, 334 GB of
+    shuffle between MD and BR/SF.
+    """
+
+    input_bytes: float = 973 * 128 * MB  # ~121.6 GB -> exactly 973 blocks
+    output_bytes: float = 166 * GB
+    shuffle_bytes: float = 334 * GB
+    hdfs_block_size: float = 128 * MB
+    hdfs_replication: int = 2
+    reducer_target_bytes: float = 27 * MB
+
+    # Software-path throughputs (T, per core, uncontended).
+    hdfs_read_throughput: float = 33 * MB
+    hdfs_write_throughput: float = 40 * MB
+    shuffle_read_throughput: float = 60 * MB
+    shuffle_write_throughput: float = 50 * MB
+
+    # Task-time-to-I/O ratios (lambda).
+    md_lambda: float = 12.0  # vs. HDFS read (Section V-A1)
+    #: JVM GC pressure of the MD stage (seconds per task per co-resident
+    #: task).  The paper observes that GC dominates MD at high core counts
+    #: on SSDs but leaves it out of the model ("future work"); enable it
+    #: here to reproduce Fig. 3's flat MD curve (see repro.core.gc).
+    md_gc_coeff: float = 0.0
+    br_shuffle_lambda: float = 20.0  # vs. shuffle read (Section V-A2)
+    sf_shuffle_lambda: float = 6.0  # "in SF lambda is smaller"
+    scan_lambda: float = 1.3  # nonPrimaryReads filter tasks
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "input_bytes",
+            "output_bytes",
+            "shuffle_bytes",
+            "hdfs_block_size",
+            "reducer_target_bytes",
+            "hdfs_read_throughput",
+            "hdfs_write_throughput",
+            "shuffle_read_throughput",
+            "shuffle_write_throughput",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise WorkloadError(f"GATK4 parameter {field_name} must be positive")
+        for field_name in ("md_lambda", "br_shuffle_lambda", "sf_shuffle_lambda", "scan_lambda"):
+            if getattr(self, field_name) < 1.0:
+                raise WorkloadError(f"GATK4 parameter {field_name} must be >= 1")
+        if self.md_gc_coeff < 0:
+            raise WorkloadError("GATK4 parameter md_gc_coeff must be non-negative")
+
+    @property
+    def num_mappers(self) -> int:
+        """``M``: one map task per HDFS block of the input BAM."""
+        return mappers_for_hdfs_input(self.input_bytes, self.hdfs_block_size)
+
+    @property
+    def shuffle_plan(self) -> ShufflePlan:
+        """The MD→BR/SF shuffle geometry."""
+        return ShufflePlan.from_reducer_target(
+            total_bytes=self.shuffle_bytes,
+            num_mappers=self.num_mappers,
+            target_bytes_per_reducer=self.reducer_target_bytes,
+        )
+
+
+def _scan_group(params: Gatk4Parameters) -> TaskGroupSpec:
+    """The nonPrimaryReads rescan: M filter tasks over the HDFS input."""
+    per_task = params.input_bytes / params.num_mappers
+    read = ChannelSpec(
+        kind="hdfs_read",
+        bytes_per_task=per_task,
+        request_size=min(per_task, params.hdfs_block_size),
+        per_core_throughput=params.hdfs_read_throughput,
+    )
+    compute = compute_seconds_from_lambda(params.scan_lambda, read.uncontended_seconds())
+    return TaskGroupSpec(
+        name="hdfs_scan",
+        count=params.num_mappers,
+        read_channels=(read,),
+        compute_seconds=compute,
+    )
+
+
+def make_md_stage(params: Gatk4Parameters) -> StageSpec:
+    """MarkDuplicate: HDFS read + sort + shuffle write (a map stage)."""
+    plan = params.shuffle_plan
+    per_task_in = params.input_bytes / params.num_mappers
+    read = ChannelSpec(
+        kind="hdfs_read",
+        bytes_per_task=per_task_in,
+        request_size=min(per_task_in, params.hdfs_block_size),
+        per_core_throughput=params.hdfs_read_throughput,
+    )
+    write = ChannelSpec(
+        kind="shuffle_write",
+        bytes_per_task=plan.bytes_per_mapper,
+        request_size=plan.write_request_size,
+        per_core_throughput=params.shuffle_write_throughput,
+    )
+    compute = compute_seconds_from_lambda(params.md_lambda, read.uncontended_seconds())
+    mapper_group = TaskGroupSpec(
+        name="map",
+        count=params.num_mappers,
+        read_channels=(read,),
+        compute_seconds=compute,
+        write_channels=(write,),
+        gc_coeff=params.md_gc_coeff,
+    )
+    return StageSpec(name="MD", groups=(mapper_group,))
+
+
+def _shuffle_reduce_group(
+    params: Gatk4Parameters,
+    lam: float,
+    name: str,
+    write_channels: tuple[ChannelSpec, ...] = (),
+) -> TaskGroupSpec:
+    """A reduce-side group reading its 27 MB shuffle segment set."""
+    plan = params.shuffle_plan
+    read = ChannelSpec(
+        kind="shuffle_read",
+        bytes_per_task=plan.bytes_per_reducer,
+        request_size=plan.read_request_size,
+        per_core_throughput=params.shuffle_read_throughput,
+    )
+    compute = compute_seconds_from_lambda(lam, read.uncontended_seconds())
+    return TaskGroupSpec(
+        name=name,
+        count=plan.num_reducers,
+        read_channels=(read,),
+        compute_seconds=compute,
+        write_channels=write_channels,
+    )
+
+
+def make_br_stage(params: Gatk4Parameters) -> StageSpec:
+    """BaseRecalibrator: shuffle read (dominant) + the nonPrimaryReads scan."""
+    return StageSpec(
+        name="BR",
+        groups=(
+            _shuffle_reduce_group(params, params.br_shuffle_lambda, "shuffle"),
+            _scan_group(params),
+        ),
+    )
+
+
+def make_sf_stage(params: Gatk4Parameters) -> StageSpec:
+    """SaveAsNewAPIHadoopFile: shuffle read + HDFS write of the output BAM."""
+    plan = params.shuffle_plan
+    physical_out = params.output_bytes * params.hdfs_replication
+    per_task_out = physical_out / plan.num_reducers
+    write = ChannelSpec(
+        kind="hdfs_write",
+        bytes_per_task=per_task_out,
+        request_size=min(per_task_out, params.hdfs_block_size),
+        per_core_throughput=params.hdfs_write_throughput,
+    )
+    return StageSpec(
+        name="SF",
+        groups=(
+            _shuffle_reduce_group(
+                params, params.sf_shuffle_lambda, "shuffle", write_channels=(write,)
+            ),
+            _scan_group(params),
+        ),
+    )
+
+
+def make_gatk4_workload(params: Gatk4Parameters | None = None) -> WorkloadSpec:
+    """The full MD → BR → SF pipeline as a workload spec."""
+    params = params or Gatk4Parameters()
+    return WorkloadSpec(
+        name="GATK4",
+        stages=(make_md_stage(params), make_br_stage(params), make_sf_stage(params)),
+        description=(
+            "Spark-based Genome Analysis Toolkit: MarkDuplicate,"
+            " BaseRecalibrator, SaveAsNewAPIHadoopFile on a 30x whole genome"
+        ),
+        parameters={
+            "params": params,
+            "phase_groups": {"MD": ["MD"], "BR": ["BR"], "SF": ["SF"]},
+        },
+    )

@@ -1,0 +1,169 @@
+"""The extended GATK4 pipeline: BWA and HaplotypeCaller.
+
+The paper's conclusion: "GATK4 official release on January 2018 includes
+Burrows-Wheeler Aligner (BWA) and HaplotypeCaller (HC) in addition to
+MarkDuplicate (MD), BaseRecalibrator (BR) and SaveAsNewAPIHadoopFile (SF).
+... We consider to include BWA and HC in our future work."  This module is
+that future work, modeled with the same machinery:
+
+- **BWA** precedes MD: it reads raw FASTQ reads from HDFS (~1.8x the BAM
+  size, as FASTQ is less compact), aligns them against the reference
+  (heavily compute-bound — alignment is the classic CPU hog, lambda ~ 30),
+  and emits the aligned BAM that MD consumes.  Spark BWA implementations
+  shuffle reads to balance alignment work; we model the output as a
+  shuffle write of the aligned data.
+- **HC** follows BR: it re-reads the recalibrated reads (the same
+  markedReads lineage SF uses — a shuffle read), performs local
+  re-assembly per active region (compute-bound, lambda ~ 15), and writes
+  the called variants (a VCF, far smaller than the reads) to HDFS.
+
+Parameter values are estimates consistent with the paper's MD/BR/SF
+numbers (same genome, same T throughputs) — the paper gives no
+measurements for these stages, so treat absolute BWA/HC runtimes as
+projections, not reproductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.units import GB, MB
+from repro.workloads.base import (
+    ChannelSpec,
+    StageSpec,
+    TaskGroupSpec,
+    WorkloadSpec,
+    compute_seconds_from_lambda,
+)
+from repro.workloads.gatk4 import (
+    Gatk4Parameters,
+    make_br_stage,
+    make_md_stage,
+    make_sf_stage,
+)
+
+
+@dataclass(frozen=True)
+class ExtendedGatk4Parameters:
+    """BWA and HC additions on top of :class:`Gatk4Parameters`."""
+
+    base: Gatk4Parameters = Gatk4Parameters()
+
+    #: Raw FASTQ input is bulkier than the aligned compressed BAM.
+    fastq_bytes: float = 220 * GB
+    #: Aligned output BWA hands to MD (becomes MD's input lineage).
+    aligned_bytes: float = 973 * 128 * MB
+    bwa_lambda: float = 30.0
+
+    #: HC re-reads the recalibrated reads (same 334 GB shuffle lineage).
+    hc_lambda: float = 15.0
+    #: Called variants (VCF) are small relative to the reads.
+    vcf_bytes: float = 4 * GB
+
+    def __post_init__(self) -> None:
+        if self.fastq_bytes <= 0 or self.aligned_bytes <= 0:
+            raise WorkloadError("extended GATK4 data sizes must be positive")
+        if self.bwa_lambda < 1.0 or self.hc_lambda < 1.0:
+            raise WorkloadError("extended GATK4 lambdas must be >= 1")
+        if self.vcf_bytes < 0:
+            raise WorkloadError("VCF size must be non-negative")
+
+    @property
+    def num_bwa_tasks(self) -> int:
+        """One alignment task per FASTQ block."""
+        import math
+
+        return int(math.ceil(self.fastq_bytes / self.base.hdfs_block_size))
+
+
+def make_bwa_stage(params: ExtendedGatk4Parameters) -> StageSpec:
+    """Burrows-Wheeler alignment: FASTQ in, aligned shuffle chunks out."""
+    base = params.base
+    count = params.num_bwa_tasks
+    per_task_in = params.fastq_bytes / count
+    read = ChannelSpec(
+        kind="hdfs_read",
+        bytes_per_task=per_task_in,
+        request_size=min(per_task_in, base.hdfs_block_size),
+        per_core_throughput=base.hdfs_read_throughput,
+    )
+    per_task_out = params.aligned_bytes / count
+    write = ChannelSpec(
+        kind="shuffle_write",
+        bytes_per_task=per_task_out,
+        request_size=per_task_out,
+        per_core_throughput=base.shuffle_write_throughput,
+    )
+    return StageSpec(
+        name="BWA",
+        groups=(
+            TaskGroupSpec(
+                name="align",
+                count=count,
+                read_channels=(read,),
+                compute_seconds=compute_seconds_from_lambda(
+                    params.bwa_lambda, read.uncontended_seconds()
+                ),
+                write_channels=(write,),
+            ),
+        ),
+    )
+
+
+def make_hc_stage(params: ExtendedGatk4Parameters) -> StageSpec:
+    """HaplotypeCaller: re-read recalibrated reads, call variants."""
+    base = params.base
+    plan = base.shuffle_plan
+    read = ChannelSpec(
+        kind="shuffle_read",
+        bytes_per_task=plan.bytes_per_reducer,
+        request_size=plan.read_request_size,
+        per_core_throughput=base.shuffle_read_throughput,
+    )
+    physical_vcf = params.vcf_bytes * base.hdfs_replication
+    per_task_out = physical_vcf / plan.num_reducers
+    write = ChannelSpec(
+        kind="hdfs_write",
+        bytes_per_task=per_task_out,
+        request_size=max(per_task_out, 1.0),
+        per_core_throughput=base.hdfs_write_throughput,
+    )
+    return StageSpec(
+        name="HC",
+        groups=(
+            TaskGroupSpec(
+                name="call",
+                count=plan.num_reducers,
+                read_channels=(read,),
+                compute_seconds=compute_seconds_from_lambda(
+                    params.hc_lambda, read.uncontended_seconds()
+                ),
+                write_channels=(write,),
+            ),
+        ),
+    )
+
+
+def make_extended_gatk4_workload(
+    params: ExtendedGatk4Parameters | None = None,
+) -> WorkloadSpec:
+    """The five-stage January-2018 pipeline: BWA → MD → BR → SF → HC."""
+    params = params or ExtendedGatk4Parameters()
+    base = params.base
+    return WorkloadSpec(
+        name="GATK4-extended",
+        stages=(
+            make_bwa_stage(params),
+            make_md_stage(base),
+            make_br_stage(base),
+            make_sf_stage(base),
+            make_hc_stage(params),
+        ),
+        description=(
+            "Extended GATK4 pipeline (Jan-2018 release): BWA alignment,"
+            " MarkDuplicate, BaseRecalibrator, SaveAsNewAPIHadoopFile,"
+            " HaplotypeCaller"
+        ),
+        parameters={"params": params},
+    )

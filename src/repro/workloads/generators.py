@@ -1,0 +1,113 @@
+"""Synthetic data generators for the functional engine (SparkBench-style).
+
+These produce *small* in-memory datasets with the same statistical shape
+as the paper's benchmark inputs, for use with
+:class:`~repro.spark.context.DoppioContext` in tests and examples:
+labelled example lines for LR/SVM, edge lists for PageRank and triangle
+counting, and fixed-width records for Terasort.  All generators are
+deterministic given their seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import WorkloadError
+
+
+def _rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def generate_labelled_points(
+    num_examples: int, num_features: int, seed: int = 7
+) -> list[str]:
+    """Text lines ``label f1 f2 ...`` for LR/SVM (SparkBench format).
+
+    Labels are generated from a random linear separator plus noise so the
+    data is actually learnable.
+    """
+    if num_examples <= 0 or num_features <= 0:
+        raise WorkloadError("need positive example and feature counts")
+    rng = _rng(seed)
+    weights = [rng.uniform(-1.0, 1.0) for _ in range(num_features)]
+    lines = []
+    for _ in range(num_examples):
+        features = [rng.uniform(-1.0, 1.0) for _ in range(num_features)]
+        margin = sum(w * x for w, x in zip(weights, features))
+        label = 1 if margin + rng.gauss(0.0, 0.1) > 0 else 0
+        lines.append(f"{label} " + " ".join(f"{x:.4f}" for x in features))
+    return lines
+
+
+def generate_edge_list(
+    num_vertices: int, num_edges: int, seed: int = 11
+) -> list[tuple[int, int]]:
+    """Random directed edges (no self-loops), for PageRank/TriangleCount."""
+    if num_vertices <= 1 or num_edges <= 0:
+        raise WorkloadError("need >= 2 vertices and positive edge count")
+    rng = _rng(seed)
+    edges = []
+    while len(edges) < num_edges:
+        src = rng.randrange(num_vertices)
+        dst = rng.randrange(num_vertices)
+        if src != dst:
+            edges.append((src, dst))
+    return edges
+
+
+def generate_triangle_rich_graph(num_triangles: int, seed: int = 13) -> list[tuple[int, int]]:
+    """A graph with a known triangle count: disjoint 3-cliques.
+
+    Useful for asserting the functional triangle counter's correctness.
+    """
+    if num_triangles <= 0:
+        raise WorkloadError("need a positive triangle count")
+    edges = []
+    for t in range(num_triangles):
+        a, b, c = 3 * t, 3 * t + 1, 3 * t + 2
+        edges.extend([(a, b), (b, c), (a, c)])
+    rng = _rng(seed)
+    rng.shuffle(edges)
+    return edges
+
+
+def generate_terasort_records(num_records: int, seed: int = 17) -> list[tuple[str, str]]:
+    """``(key, payload)`` records with 10-char keys, like Teragen output."""
+    if num_records <= 0:
+        raise WorkloadError("need a positive record count")
+    rng = _rng(seed)
+    alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    records = []
+    for index in range(num_records):
+        key = "".join(rng.choice(alphabet) for _ in range(10))
+        records.append((key, f"payload-{index:08d}"))
+    return records
+
+
+def generate_genome_reads(
+    num_reads: int, read_length: int = 101, duplicate_fraction: float = 0.1, seed: int = 19
+) -> list[tuple[str, int, str]]:
+    """``(chromosome, position, sequence)`` reads with planted duplicates.
+
+    A miniature stand-in for a BAM file: ``duplicate_fraction`` of the
+    reads share alignment position with an earlier read, which is what
+    MarkDuplicate groups by (Fig. 1's groupByKey on alignment info).
+    """
+    if num_reads <= 0:
+        raise WorkloadError("need a positive read count")
+    if not 0.0 <= duplicate_fraction < 1.0:
+        raise WorkloadError("duplicate fraction must be in [0, 1)")
+    rng = _rng(seed)
+    bases = "ACGT"
+    chromosomes = [f"chr{i}" for i in range(1, 23)]
+    reads: list[tuple[str, int, str]] = []
+    for _ in range(num_reads):
+        if reads and rng.random() < duplicate_fraction:
+            chrom, pos, _ = reads[rng.randrange(len(reads))]
+        else:
+            chrom = rng.choice(chromosomes)
+            pos = rng.randrange(1, 1_000_000)
+        seq = "".join(rng.choice(bases) for _ in range(read_length))
+        reads.append((chrom, pos, seq))
+    return reads

@@ -1,0 +1,163 @@
+"""Logistic Regression (Section V-B1, Fig. 8).
+
+A typical iterative MLlib algorithm with two phases:
+
+- ``dataValidator`` — parse the HDFS input into the ``parsedData`` RDD;
+- ``iteration`` — 50 gradient passes over ``parsedData``.
+
+Two SparkBench datasets:
+
+- **small** — 1 200 M examples x 20 features; ``parsedData`` is 280 GB and
+  *fits* in the ten-slave cluster's storage memory (40 % of 10 x 90 GB =
+  360 GB), so iterations are pure compute and HDD/SSD differ only through
+  the HDFS read (up to 2x on the dataValidator phase, Fig. 8a).
+- **large** — 4 000 M examples; ``parsedData`` is 990 GB, cannot be cached,
+  and is persisted to Spark-local, so every iteration re-reads it from
+  disk at ~512 KB deserialization chunks — where the HDD/SSD gap is ~7x
+  (the paper reports 7.0x on the iteration phase, Fig. 8b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.spark.conf import SparkConf
+from repro.spark.memory import fits_in_storage_memory
+from repro.spark.shuffle import mappers_for_hdfs_input
+from repro.units import GB, KB, MB
+from repro.workloads.base import (
+    ChannelSpec,
+    StageSpec,
+    TaskGroupSpec,
+    WorkloadSpec,
+    compute_seconds_from_lambda,
+)
+
+
+@dataclass(frozen=True)
+class LogisticRegressionParameters:
+    """LR workload parameters; defaults describe the *small* dataset."""
+
+    num_examples: int = 1_200_000_000
+    num_features: int = 20
+    input_bytes: float = 240 * GB
+    parsed_rdd_bytes: float = 280 * GB
+    iterations: int = 50
+    hdfs_block_size: float = 128 * MB
+
+    hdfs_read_throughput: float = 50 * MB
+    persist_write_throughput: float = 40 * MB
+    persist_read_throughput: float = 100 * MB
+    persist_write_request_size: float = 4 * MB
+    persist_read_request_size: float = 512 * KB
+
+    validator_lambda: float = 6.4
+    iteration_lambda: float = 2.0
+    #: Per-task gradient compute when the RDD is served from memory.
+    cached_iteration_task_seconds: float = 5.6
+
+    def __post_init__(self) -> None:
+        if self.num_examples <= 0 or self.num_features <= 0:
+            raise WorkloadError("LR needs positive example/feature counts")
+        if self.input_bytes <= 0 or self.parsed_rdd_bytes <= 0:
+            raise WorkloadError("LR data sizes must be positive")
+        if self.iterations <= 0:
+            raise WorkloadError("LR iteration count must be positive")
+
+    @property
+    def num_partitions(self) -> int:
+        """Partitions of ``parsedData`` (one per HDFS input block)."""
+        return mappers_for_hdfs_input(self.input_bytes, self.hdfs_block_size)
+
+
+#: The paper's large dataset: 4 000 M examples, 990 GB parsedData.
+LARGE_DATASET = LogisticRegressionParameters(
+    num_examples=4_000_000_000,
+    input_bytes=800 * GB,
+    parsed_rdd_bytes=990 * GB,
+)
+
+
+def make_logistic_regression_workload(
+    params: LogisticRegressionParameters | None = None,
+    num_slaves: int = 10,
+    conf: SparkConf | None = None,
+) -> WorkloadSpec:
+    """Build the LR workload; caching is decided from the cluster's memory."""
+    params = params or LogisticRegressionParameters()
+    conf = conf or SparkConf()
+    cached = fits_in_storage_memory(params.parsed_rdd_bytes, num_slaves, conf)
+    partitions = params.num_partitions
+    per_task_in = params.input_bytes / partitions
+    per_task_parsed = params.parsed_rdd_bytes / partitions
+
+    hdfs_read = ChannelSpec(
+        kind="hdfs_read",
+        bytes_per_task=per_task_in,
+        request_size=min(per_task_in, params.hdfs_block_size),
+        per_core_throughput=params.hdfs_read_throughput,
+    )
+    validator_compute = compute_seconds_from_lambda(
+        params.validator_lambda, hdfs_read.uncontended_seconds()
+    )
+    validator_writes: tuple[ChannelSpec, ...] = ()
+    if not cached:
+        validator_writes = (
+            ChannelSpec(
+                kind="persist_write",
+                bytes_per_task=per_task_parsed,
+                request_size=params.persist_write_request_size,
+                per_core_throughput=params.persist_write_throughput,
+            ),
+        )
+    validator_stage = StageSpec(
+        name="dataValidator",
+        groups=(
+            TaskGroupSpec(
+                name="parse",
+                count=partitions,
+                read_channels=(hdfs_read,),
+                compute_seconds=validator_compute,
+                write_channels=validator_writes,
+            ),
+        ),
+    )
+
+    if cached:
+        iteration_group = TaskGroupSpec(
+            name="gradient",
+            count=partitions,
+            compute_seconds=params.cached_iteration_task_seconds,
+        )
+    else:
+        persist_read = ChannelSpec(
+            kind="persist_read",
+            bytes_per_task=per_task_parsed,
+            request_size=params.persist_read_request_size,
+            per_core_throughput=params.persist_read_throughput,
+        )
+        iteration_group = TaskGroupSpec(
+            name="gradient",
+            count=partitions,
+            read_channels=(persist_read,),
+            compute_seconds=compute_seconds_from_lambda(
+                params.iteration_lambda, persist_read.uncontended_seconds()
+            ),
+        )
+    iteration_stage = StageSpec(
+        name="iteration",
+        groups=(iteration_group,),
+        repeat=params.iterations,
+    )
+
+    return WorkloadSpec(
+        name="LogisticRegression",
+        stages=(validator_stage, iteration_stage),
+        description=(
+            f"MLlib logistic regression, {params.num_examples / 1e6:.0f}M examples"
+            f" x {params.num_features} features, {params.iterations} iterations,"
+            f" parsedData {'cached in memory' if cached else 'persisted on disk'}"
+        ),
+        parameters={"params": params, "cached": cached, "num_slaves": num_slaves},
+    )

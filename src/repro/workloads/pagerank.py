@@ -1,0 +1,145 @@
+"""PageRank on GraphX (Section V-B3, Fig. 10).
+
+Three phases:
+
+- ``graphLoader`` — read the edge list from HDFS, build the graph, and
+  (because the working set is 420 GB against 360 GB of cluster storage
+  memory) persist it to Spark-local;
+- ``iteration`` — 10 rank iterations, each reading the previous
+  iteration's persisted RDD and writing the next one (420 GB each way per
+  iteration, at multi-megabyte serialization chunks where the HDD/SSD
+  gap is moderate — the paper reports 2.2x on this phase);
+- ``save`` — write the final ranks to HDFS (small).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.units import GB, MB
+from repro.workloads.base import (
+    ChannelSpec,
+    StageSpec,
+    TaskGroupSpec,
+    WorkloadSpec,
+    compute_seconds_from_lambda,
+)
+
+
+@dataclass(frozen=True)
+class PageRankParameters:
+    """PageRank workload parameters (defaults = the paper's experiment)."""
+
+    num_vertices: int = 20_000_000
+    num_partitions: int = 4800
+    input_bytes: float = 50 * GB
+    graph_rdd_bytes: float = 420 * GB
+    ranks_bytes: float = 0.4 * GB
+    iterations: int = 10
+    hdfs_block_size: float = 128 * MB
+    hdfs_replication: int = 2
+
+    hdfs_read_throughput: float = 50 * MB
+    hdfs_write_throughput: float = 40 * MB
+    persist_read_throughput: float = 60 * MB
+    persist_write_throughput: float = 40 * MB
+    persist_request_size: float = 4 * MB
+
+    loader_lambda: float = 3.0
+    #: Per-task compute in one rank iteration (message aggregation).
+    iteration_compute_seconds: float = 16.6
+    save_compute_seconds: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.num_partitions <= 0:
+            raise WorkloadError("PageRank partition count must be positive")
+        if min(self.input_bytes, self.graph_rdd_bytes) <= 0:
+            raise WorkloadError("PageRank data sizes must be positive")
+        if self.iterations <= 0:
+            raise WorkloadError("PageRank iteration count must be positive")
+
+
+def make_pagerank_workload(params: PageRankParameters | None = None) -> WorkloadSpec:
+    """Build the PageRank workload spec."""
+    params = params or PageRankParameters()
+    per_task_in = params.input_bytes / params.num_partitions
+    per_task_graph = params.graph_rdd_bytes / params.num_partitions
+
+    hdfs_read = ChannelSpec(
+        kind="hdfs_read",
+        bytes_per_task=per_task_in,
+        request_size=min(per_task_in, params.hdfs_block_size),
+        per_core_throughput=params.hdfs_read_throughput,
+    )
+    persist_write = ChannelSpec(
+        kind="persist_write",
+        bytes_per_task=per_task_graph,
+        request_size=params.persist_request_size,
+        per_core_throughput=params.persist_write_throughput,
+    )
+    loader_stage = StageSpec(
+        name="graphLoader",
+        groups=(
+            TaskGroupSpec(
+                name="load",
+                count=params.num_partitions,
+                read_channels=(hdfs_read,),
+                compute_seconds=compute_seconds_from_lambda(
+                    params.loader_lambda, hdfs_read.uncontended_seconds()
+                ),
+                write_channels=(persist_write,),
+            ),
+        ),
+    )
+
+    persist_read = ChannelSpec(
+        kind="persist_read",
+        bytes_per_task=per_task_graph,
+        request_size=params.persist_request_size,
+        per_core_throughput=params.persist_read_throughput,
+    )
+    iteration_stage = StageSpec(
+        name="iteration",
+        groups=(
+            TaskGroupSpec(
+                name="rank",
+                count=params.num_partitions,
+                read_channels=(persist_read,),
+                compute_seconds=params.iteration_compute_seconds,
+                write_channels=(persist_write,),
+            ),
+        ),
+        repeat=params.iterations,
+    )
+
+    physical_out = params.ranks_bytes * params.hdfs_replication
+    per_task_out = physical_out / params.num_partitions
+    hdfs_write = ChannelSpec(
+        kind="hdfs_write",
+        bytes_per_task=per_task_out,
+        request_size=min(per_task_out, params.hdfs_block_size),
+        per_core_throughput=params.hdfs_write_throughput,
+    )
+    save_stage = StageSpec(
+        name="save",
+        groups=(
+            TaskGroupSpec(
+                name="saveAsTextFile",
+                count=params.num_partitions,
+                compute_seconds=params.save_compute_seconds,
+                write_channels=(hdfs_write,),
+            ),
+        ),
+    )
+
+    return WorkloadSpec(
+        name="PageRank",
+        stages=(loader_stage, iteration_stage, save_stage),
+        description=(
+            f"GraphX PageRank, {params.num_vertices / 1e6:.0f}M vertices,"
+            f" {params.num_partitions} partitions, {params.iterations}"
+            f" iterations over a {params.graph_rdd_bytes / GB:.0f}GB persisted graph"
+        ),
+        parameters={"params": params},
+    )

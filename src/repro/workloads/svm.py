@@ -1,0 +1,173 @@
+"""Support Vector Machine (Section V-B2, Fig. 9).
+
+Three phases:
+
+- ``dataValidator`` — parse the HDFS input (12 M samples x 1000 features,
+  1200 partitions) into an 82 GB RDD that *is* cached in memory;
+- ``iteration`` — 10 gradient passes over the cached RDD (pure compute,
+  so HDD/SSD are identical here);
+- ``subtract`` — a shuffle of 170 GB, split as in Spark into a map stage
+  (``subtract_write``, large sorted chunks) and a reduce stage
+  (``subtract_read``, small segment reads).  The paper measures a 6.2x
+  HDD/SSD gap on this phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.spark.shuffle import ShufflePlan
+from repro.units import GB, MB
+from repro.workloads.base import (
+    ChannelSpec,
+    StageSpec,
+    TaskGroupSpec,
+    WorkloadSpec,
+    compute_seconds_from_lambda,
+)
+
+
+@dataclass(frozen=True)
+class SvmParameters:
+    """SVM workload parameters (defaults = the paper's experiment)."""
+
+    num_samples: int = 12_000_000
+    num_features: int = 1000
+    num_partitions: int = 1200
+    input_bytes: float = 150 * GB
+    cached_rdd_bytes: float = 82 * GB
+    iterations: int = 10
+    shuffle_bytes: float = 170 * GB
+    num_reducers: int = 400
+    hdfs_block_size: float = 128 * MB
+
+    hdfs_read_throughput: float = 50 * MB
+    shuffle_write_throughput: float = 50 * MB
+    shuffle_read_throughput: float = 60 * MB
+
+    validator_lambda: float = 4.0
+    subtract_read_lambda: float = 1.5
+    #: Per-task gradient compute on the in-memory cached RDD.
+    iteration_task_seconds: float = 3.0
+    #: Map-side compute before the shuffle spill.
+    subtract_map_compute_seconds: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.num_partitions <= 0 or self.num_reducers <= 0:
+            raise WorkloadError("SVM partition/reducer counts must be positive")
+        if min(self.input_bytes, self.cached_rdd_bytes, self.shuffle_bytes) <= 0:
+            raise WorkloadError("SVM data sizes must be positive")
+        if self.iterations <= 0:
+            raise WorkloadError("SVM iteration count must be positive")
+
+    @property
+    def shuffle_plan(self) -> ShufflePlan:
+        """Geometry of the subtract shuffle."""
+        return ShufflePlan(
+            total_bytes=self.shuffle_bytes,
+            num_mappers=self.num_partitions,
+            num_reducers=self.num_reducers,
+        )
+
+
+def make_svm_workload(params: SvmParameters | None = None) -> WorkloadSpec:
+    """Build the SVM workload spec."""
+    params = params or SvmParameters()
+    plan = params.shuffle_plan
+    per_task_in = params.input_bytes / params.num_partitions
+
+    hdfs_read = ChannelSpec(
+        kind="hdfs_read",
+        bytes_per_task=per_task_in,
+        request_size=min(per_task_in, params.hdfs_block_size),
+        per_core_throughput=params.hdfs_read_throughput,
+    )
+    validator_stage = StageSpec(
+        name="dataValidator",
+        groups=(
+            TaskGroupSpec(
+                name="parse",
+                count=params.num_partitions,
+                read_channels=(hdfs_read,),
+                compute_seconds=compute_seconds_from_lambda(
+                    params.validator_lambda, hdfs_read.uncontended_seconds()
+                ),
+            ),
+        ),
+    )
+
+    iteration_stage = StageSpec(
+        name="iteration",
+        groups=(
+            TaskGroupSpec(
+                name="gradient",
+                count=params.num_partitions,
+                compute_seconds=params.iteration_task_seconds,
+            ),
+        ),
+        repeat=params.iterations,
+    )
+
+    shuffle_write = ChannelSpec(
+        kind="shuffle_write",
+        bytes_per_task=plan.bytes_per_mapper,
+        request_size=plan.write_request_size,
+        per_core_throughput=params.shuffle_write_throughput,
+    )
+    subtract_write_stage = StageSpec(
+        name="subtract_write",
+        groups=(
+            TaskGroupSpec(
+                name="map",
+                count=params.num_partitions,
+                compute_seconds=params.subtract_map_compute_seconds,
+                write_channels=(shuffle_write,),
+            ),
+        ),
+    )
+
+    shuffle_read = ChannelSpec(
+        kind="shuffle_read",
+        bytes_per_task=plan.bytes_per_reducer,
+        request_size=plan.read_request_size,
+        per_core_throughput=params.shuffle_read_throughput,
+    )
+    subtract_read_stage = StageSpec(
+        name="subtract_read",
+        groups=(
+            TaskGroupSpec(
+                name="reduce",
+                count=params.num_reducers,
+                read_channels=(shuffle_read,),
+                compute_seconds=compute_seconds_from_lambda(
+                    params.subtract_read_lambda, shuffle_read.uncontended_seconds()
+                ),
+                # Reducers merge while fetching (streamed shuffle read).
+                stream_chunks=8,
+            ),
+        ),
+    )
+
+    return WorkloadSpec(
+        name="SVM",
+        stages=(
+            validator_stage,
+            iteration_stage,
+            subtract_write_stage,
+            subtract_read_stage,
+        ),
+        description=(
+            f"MLlib SVM, {params.num_samples / 1e6:.0f}M samples x"
+            f" {params.num_features} features, {params.iterations} iterations,"
+            f" {params.shuffle_bytes / GB:.0f}GB subtract shuffle"
+        ),
+        parameters={
+            "params": params,
+            "phase_groups": {
+                "dataValidator": ["dataValidator"],
+                "iteration": ["iteration"],
+                "subtract": ["subtract_write", "subtract_read"],
+            },
+        },
+    )

@@ -1,0 +1,145 @@
+"""Terasort (Section V-B5, Fig. 12).
+
+A shuffle-heavy two-stage sort of 10 billion 100-byte records (930 GB):
+
+- ``NF`` (newAPIHadoopFile) — read records from HDFS, range-partition,
+  and spill the full dataset to Spark-local as sorted shuffle chunks;
+- ``SF`` (saveAsNewAPIHadoopFile) — each reduce task fetches its range
+  (issuing sub-megabyte segment reads against every map output), sorts it,
+  and writes the output to HDFS.
+
+The paper reports a ~2.6x gap between HDD and SSD as Spark-local on this
+workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.spark.shuffle import ShufflePlan, mappers_for_hdfs_input
+from repro.units import GB, MB
+from repro.workloads.base import (
+    ChannelSpec,
+    StageSpec,
+    TaskGroupSpec,
+    WorkloadSpec,
+    compute_seconds_from_lambda,
+)
+
+
+@dataclass(frozen=True)
+class TerasortParameters:
+    """Terasort workload parameters (defaults = the paper's dataset)."""
+
+    num_records: int = 10_000_000_000
+    record_bytes: int = 100
+    total_bytes: float = 930 * GB
+    num_reducers: int = 360
+    hdfs_block_size: float = 128 * MB
+    hdfs_replication: int = 2
+
+    hdfs_read_throughput: float = 33 * MB
+    hdfs_write_throughput: float = 40 * MB
+    shuffle_write_throughput: float = 50 * MB
+    shuffle_read_throughput: float = 60 * MB
+
+    nf_lambda: float = 4.0
+    sf_lambda: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.total_bytes <= 0:
+            raise WorkloadError("Terasort total size must be positive")
+        if self.num_reducers <= 0:
+            raise WorkloadError("Terasort reducer count must be positive")
+
+    @property
+    def num_mappers(self) -> int:
+        """One map task per HDFS block of the input."""
+        return mappers_for_hdfs_input(self.total_bytes, self.hdfs_block_size)
+
+    @property
+    def shuffle_plan(self) -> ShufflePlan:
+        """Geometry of the range-partitioning shuffle."""
+        return ShufflePlan(
+            total_bytes=self.total_bytes,
+            num_mappers=self.num_mappers,
+            num_reducers=self.num_reducers,
+        )
+
+
+def make_terasort_workload(params: TerasortParameters | None = None) -> WorkloadSpec:
+    """Build the Terasort workload spec."""
+    params = params or TerasortParameters()
+    plan = params.shuffle_plan
+    per_task_in = params.total_bytes / params.num_mappers
+
+    hdfs_read = ChannelSpec(
+        kind="hdfs_read",
+        bytes_per_task=per_task_in,
+        request_size=min(per_task_in, params.hdfs_block_size),
+        per_core_throughput=params.hdfs_read_throughput,
+    )
+    shuffle_write = ChannelSpec(
+        kind="shuffle_write",
+        bytes_per_task=plan.bytes_per_mapper,
+        request_size=plan.write_request_size,
+        per_core_throughput=params.shuffle_write_throughput,
+    )
+    nf_stage = StageSpec(
+        name="NF",
+        groups=(
+            TaskGroupSpec(
+                name="map",
+                count=params.num_mappers,
+                read_channels=(hdfs_read,),
+                compute_seconds=compute_seconds_from_lambda(
+                    params.nf_lambda, hdfs_read.uncontended_seconds()
+                ),
+                write_channels=(shuffle_write,),
+            ),
+        ),
+    )
+
+    shuffle_read = ChannelSpec(
+        kind="shuffle_read",
+        bytes_per_task=plan.bytes_per_reducer,
+        request_size=plan.read_request_size,
+        per_core_throughput=params.shuffle_read_throughput,
+    )
+    physical_out = params.total_bytes * params.hdfs_replication
+    per_task_out = physical_out / params.num_reducers
+    hdfs_write = ChannelSpec(
+        kind="hdfs_write",
+        bytes_per_task=per_task_out,
+        request_size=min(per_task_out, params.hdfs_block_size),
+        per_core_throughput=params.hdfs_write_throughput,
+    )
+    sf_stage = StageSpec(
+        name="SF",
+        groups=(
+            TaskGroupSpec(
+                name="reduce",
+                count=params.num_reducers,
+                read_channels=(shuffle_read,),
+                compute_seconds=compute_seconds_from_lambda(
+                    params.sf_lambda, shuffle_read.uncontended_seconds()
+                ),
+                write_channels=(hdfs_write,),
+                # Reducers stream: fetch a range slice, merge-sort it, and
+                # append to the output while fetching the next slice.
+                stream_chunks=16,
+            ),
+        ),
+    )
+
+    return WorkloadSpec(
+        name="Terasort",
+        stages=(nf_stage, sf_stage),
+        description=(
+            f"Terasort of {params.num_records / 1e9:.0f}B records"
+            f" ({params.total_bytes / GB:.0f}GB), {params.num_mappers} map"
+            f" and {params.num_reducers} reduce tasks"
+        ),
+        parameters={"params": params},
+    )

@@ -1,0 +1,145 @@
+"""Triangle Count on GraphX (Section V-B4, Fig. 11).
+
+Two phases:
+
+- ``graphLoader`` — read the edge list from HDFS; the working set (49 GB)
+  is cached in memory;
+- ``computeTriangleCount`` — canonicalize the graph via a repartition
+  (396 GB shuffle: a map stage writing sorted chunks, a reduce stage
+  issuing ~70 KB segment reads) and count triangles (compute-heavy
+  reduce side).  The paper measures a 6.5x HDD/SSD gap on this phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.spark.shuffle import ShufflePlan
+from repro.units import GB, MB
+from repro.workloads.base import (
+    ChannelSpec,
+    StageSpec,
+    TaskGroupSpec,
+    WorkloadSpec,
+    compute_seconds_from_lambda,
+)
+
+
+@dataclass(frozen=True)
+class TriangleCountParameters:
+    """Triangle-count workload parameters (defaults = the paper's run)."""
+
+    num_vertices: int = 1_000_000
+    num_partitions: int = 2400
+    input_bytes: float = 30 * GB
+    cached_rdd_bytes: float = 49 * GB
+    shuffle_bytes: float = 396 * GB
+    hdfs_block_size: float = 128 * MB
+
+    hdfs_read_throughput: float = 50 * MB
+    shuffle_write_throughput: float = 50 * MB
+    shuffle_read_throughput: float = 60 * MB
+
+    loader_lambda: float = 2.0
+    count_lambda: float = 10.0
+    canonicalize_compute_seconds: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.num_partitions <= 0:
+            raise WorkloadError("TC partition count must be positive")
+        if min(self.input_bytes, self.shuffle_bytes) <= 0:
+            raise WorkloadError("TC data sizes must be positive")
+
+    @property
+    def shuffle_plan(self) -> ShufflePlan:
+        """Geometry of the canonicalization repartition."""
+        return ShufflePlan(
+            total_bytes=self.shuffle_bytes,
+            num_mappers=self.num_partitions,
+            num_reducers=self.num_partitions,
+        )
+
+
+def make_triangle_count_workload(
+    params: TriangleCountParameters | None = None,
+) -> WorkloadSpec:
+    """Build the triangle-count workload spec."""
+    params = params or TriangleCountParameters()
+    plan = params.shuffle_plan
+    per_task_in = params.input_bytes / params.num_partitions
+
+    hdfs_read = ChannelSpec(
+        kind="hdfs_read",
+        bytes_per_task=per_task_in,
+        request_size=min(per_task_in, params.hdfs_block_size),
+        per_core_throughput=params.hdfs_read_throughput,
+    )
+    loader_stage = StageSpec(
+        name="graphLoader",
+        groups=(
+            TaskGroupSpec(
+                name="load",
+                count=params.num_partitions,
+                read_channels=(hdfs_read,),
+                compute_seconds=compute_seconds_from_lambda(
+                    params.loader_lambda, hdfs_read.uncontended_seconds()
+                ),
+            ),
+        ),
+    )
+
+    shuffle_write = ChannelSpec(
+        kind="shuffle_write",
+        bytes_per_task=plan.bytes_per_mapper,
+        request_size=plan.write_request_size,
+        per_core_throughput=params.shuffle_write_throughput,
+    )
+    canonicalize_stage = StageSpec(
+        name="canonicalize",
+        groups=(
+            TaskGroupSpec(
+                name="map",
+                count=params.num_partitions,
+                compute_seconds=params.canonicalize_compute_seconds,
+                write_channels=(shuffle_write,),
+            ),
+        ),
+    )
+
+    shuffle_read = ChannelSpec(
+        kind="shuffle_read",
+        bytes_per_task=plan.bytes_per_reducer,
+        request_size=plan.read_request_size,
+        per_core_throughput=params.shuffle_read_throughput,
+    )
+    count_stage = StageSpec(
+        name="countTriangles",
+        groups=(
+            TaskGroupSpec(
+                name="count",
+                count=params.num_partitions,
+                read_channels=(shuffle_read,),
+                compute_seconds=compute_seconds_from_lambda(
+                    params.count_lambda, shuffle_read.uncontended_seconds()
+                ),
+            ),
+        ),
+    )
+
+    return WorkloadSpec(
+        name="TriangleCount",
+        stages=(loader_stage, canonicalize_stage, count_stage),
+        description=(
+            f"GraphX triangle count, {params.num_vertices / 1e6:.0f}M vertices,"
+            f" {params.num_partitions} partitions,"
+            f" {params.shuffle_bytes / GB:.0f}GB canonicalization shuffle"
+        ),
+        parameters={
+            "params": params,
+            "phase_groups": {
+                "graphLoader": ["graphLoader"],
+                "computeTriangleCount": ["canonicalize", "countTriangles"],
+            },
+        },
+    )

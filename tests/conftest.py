@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+Expensive artifacts (profiling reports involve four simulated application
+runs) are session-scoped so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
+from repro.core import Predictor, Profiler
+from repro.storage import make_hdd, make_ssd
+from repro.workloads import make_gatk4_workload
+
+
+@pytest.fixture()
+def hdd():
+    """A fresh paper-calibrated HDD."""
+    return make_hdd()
+
+
+@pytest.fixture()
+def ssd():
+    """A fresh paper-calibrated SSD."""
+    return make_ssd()
+
+
+@pytest.fixture()
+def ssd_cluster():
+    """Three slaves, SSD for both roles (profiling-style cluster)."""
+    return make_paper_cluster(3, HYBRID_CONFIGS[0])
+
+
+@pytest.fixture()
+def hdd_cluster():
+    """Three slaves, HDD for both roles."""
+    return make_paper_cluster(3, HYBRID_CONFIGS[3])
+
+
+@pytest.fixture(scope="session")
+def gatk4_workload():
+    """The default GATK4 workload spec (immutable; share freely)."""
+    return make_gatk4_workload()
+
+
+@pytest.fixture(scope="session")
+def gatk4_report(gatk4_workload):
+    """A full four-sample-run profiling report for GATK4."""
+    return Profiler(gatk4_workload, nodes=3).profile()
+
+
+@pytest.fixture(scope="session")
+def gatk4_predictor(gatk4_report):
+    """Predictor built from the session profiling report."""
+    return Predictor(gatk4_report)

@@ -1,0 +1,123 @@
+"""Integration: the Section-VI cloud cost-optimization case study."""
+
+import pytest
+
+from repro.cloud import (
+    CostOptimizer,
+    make_persistent_disk,
+    r1_spark_recommendation,
+    r2_cloudera_recommendation,
+)
+from repro.analysis.sweep import sweep_local_disk_sizes
+
+
+@pytest.fixture(scope="module")
+def optimizer(gatk4_predictor, gatk4_workload):
+    hdfs_gb, local_gb = CostOptimizer.capacity_requirements(
+        gatk4_workload, num_workers=10
+    )
+    return CostOptimizer(
+        gatk4_predictor, num_workers=10, min_hdfs_gb=hdfs_gb, min_local_gb=local_gb
+    )
+
+
+@pytest.fixture(scope="module")
+def search(optimizer):
+    return optimizer.grid_search(vcpu_grid=(4, 8, 16, 32))
+
+
+class TestCostSavings:
+    """The headline: 38% / 57% cheaper than R1 / R2 recommendations."""
+
+    def test_savings_vs_r1_and_r2(self, optimizer, search):
+        r1 = optimizer.evaluate(r1_spark_recommendation())
+        r2 = optimizer.evaluate(r2_cloudera_recommendation())
+        assert search.savings_versus(r1) > 0.25
+        assert search.savings_versus(r2) > 0.45
+
+    def test_r2_more_expensive_than_r1(self, optimizer):
+        r1 = optimizer.evaluate(r1_spark_recommendation())
+        r2 = optimizer.evaluate(r2_cloudera_recommendation())
+        assert r2.cost_dollars > r1.cost_dollars
+
+    def test_optimum_uses_small_fast_local_disk(self, search):
+        # Fig. 15's conclusion: a small pd-ssd Spark-local disk plus a
+        # modest pd-standard HDFS disk is cost-optimal.
+        best = search.best.config
+        assert best.local_disk_kind == "pd-ssd"
+        assert best.local_disk_gb <= 500
+        assert best.hdfs_disk_kind == "pd-standard"
+
+    def test_ssd_local_beats_hdd_local_optimum(self, optimizer):
+        # Fig. 15: the SSD-local optimum is cheaper than the HDD-local one
+        # (the paper finds $3.75 vs $4.12, a ~1.1x gap).
+        hdd_only = optimizer.grid_search(
+            vcpu_grid=(8, 16), disk_kinds=("pd-standard",)
+        )
+        mixed = optimizer.grid_search(vcpu_grid=(8, 16))
+        assert mixed.best.cost_dollars < hdd_only.best.cost_dollars
+        assert mixed.best.cost_dollars > 0.7 * hdd_only.best.cost_dollars
+
+    def test_costs_in_paper_ballpark(self, optimizer, search):
+        # Absolute dollars depend on the substrate, but the paper's
+        # single-digit-dollars-per-genome scale should hold.
+        r2 = optimizer.evaluate(r2_cloudera_recommendation())
+        assert 1.0 < search.best.cost_dollars < 6.0
+        assert 4.0 < r2.cost_dollars < 12.0
+
+
+class TestFig14RuntimeVsDiskSize:
+    def test_runtime_monotone_then_flat(self, gatk4_predictor):
+        series = sweep_local_disk_sizes(
+            gatk4_predictor,
+            sizes_gb=[200, 500, 1000, 2000, 4000, 6000],
+            num_workers=10,
+            cores_per_node=16,
+        )
+        runtimes = [seconds for _, seconds in series]
+        assert all(a >= b - 1e-6 for a, b in zip(runtimes, runtimes[1:]))
+        assert runtimes[-1] == pytest.approx(runtimes[-2], rel=0.02)
+
+    def test_model_matches_simulated_cloud_runs(
+        self, gatk4_predictor, gatk4_workload
+    ):
+        """Fig. 14's validation: predictions vs 'measured' runs, <10% error.
+
+        The paper verifies on real Google Cloud; we verify against the
+        simulator running on virtual-disk device models.
+        """
+        from repro.cluster.cluster import Cluster
+        from repro.cluster.node import Node
+        from repro.units import GB
+        from repro.workloads.runner import measure_workload
+
+        errors = []
+        for local_gb in (500, 2000):
+            slaves = [
+                Node(
+                    name=f"w{i}",
+                    num_cores=16,
+                    ram_bytes=60 * GB,
+                    hdfs_device=make_persistent_disk(
+                        "pd-standard", 1000, name=f"w{i}-hdfs"
+                    ),
+                    local_device=make_persistent_disk(
+                        "pd-standard", local_gb, name=f"w{i}-local"
+                    ),
+                )
+                for i in range(10)
+            ]
+            cluster = Cluster(slaves=slaves)
+            measured = measure_workload(cluster, 16, gatk4_workload).total_seconds
+            predicted = gatk4_predictor.predict_runtime(cluster, 16)
+            errors.append(abs(predicted - measured) / measured)
+        assert sum(errors) / len(errors) < 0.10
+
+
+class TestCoordinateDescentAgreesWithGrid:
+    def test_hdd_descent_near_grid_optimum(self, optimizer):
+        start = optimizer.make_config(16, "pd-standard", 4000, "pd-standard", 4000)
+        descent = optimizer.coordinate_descent(start)
+        grid = optimizer.grid_search(vcpu_grid=(4, 8, 16, 32),
+                                     disk_kinds=("pd-standard",))
+        assert descent.best.cost_dollars <= grid.best.cost_dollars * 1.3

@@ -1,0 +1,53 @@
+"""Integration: predictions generalize across cluster sizes.
+
+The paper profiles on N = 3 and evaluates on N = 10; related work (Ernest
+[8]) frames node-count extrapolation as the core prediction problem.  The
+model's N-dependence (every term carries 1/N) should hold from 2 to 20
+slaves without re-profiling.
+"""
+
+import pytest
+
+from repro.analysis.errors import ExpVsModel, average_error
+from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
+from repro.workloads.runner import measure_workload
+
+NODE_SWEEP = (2, 5, 10, 20)
+
+
+@pytest.fixture(scope="module", params=[0, 3], ids=["2SSD", "2HDD"])
+def node_sweep_points(request, gatk4_workload, gatk4_predictor):
+    config = HYBRID_CONFIGS[request.param]
+    points = []
+    for nodes in NODE_SWEEP:
+        cluster = make_paper_cluster(nodes, config)
+        measured = measure_workload(cluster, 24, gatk4_workload)
+        predicted = gatk4_predictor.predict(cluster, 24)
+        points.append(
+            ExpVsModel(
+                label=f"{config.shorthand}@N={nodes}",
+                measured=measured.total_seconds,
+                predicted=predicted.t_app,
+            )
+        )
+    return points
+
+
+class TestNodeScaling:
+    def test_error_bounded_across_cluster_sizes(self, node_sweep_points):
+        assert average_error(node_sweep_points) < 0.10
+
+    def test_runtime_decreases_with_nodes(self, node_sweep_points):
+        measured = [p.measured for p in node_sweep_points]
+        assert all(a > b for a, b in zip(measured, measured[1:]))
+
+    def test_prediction_tracks_the_1_over_n_shape(self, node_sweep_points):
+        # Doubling the cluster from 5 to 10 slaves should roughly halve
+        # the runtime in both the measurement and the model.
+        by_nodes = {
+            int(p.label.split("N=")[1]): p for p in node_sweep_points
+        }
+        measured_gain = by_nodes[5].measured / by_nodes[10].measured
+        predicted_gain = by_nodes[5].predicted / by_nodes[10].predicted
+        assert 1.6 < measured_gain < 2.2
+        assert predicted_gain == pytest.approx(measured_gain, rel=0.12)

@@ -1,0 +1,35 @@
+"""Integration: the README's quickstart snippet works as documented."""
+
+import pytest
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet(self):
+        # Verbatim from README.md (imports consolidated).
+        from repro import (
+            HYBRID_CONFIGS,
+            Predictor,
+            Profiler,
+            make_gatk4_workload,
+            make_paper_cluster,
+            measure_workload,
+        )
+
+        workload = make_gatk4_workload()
+        report = Profiler(workload, nodes=3).profile()
+        predictor = Predictor(report)
+
+        cluster = make_paper_cluster(10, HYBRID_CONFIGS[0])
+        predicted = predictor.predict_runtime(cluster, cores_per_node=36)
+        measured = measure_workload(cluster, 36, workload).total_seconds
+
+        assert predicted > 0
+        assert measured == pytest.approx(predicted, rel=0.10)
+
+    def test_module_docstring_quickstart(self):
+        # The repro package docstring promises the same flow.
+        import repro
+
+        assert "Profiler" in repro.__doc__
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

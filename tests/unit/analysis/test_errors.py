@@ -1,0 +1,56 @@
+"""Unit tests for error metrics."""
+
+import pytest
+
+from repro.analysis.errors import (
+    ExpVsModel,
+    average_error,
+    error_summary,
+    max_error,
+    relative_error,
+)
+from repro.errors import ModelError
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(100.0, 110.0) == pytest.approx(0.10)
+        assert relative_error(100.0, 90.0) == pytest.approx(0.10)
+
+    def test_perfect(self):
+        assert relative_error(5.0, 5.0) == 0.0
+
+    def test_invalid_measured(self):
+        with pytest.raises(ModelError):
+            relative_error(0.0, 1.0)
+
+
+class TestAggregates:
+    @pytest.fixture()
+    def points(self):
+        return [
+            ExpVsModel("a", 100.0, 105.0),
+            ExpVsModel("b", 100.0, 90.0),
+            ExpVsModel("c", 200.0, 200.0),
+        ]
+
+    def test_point_error(self, points):
+        assert points[0].error == pytest.approx(0.05)
+
+    def test_average(self, points):
+        assert average_error(points) == pytest.approx((0.05 + 0.10 + 0.0) / 3)
+
+    def test_max(self, points):
+        assert max_error(points) == pytest.approx(0.10)
+
+    def test_summary_string(self, points):
+        summary = error_summary(points)
+        assert "avg 5.0%" in summary
+        assert "max 10.0%" in summary
+        assert "3 points" in summary
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            average_error([])
+        with pytest.raises(ModelError):
+            max_error([])

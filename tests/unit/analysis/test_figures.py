@@ -1,0 +1,77 @@
+"""Unit tests for ASCII figure rendering."""
+
+import pytest
+
+from repro.analysis.figures import (
+    FigureError,
+    render_bars,
+    render_grouped_bars,
+    render_sparkline,
+)
+
+
+class TestRenderBars:
+    def test_scaling_to_peak(self):
+        text = render_bars("t", {"big": 10.0, "half": 5.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 5
+
+    def test_unit_suffix(self):
+        text = render_bars("t", {"a": 2.0}, width=4, unit="min")
+        assert "2.0min" in text
+
+    def test_zero_values_render_empty_bars(self):
+        text = render_bars("t", {"a": 0.0, "b": 0.0}, width=5)
+        assert "#" not in text
+
+    def test_validation(self):
+        with pytest.raises(FigureError):
+            render_bars("t", {})
+        with pytest.raises(FigureError):
+            render_bars("t", {"a": -1.0})
+        with pytest.raises(FigureError):
+            render_bars("t", {"a": 1.0}, width=0)
+
+
+class TestRenderGroupedBars:
+    def test_shared_scale_across_groups(self):
+        text = render_grouped_bars(
+            "t",
+            {"g1": {"x": 10.0}, "g2": {"x": 5.0}},
+            width=10,
+        )
+        lines = text.splitlines()
+        assert lines[1] == "[g1]"
+        assert lines[2].count("#") == 10
+        assert lines[4].count("#") == 5
+
+    def test_validation(self):
+        with pytest.raises(FigureError):
+            render_grouped_bars("t", {})
+        with pytest.raises(FigureError):
+            render_grouped_bars("t", {"g": {}})
+        with pytest.raises(FigureError):
+            render_grouped_bars("t", {"g": {"a": -1.0}})
+
+
+class TestSparkline:
+    def test_monotone_curve(self):
+        line = render_sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(line) == 4
+        assert line[0] < line[-1]
+
+    def test_flat_curve(self):
+        assert render_sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
+
+    def test_empty_rejected(self):
+        with pytest.raises(FigureError):
+            render_sparkline([])
+
+    def test_fig14_shape_reads_as_descending(self):
+        # The Fig. 14 runtime curve: falls then flattens.
+        runtimes = [299.2, 120.4, 61.9, 35.2, 26.5]
+        line = render_sparkline(runtimes)
+        assert line[0] == "█"
+        assert line[-1] == "▁"

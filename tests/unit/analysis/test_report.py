@@ -1,0 +1,52 @@
+"""Unit tests for report rendering."""
+
+import pytest
+
+from repro.analysis.report import format_row, render_series, render_table
+
+
+class TestFormatRow:
+    def test_padding(self):
+        row = format_row(["a", 42], [3, 5])
+        assert row == "a    42"
+
+    def test_no_trailing_whitespace(self):
+        assert not format_row(["x"], [10]).endswith(" ")
+
+
+class TestRenderTable:
+    def test_structure(self):
+        text = render_table(
+            "Table IV", ["stage", "GB"], [["MD", 122], ["BR", 334]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table IV"
+        assert "stage" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "MD" in lines[3] and "BR" in lines[4]
+
+    def test_column_widths_fit_long_cells(self):
+        text = render_table("t", ["x"], [["a-very-long-cell"]])
+        assert "a-very-long-cell" in text
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table("t", ["a", "b"], [["only-one"]])
+
+
+class TestRenderSeries:
+    def test_structure(self):
+        text = render_series(
+            "Fig 3", "P", {"2SSD": [10.0, 5.0], "2HDD": [20.0, 20.0]}, [12, 36]
+        )
+        assert "Fig 3" in text
+        assert "2SSD" in text and "2HDD" in text
+        assert "20.0" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_series("f", "x", {"s": [1.0]}, [1, 2])
+
+    def test_custom_format(self):
+        text = render_series("f", "x", {"s": [1.234]}, [1], value_format="{:.3f}")
+        assert "1.234" in text

@@ -1,0 +1,78 @@
+"""Unit tests for the Google Cloud persistent-disk model."""
+
+import pytest
+
+from repro.cloud.disks import PD_SSD, PD_STANDARD, make_persistent_disk
+from repro.errors import ConfigurationError
+from repro.units import GB, KB, MB
+
+
+class TestSpecs:
+    def test_throughput_scales_until_cap(self):
+        assert PD_STANDARD.read_throughput_limit(500) == pytest.approx(60 * MB)
+        assert PD_STANDARD.read_throughput_limit(1500) == pytest.approx(180 * MB)
+        assert PD_STANDARD.read_throughput_limit(4000) == pytest.approx(180 * MB)
+
+    def test_iops_scale_until_cap(self):
+        assert PD_STANDARD.read_iops_limit(200) == pytest.approx(150.0)
+        assert PD_STANDARD.read_iops_limit(4000) == pytest.approx(3000.0)
+        assert PD_STANDARD.read_iops_limit(8000) == pytest.approx(3000.0)
+
+    def test_small_requests_iops_bound(self):
+        # 200 GB pd-standard at 30 KB requests: 150 IOPS * 30 KB ~ 4.4 MB/s.
+        bandwidth = PD_STANDARD.read_bandwidth(200, 30 * KB)
+        assert bandwidth == pytest.approx(150 * 30 * KB)
+
+    def test_large_requests_throughput_bound(self):
+        bandwidth = PD_STANDARD.read_bandwidth(200, 128 * MB)
+        assert bandwidth == pytest.approx(0.12 * MB * 200)
+
+    def test_ssd_much_faster_at_small_requests(self):
+        hdd_bandwidth = PD_STANDARD.read_bandwidth(200, 30 * KB)
+        ssd_bandwidth = PD_SSD.read_bandwidth(200, 30 * KB)
+        assert ssd_bandwidth / hdd_bandwidth > 10
+
+
+class TestMakePersistentDisk:
+    def test_device_fields(self):
+        disk = make_persistent_disk("pd-ssd", 500)
+        assert disk.kind == "pd-ssd"
+        assert disk.capacity_bytes == pytest.approx(500 * GB)
+        assert "500GB" in disk.name
+
+    def test_bandwidth_tables_match_spec(self):
+        disk = make_persistent_disk("pd-standard", 1000)
+        assert disk.read_bandwidth(128 * MB) == pytest.approx(
+            PD_STANDARD.read_bandwidth(1000, 128 * MB)
+        )
+        assert disk.write_bandwidth(30 * KB) == pytest.approx(
+            PD_STANDARD.write_bandwidth(1000, 30 * KB)
+        )
+
+    def test_bigger_disk_is_never_slower(self):
+        small = make_persistent_disk("pd-standard", 200)
+        large = make_persistent_disk("pd-standard", 2000)
+        for request in (4 * KB, 30 * KB, 1 * MB, 128 * MB):
+            assert large.read_bandwidth(request) >= small.read_bandwidth(request)
+
+    def test_shuffle_read_scaling_with_size(self):
+        # The mechanism behind Fig. 14: growing the local disk raises the
+        # IOPS limit and therefore the ~28 KB shuffle-read bandwidth.
+        request = 28 * KB
+        bandwidths = [
+            make_persistent_disk("pd-standard", size).read_bandwidth(request)
+            for size in (200, 500, 1000, 2000)
+        ]
+        assert bandwidths == sorted(bandwidths)
+        assert bandwidths[-1] > 5 * bandwidths[0]
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            make_persistent_disk("pd-extreme", 100)
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            make_persistent_disk("pd-ssd", 0)
+
+    def test_custom_name(self):
+        assert make_persistent_disk("pd-ssd", 100, name="x").name == "x"

@@ -1,0 +1,41 @@
+"""Unit tests for machine types."""
+
+import pytest
+
+from repro.cloud.instance import MachineType, N1_STANDARD, machine_for_vcpus
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+class TestN1Standard:
+    def test_family_covers_paper_sizes(self):
+        vcpus = [machine.vcpus for machine in N1_STANDARD]
+        assert 16 in vcpus  # the paper's worker shape
+        assert vcpus == sorted(vcpus)
+
+    def test_ram_scales_with_vcpus(self):
+        machine = machine_for_vcpus(16)
+        assert machine.ram_bytes == pytest.approx(60 * GB)
+
+    def test_price_is_linear(self):
+        per_vcpu = {
+            machine.vcpus: machine.price_per_hour / machine.vcpus
+            for machine in N1_STANDARD
+        }
+        rates = set(round(rate, 4) for rate in per_vcpu.values())
+        assert len(rates) == 1
+
+    def test_names_follow_convention(self):
+        assert machine_for_vcpus(8).name == "n1-standard-8"
+
+
+class TestValidation:
+    def test_unknown_size(self):
+        with pytest.raises(ConfigurationError):
+            machine_for_vcpus(3)
+
+    def test_invalid_machine(self):
+        with pytest.raises(ConfigurationError):
+            MachineType(name="bad", vcpus=0, ram_bytes=1.0, price_per_hour=1.0)
+        with pytest.raises(ConfigurationError):
+            MachineType(name="bad", vcpus=1, ram_bytes=1.0, price_per_hour=0.0)

@@ -1,0 +1,116 @@
+"""Unit tests for cloud pricing (Table V and the cost function)."""
+
+import pytest
+
+from repro.cloud.instance import machine_for_vcpus
+from repro.cloud.pricing import (
+    CloudConfiguration,
+    DISK_PRICE_PER_GB_MONTH,
+    configuration_cost,
+    disk_cost_per_hour,
+    disk_price_ratio,
+)
+from repro.errors import ConfigurationError
+from repro.units import MONTH_HOURS
+
+
+class TestTableV:
+    def test_standard_price(self):
+        assert DISK_PRICE_PER_GB_MONTH["pd-standard"] == 0.040
+
+    def test_ssd_price(self):
+        assert DISK_PRICE_PER_GB_MONTH["pd-ssd"] == 0.170
+
+    def test_ssd_premium_is_4_2x(self):
+        # The paper quotes SSD at 4.2x the standard price.
+        assert disk_price_ratio() == pytest.approx(4.25, abs=0.1)
+
+
+class TestDiskCost:
+    def test_hourly_conversion(self):
+        per_hour = disk_cost_per_hour("pd-standard", 1000)
+        assert per_hour == pytest.approx(1000 * 0.040 / MONTH_HOURS)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            disk_cost_per_hour("pd-extreme", 100)
+
+    def test_negative_size(self):
+        with pytest.raises(ConfigurationError):
+            disk_cost_per_hour("pd-ssd", -1)
+
+
+@pytest.fixture()
+def config():
+    return CloudConfiguration(
+        machine=machine_for_vcpus(16),
+        num_workers=10,
+        hdfs_disk_kind="pd-standard",
+        hdfs_disk_gb=1000,
+        local_disk_kind="pd-ssd",
+        local_disk_gb=200,
+    )
+
+
+class TestCloudConfiguration:
+    def test_cores_per_node(self, config):
+        assert config.cores_per_node == 16
+
+    def test_hourly_rate_composition(self, config):
+        per_node = (
+            machine_for_vcpus(16).price_per_hour
+            + disk_cost_per_hour("pd-standard", 1000)
+            + disk_cost_per_hour("pd-ssd", 200)
+        )
+        assert config.hourly_rate() == pytest.approx(10 * per_node)
+
+    def test_cost_for_runtime(self, config):
+        # The paper's optimal configuration shape: ten 16-vCPU workers with
+        # a 1 TB HDD + 200 GB SSD, a ~$8.6/hour cluster; sub-hour genome
+        # runs land in the single-digit dollars, as in Fig. 15.
+        cost = config.cost_for_runtime(43 * 60)
+        assert cost == pytest.approx(config.hourly_rate() * 43 / 60)
+        assert 4.0 < cost < 8.0
+
+    def test_cost_function_alias(self, config):
+        assert configuration_cost(config, 3600) == pytest.approx(
+            config.hourly_rate()
+        )
+
+    def test_label(self, config):
+        label = config.label()
+        assert "16vCPU" in label and "pd-ssd" in label
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CloudConfiguration(
+                machine=machine_for_vcpus(16), num_workers=0,
+                hdfs_disk_kind="pd-standard", hdfs_disk_gb=100,
+                local_disk_kind="pd-ssd", local_disk_gb=100,
+            )
+        with pytest.raises(ConfigurationError):
+            CloudConfiguration(
+                machine=machine_for_vcpus(16), num_workers=1,
+                hdfs_disk_kind="pd-standard", hdfs_disk_gb=0,
+                local_disk_kind="pd-ssd", local_disk_gb=100,
+            )
+
+    def test_negative_runtime(self, config):
+        with pytest.raises(ConfigurationError):
+            config.cost_for_runtime(-1.0)
+
+
+class TestMachineTypes:
+    def test_n1_standard_16_price(self):
+        machine = machine_for_vcpus(16)
+        assert machine.price_per_hour == pytest.approx(0.76)
+        assert machine.vcpus == 16
+
+    def test_linear_pricing(self):
+        assert machine_for_vcpus(32).price_per_hour == pytest.approx(
+            2 * machine_for_vcpus(16).price_per_hour
+        )
+
+    def test_unknown_vcpus(self):
+        with pytest.raises(ConfigurationError):
+            machine_for_vcpus(7)

@@ -1,0 +1,34 @@
+"""Unit tests for the R1/R2 reference configurations."""
+
+import pytest
+
+from repro.cloud.recommendations import (
+    r1_spark_recommendation,
+    r2_cloudera_recommendation,
+)
+
+
+class TestR1:
+    def test_8tb_for_16_vcpus(self):
+        config = r1_spark_recommendation(vcpus=16)
+        assert config.hdfs_disk_gb + config.local_disk_gb == pytest.approx(8000)
+        assert config.hdfs_disk_kind == "pd-standard"
+        assert config.machine.vcpus == 16
+
+    def test_ratio_scales_with_cores(self):
+        config = r1_spark_recommendation(vcpus=8)
+        assert config.hdfs_disk_gb + config.local_disk_gb == pytest.approx(4000)
+
+
+class TestR2:
+    def test_16tb_for_16_vcpus(self):
+        config = r2_cloudera_recommendation(vcpus=16)
+        assert config.hdfs_disk_gb + config.local_disk_gb == pytest.approx(16000)
+
+    def test_r2_costs_more_than_r1(self):
+        r1 = r1_spark_recommendation()
+        r2 = r2_cloudera_recommendation()
+        assert r2.hourly_rate() > r1.hourly_rate()
+
+    def test_worker_count_parameter(self):
+        assert r2_cloudera_recommendation(num_workers=5).num_workers == 5

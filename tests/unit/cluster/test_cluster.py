@@ -1,0 +1,108 @@
+"""Unit tests for cluster assembly and the Table III configurations."""
+
+import pytest
+
+from repro.cluster.cluster import (
+    Cluster,
+    HYBRID_CONFIGS,
+    HybridDiskConfig,
+    make_paper_cluster,
+)
+from repro.cluster.node import Node
+from repro.errors import ConfigurationError
+from repro.storage.device import make_hdd, make_ssd
+from repro.units import GB
+
+
+class TestHybridConfigs:
+    def test_table_iii_has_four_columns(self):
+        assert len(HYBRID_CONFIGS) == 4
+        assert [c.config_id for c in HYBRID_CONFIGS] == [1, 2, 3, 4]
+
+    def test_config_1_is_2ssd(self):
+        assert HYBRID_CONFIGS[0].shorthand == "2SSD"
+
+    def test_config_4_is_2hdd(self):
+        assert HYBRID_CONFIGS[3].shorthand == "2HDD"
+
+    def test_mixed_labels(self):
+        assert "HDFS=HDD" in HYBRID_CONFIGS[1].label
+        assert "Local=SSD" in HYBRID_CONFIGS[1].label
+        assert "local" in HYBRID_CONFIGS[1].shorthand
+
+
+class TestMakePaperCluster:
+    def test_four_node_motivation_cluster(self):
+        cluster = make_paper_cluster(3, HYBRID_CONFIGS[0])
+        assert cluster.num_slaves == 3
+        assert cluster.cores_per_node == 36
+        assert cluster.total_cores == 108
+
+    def test_device_kinds_follow_config(self):
+        cluster = make_paper_cluster(2, HYBRID_CONFIGS[2])  # HDFS=SSD, local=HDD
+        for node in cluster.slaves:
+            assert node.hdfs_device.kind == "ssd"
+            assert node.local_device.kind == "hdd"
+            assert not node.shares_device
+
+    def test_hdfs_replication_capped_by_nodes(self):
+        cluster = make_paper_cluster(1, HYBRID_CONFIGS[0])
+        assert cluster.hdfs.replication == 1
+
+    def test_invalid_slave_count(self):
+        with pytest.raises(ConfigurationError):
+            make_paper_cluster(0, HYBRID_CONFIGS[0])
+
+    def test_unknown_device_kind(self):
+        bad = HybridDiskConfig(9, hdfs_kind="nvme", local_kind="ssd")
+        with pytest.raises(ConfigurationError):
+            make_paper_cluster(1, bad)
+
+
+class TestCluster:
+    def _nodes(self, count=2, cores=36):
+        return [
+            Node(
+                name=f"s{i}", num_cores=cores, ram_bytes=128 * GB,
+                hdfs_device=make_ssd(f"s{i}-h", capacity_bytes=GB * 500),
+                local_device=make_hdd(f"s{i}-l"),
+            )
+            for i in range(count)
+        ]
+
+    def test_requires_slaves(self):
+        with pytest.raises(ConfigurationError):
+            Cluster(slaves=[])
+
+    def test_duplicate_names_rejected(self):
+        nodes = self._nodes(2)
+        nodes[1].name = nodes[0].name
+        with pytest.raises(ConfigurationError):
+            Cluster(slaves=nodes)
+
+    def test_node_lookup(self):
+        cluster = Cluster(slaves=self._nodes(2))
+        assert cluster.node("s1").name == "s1"
+        with pytest.raises(ConfigurationError):
+            cluster.node("s9")
+
+    def test_heterogeneous_cores_rejected_on_access(self):
+        nodes = self._nodes(1, cores=36) + self._nodes(1, cores=12)
+        nodes[1].name = "other"
+        cluster = Cluster(slaves=nodes)
+        with pytest.raises(ConfigurationError):
+            _ = cluster.cores_per_node
+
+    def test_device_lists(self):
+        cluster = Cluster(slaves=self._nodes(3))
+        assert len(cluster.local_devices()) == 3
+        assert len(cluster.hdfs_devices()) == 3
+        assert all(d.kind == "hdd" for d in cluster.local_devices())
+
+    def test_hdfs_uses_hdfs_devices(self):
+        cluster = Cluster(slaves=self._nodes(2))
+        assert cluster.hdfs.devices == cluster.hdfs_devices()
+
+    def test_repr(self):
+        cluster = Cluster(slaves=self._nodes(2))
+        assert "2 slaves" in repr(cluster)

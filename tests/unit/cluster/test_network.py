@@ -1,0 +1,50 @@
+"""Unit tests for the network model."""
+
+import pytest
+
+from repro.cluster.network import NetworkModel, TEN_GBPS
+from repro.errors import ConfigurationError
+from repro.units import GB, MB
+
+
+class TestNetworkModel:
+    def test_default_is_10gbps(self):
+        assert NetworkModel().link_bandwidth == pytest.approx(TEN_GBPS)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel(link_bandwidth=0.0)
+
+    def test_remote_fraction(self):
+        net = NetworkModel()
+        assert net.remote_fraction(1) == 0.0
+        assert net.remote_fraction(10) == pytest.approx(0.9)
+        with pytest.raises(ConfigurationError):
+            net.remote_fraction(0)
+
+    def test_transfer_floor(self):
+        net = NetworkModel()
+        # 334 GB shuffle over 10 slaves on 10 Gb/s links.
+        floor = net.transfer_floor_seconds(334 * GB, 10)
+        per_node_bytes = 334 * GB * 0.9 / 10
+        assert floor == pytest.approx(per_node_bytes / TEN_GBPS)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel().transfer_floor_seconds(-1.0, 2)
+
+    def test_paper_assumption_network_not_bottleneck(self):
+        # Section III-B1: the 10 Gb/s network is not the bottleneck for
+        # GATK4's shuffle against either disk's floor.
+        net = NetworkModel()
+        shuffle = 334 * GB
+        hdd_floor = shuffle / (10 * 15 * MB)  # HDD shuffle-read floor
+        ssd_floor = shuffle / (10 * 480 * MB)
+        assert not net.is_bottleneck(shuffle, 10, hdd_floor)
+        assert not net.is_bottleneck(shuffle, 10, ssd_floor)
+
+    def test_bottleneck_detection_on_slow_network(self):
+        slow = NetworkModel(link_bandwidth=10 * MB)
+        shuffle = 334 * GB
+        ssd_floor = shuffle / (10 * 480 * MB)
+        assert slow.is_bottleneck(shuffle, 10, ssd_floor)

@@ -1,0 +1,55 @@
+"""Unit tests for cluster nodes."""
+
+import pytest
+
+from repro.cluster.node import Node
+from repro.errors import ConfigurationError
+from repro.storage.device import make_hdd, make_ssd
+from repro.units import GB
+
+
+def make_node(shared=False, **overrides):
+    hdfs_device = make_ssd("n-hdfs")
+    local_device = hdfs_device if shared else make_hdd("n-local")
+    defaults = dict(
+        name="slave-0",
+        num_cores=36,
+        ram_bytes=128 * GB,
+        hdfs_device=hdfs_device,
+        local_device=local_device,
+    )
+    defaults.update(overrides)
+    return Node(**defaults)
+
+
+class TestNode:
+    def test_basic_fields(self):
+        node = make_node()
+        assert node.num_cores == 36
+        assert node.ram_bytes == pytest.approx(128 * GB)
+        assert not node.shares_device
+
+    def test_shared_device_detection(self):
+        assert make_node(shared=True).shares_device
+
+    def test_local_dir_bound_to_local_device(self):
+        node = make_node()
+        assert node.local_dir.device is node.local_device
+
+    def test_device_for_roles(self):
+        node = make_node()
+        assert node.device_for("hdfs") is node.hdfs_device
+        assert node.device_for("local") is node.local_device
+        with pytest.raises(ConfigurationError):
+            node.device_for("scratch")
+
+    def test_invalid_cores(self):
+        with pytest.raises(ConfigurationError):
+            make_node(num_cores=0)
+
+    def test_invalid_ram(self):
+        with pytest.raises(ConfigurationError):
+            make_node(ram_bytes=0.0)
+
+    def test_repr_mentions_kinds(self):
+        assert "ssd" in repr(make_node())

@@ -1,0 +1,103 @@
+"""Unit tests for the break-point theory (Section IV-B)."""
+
+import pytest
+
+from repro.core.breakpoints import (
+    BreakPointAnalysis,
+    ExecutionPhase,
+    break_point,
+    classify_phase,
+    turning_point,
+)
+from repro.errors import ModelError
+from repro.units import MB
+
+
+class TestBreakPoint:
+    def test_paper_example(self):
+        # Fig. 6's illustration: T = 60 MB/s, BW = 120 MB/s -> b = 2.
+        assert break_point(120 * MB, 60 * MB) == pytest.approx(2.0)
+
+    def test_ssd_shuffle_read(self):
+        # Section V-A2: BW = 480, T = 60 -> b = 8.
+        assert break_point(480 * MB, 60 * MB) == pytest.approx(8.0)
+
+    def test_hdfs_read_break_points(self):
+        # Section V-A1: b = 4.3 (HDD) and 16 (SSD) at T = 33 MB/s.
+        assert break_point(142 * MB, 33 * MB) == pytest.approx(4.3, rel=0.02)
+        assert break_point(525.4 * MB, 33 * MB) == pytest.approx(16.0, rel=0.01)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ModelError):
+            break_point(0.0, 60 * MB)
+        with pytest.raises(ModelError):
+            break_point(120 * MB, 0.0)
+
+
+class TestTurningPoint:
+    def test_br_stage_turning_point(self):
+        # Section V-A2: lambda = 20, b = 8 -> B = 160 cores.
+        assert turning_point(480 * MB, 60 * MB, 20.0) == pytest.approx(160.0)
+
+    def test_hdd_br_turning_point(self):
+        # HDD shuffle read: b = 15/60 -> effectively 1 after lambda = 5 ... B = 5.
+        # Paper treats b = 1, lambda = 5, B = 5; with raw numbers B = 1.25.
+        assert turning_point(15 * MB, 60 * MB, 20.0) == pytest.approx(5.0)
+
+    def test_lambda_below_one_rejected(self):
+        with pytest.raises(ModelError):
+            turning_point(120 * MB, 60 * MB, 0.5)
+
+
+class TestClassifyPhase:
+    def test_no_contention(self):
+        assert classify_phase(2, 2.0, 8.0) is ExecutionPhase.NO_CONTENTION
+
+    def test_contention_hidden(self):
+        assert classify_phase(5, 2.0, 8.0) is ExecutionPhase.CONTENTION_HIDDEN
+
+    def test_io_bound(self):
+        assert classify_phase(9, 2.0, 8.0) is ExecutionPhase.IO_BOUND
+
+    def test_boundaries_inclusive(self):
+        assert classify_phase(8, 2.0, 8.0) is ExecutionPhase.CONTENTION_HIDDEN
+
+    def test_invalid_cores(self):
+        with pytest.raises(ModelError):
+            classify_phase(0, 2.0, 8.0)
+
+    def test_invalid_b_ordering(self):
+        with pytest.raises(ModelError):
+            classify_phase(1, 8.0, 2.0)
+
+
+class TestBreakPointAnalysis:
+    def test_md_stage_never_io_bound_at_36_cores(self):
+        # Section V-A1: MD's HDFS read has B > 36 on both devices.
+        hdd = BreakPointAnalysis(
+            per_core_throughput=33 * MB, bandwidth=142 * MB, lam=12.0
+        )
+        ssd = BreakPointAnalysis(
+            per_core_throughput=33 * MB, bandwidth=525.4 * MB, lam=12.0
+        )
+        assert hdd.big_b > 36
+        assert ssd.big_b > 36
+        assert hdd.scales_with_cores(36)
+        assert ssd.scales_with_cores(36)
+
+    def test_br_hdd_stops_scaling_past_5_cores(self):
+        # Section V-A2: on HDD, BR stops scaling past B = 5.
+        analysis = BreakPointAnalysis(
+            per_core_throughput=60 * MB, bandwidth=15 * MB, lam=20.0
+        )
+        assert analysis.big_b == pytest.approx(5.0)
+        assert not analysis.scales_with_cores(12)
+        assert analysis.phase(12) is ExecutionPhase.IO_BOUND
+
+    def test_br_ssd_scales_through_36_cores(self):
+        analysis = BreakPointAnalysis(
+            per_core_throughput=60 * MB, bandwidth=480 * MB, lam=20.0
+        )
+        assert analysis.b == pytest.approx(8.0)
+        assert analysis.big_b == pytest.approx(160.0)
+        assert analysis.scales_with_cores(36)

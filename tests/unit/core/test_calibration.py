@@ -1,0 +1,86 @@
+"""Unit tests for the sample-run calibration math."""
+
+import pytest
+
+from repro.core.calibration import (
+    CalibrationResult,
+    fit_io_delta,
+    fit_scale_constants,
+    sanity_check_not_io_bound,
+)
+from repro.errors import ProfilingError
+from repro.units import GB, MB
+
+
+class TestFitScaleConstants:
+    def test_exact_recovery(self):
+        # Construct data from known constants and solve them back.
+        num_tasks, nodes, t_avg, delta = 900, 3, 7.5, 42.0
+        point = lambda p: (p, num_tasks / (nodes * p) * t_avg + delta)
+        result = fit_scale_constants(num_tasks, nodes, point(1), point(2))
+        assert result.t_avg == pytest.approx(t_avg)
+        assert result.delta_scale == pytest.approx(delta)
+
+    def test_zero_delta(self):
+        result = fit_scale_constants(100, 1, (1, 100.0), (2, 50.0))
+        assert result == CalibrationResult(t_avg=pytest.approx(1.0),
+                                           delta_scale=pytest.approx(0.0))
+
+    def test_small_negative_delta_clamped(self):
+        # 1% below zero from noise -> clamp to 0.
+        num_tasks, nodes, t_avg = 100, 1, 1.0
+        t1 = num_tasks / 1 * t_avg - 0.5
+        t2 = num_tasks / 2 * t_avg - 0.5
+        result = fit_scale_constants(num_tasks, nodes, (1, t1), (2, t2))
+        assert result.delta_scale == 0.0
+
+    def test_large_negative_delta_rejected(self):
+        with pytest.raises(ProfilingError):
+            fit_scale_constants(100, 1, (1, 80.0), (2, 20.0))
+
+    def test_negative_t_avg_rejected(self):
+        # Runtime grew with more cores -> I/O was the bottleneck.
+        with pytest.raises(ProfilingError):
+            fit_scale_constants(100, 1, (1, 50.0), (2, 60.0))
+
+    def test_same_core_counts_rejected(self):
+        with pytest.raises(ProfilingError):
+            fit_scale_constants(100, 1, (2, 50.0), (2, 40.0))
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ProfilingError):
+            fit_scale_constants(0, 1, (1, 50.0), (2, 30.0))
+        with pytest.raises(ProfilingError):
+            fit_scale_constants(100, 0, (1, 50.0), (2, 30.0))
+        with pytest.raises(ProfilingError):
+            fit_scale_constants(100, 1, (0, 50.0), (2, 30.0))
+
+
+class TestFitIoDelta:
+    def test_residual(self):
+        # D/(N*BW) = 100 GB / (2 * 50 MB/s) = 1024 s; measured 1100.
+        delta = fit_io_delta(1100.0, 100 * GB, 2, 50 * MB)
+        assert delta == pytest.approx(1100.0 - 1024.0)
+
+    def test_negative_residual_clamped(self):
+        assert fit_io_delta(1000.0, 100 * GB, 2, 50 * MB) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ProfilingError):
+            fit_io_delta(10.0, 1.0, 0, 1.0)
+        with pytest.raises(ProfilingError):
+            fit_io_delta(10.0, 1.0, 1, 0.0)
+        with pytest.raises(ProfilingError):
+            fit_io_delta(10.0, -1.0, 1, 1.0)
+
+
+class TestSanityCheck:
+    def test_passes_above_floor(self):
+        sanity_check_not_io_bound(2000.0, 100 * GB, 2, 50 * MB)
+
+    def test_fails_at_floor(self):
+        with pytest.raises(ProfilingError):
+            sanity_check_not_io_bound(1024.0, 100 * GB, 2, 50 * MB)
+
+    def test_zero_bytes_always_passes(self):
+        sanity_check_not_io_bound(0.001, 0.0, 2, 50 * MB)

@@ -1,0 +1,99 @@
+"""Unit tests for profiling-report JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    Predictor,
+    load_report,
+    report_from_dict,
+    report_to_dict,
+    save_report,
+)
+from repro.core.serialization import FORMAT_VERSION
+from repro.errors import ModelError
+from repro.storage import make_hdd, make_ssd
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self, gatk4_report):
+        rebuilt = report_from_dict(report_to_dict(gatk4_report))
+        assert rebuilt.workload_name == gatk4_report.workload_name
+        assert rebuilt.nodes == gatk4_report.nodes
+        for original, restored in zip(gatk4_report.stages, rebuilt.stages):
+            assert restored.name == original.name
+            assert restored.num_tasks == original.num_tasks
+            assert restored.t_avg == pytest.approx(original.t_avg)
+            assert restored.delta_scale == pytest.approx(original.delta_scale)
+            assert restored.delta_read == pytest.approx(original.delta_read)
+            assert restored.delta_write == pytest.approx(original.delta_write)
+            assert restored.fill_seconds == pytest.approx(original.fill_seconds)
+            assert restored.gc_coeff == pytest.approx(original.gc_coeff)
+            assert restored.channels == original.channels
+
+    def test_file_round_trip(self, gatk4_report, tmp_path):
+        path = tmp_path / "gatk4.json"
+        save_report(gatk4_report, path)
+        loaded = load_report(path)
+        assert loaded.stages == gatk4_report.stages
+
+    def test_loaded_report_predicts_identically(self, gatk4_report, tmp_path):
+        path = tmp_path / "gatk4.json"
+        save_report(gatk4_report, path)
+        devices = {"hdfs": make_ssd(), "local": make_hdd()}
+        original = Predictor(gatk4_report).model_for_devices(devices)
+        restored = Predictor(load_report(path)).model_for_devices(devices)
+        for nodes, cores in ((3, 12), (10, 36)):
+            assert restored.runtime(nodes, cores) == pytest.approx(
+                original.runtime(nodes, cores)
+            )
+
+    def test_json_is_stable_text(self, gatk4_report, tmp_path):
+        path = tmp_path / "r.json"
+        save_report(gatk4_report, path)
+        data = json.loads(path.read_text())
+        assert data["format_version"] == FORMAT_VERSION
+        assert {s["name"] for s in data["stages"]} == {"MD", "BR", "SF"}
+
+
+class TestErrors:
+    def test_wrong_version_rejected(self, gatk4_report):
+        data = report_to_dict(gatk4_report)
+        data["format_version"] = 99
+        with pytest.raises(ModelError):
+            report_from_dict(data)
+
+    def test_missing_field_rejected(self, gatk4_report):
+        data = report_to_dict(gatk4_report)
+        del data["stages"][0]["t_avg"]
+        with pytest.raises(ModelError):
+            report_from_dict(data)
+
+    def test_unreadable_file(self, tmp_path):
+        with pytest.raises(ModelError):
+            load_report(tmp_path / "missing.json")
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ModelError):
+            load_report(path)
+
+
+class TestCliIntegration:
+    def test_profile_output_then_predict_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        report_path = tmp_path / "svm.json"
+        assert main(
+            ["profile", "--workload", "svm", "--nodes", "2",
+             "--output", str(report_path)]
+        ) == 0
+        assert report_path.exists()
+        capsys.readouterr()
+        assert main(
+            ["predict", "--workload", "svm", "--slaves", "4", "--cores", "8",
+             "--report", str(report_path)]
+        ) == 0
+        assert "TOTAL" in capsys.readouterr().out

@@ -1,0 +1,95 @@
+"""Unit tests for model variables and per-device I/O limits."""
+
+import pytest
+
+from repro.core.variables import IoChannel, StageModelVariables
+from repro.errors import ModelError
+from repro.units import GB, KB, MB
+
+
+def channel(kind="shuffle_read", total=334 * GB, rs=30 * KB, bw=15 * MB,
+            is_write=False, device=""):
+    return IoChannel(
+        kind=kind,
+        total_bytes=total,
+        request_size=rs,
+        bandwidth=bw,
+        is_write=is_write,
+        device=device,
+    )
+
+
+class TestIoChannel:
+    def test_limit_seconds(self):
+        ch = channel(total=150 * MB, bw=15 * MB)
+        assert ch.limit_seconds_per_node == pytest.approx(10.0)
+
+    def test_device_label_defaults_to_kind(self):
+        assert channel().device_label == "shuffle_read"
+        assert channel(device="local").device_label == "local"
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ModelError):
+            channel(total=-1.0)
+
+    def test_nonpositive_request_size_rejected(self):
+        with pytest.raises(ModelError):
+            channel(rs=0.0)
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ModelError):
+            channel(bw=0.0)
+
+
+class TestStageModelVariables:
+    def test_read_write_partition(self):
+        variables = StageModelVariables(
+            name="s",
+            num_tasks=10,
+            t_avg=1.0,
+            channels=(
+                channel(kind="shuffle_read"),
+                channel(kind="hdfs_write", is_write=True, total=100 * GB),
+            ),
+        )
+        assert len(variables.read_channels) == 1
+        assert len(variables.write_channels) == 1
+        assert variables.read_bytes == pytest.approx(334 * GB)
+        assert variables.write_bytes == pytest.approx(100 * GB)
+
+    def test_same_device_limits_add(self):
+        variables = StageModelVariables(
+            name="s",
+            num_tasks=10,
+            t_avg=1.0,
+            channels=(
+                channel(total=100 * MB, bw=10 * MB, device="local"),
+                channel(kind="persist_read", total=50 * MB, bw=10 * MB, device="local"),
+            ),
+        )
+        assert variables.read_limit_seconds_per_node() == pytest.approx(15.0)
+
+    def test_different_devices_take_max(self):
+        variables = StageModelVariables(
+            name="s",
+            num_tasks=10,
+            t_avg=1.0,
+            channels=(
+                channel(total=100 * MB, bw=10 * MB, device="local"),
+                channel(kind="hdfs_read", total=50 * MB, bw=10 * MB, device="hdfs"),
+            ),
+        )
+        assert variables.read_limit_seconds_per_node() == pytest.approx(10.0)
+
+    def test_no_channels_zero_limits(self):
+        variables = StageModelVariables(name="s", num_tasks=10, t_avg=1.0)
+        assert variables.read_limit_seconds_per_node() == 0.0
+        assert variables.write_limit_seconds_per_node() == 0.0
+
+    def test_invalid_num_tasks(self):
+        with pytest.raises(ModelError):
+            StageModelVariables(name="s", num_tasks=0, t_avg=1.0)
+
+    def test_negative_t_avg(self):
+        with pytest.raises(ModelError):
+            StageModelVariables(name="s", num_tasks=1, t_avg=-1.0)

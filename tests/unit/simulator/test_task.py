@@ -1,0 +1,71 @@
+"""Unit tests for simulator task/phase descriptions."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.task import ComputePhase, IoPhase, SimTask
+from repro.units import KB, MB
+
+
+class TestIoPhase:
+    def test_valid(self):
+        phase = IoPhase(role="local", total_bytes=27 * MB, request_size=30 * KB,
+                        is_write=False, per_stream_cap=60 * MB)
+        assert phase.role == "local"
+
+    def test_unknown_role(self):
+        with pytest.raises(SimulationError):
+            IoPhase(role="nvme", total_bytes=1.0, request_size=1.0, is_write=False)
+
+    def test_negative_bytes(self):
+        with pytest.raises(SimulationError):
+            IoPhase(role="hdfs", total_bytes=-1.0, request_size=1.0, is_write=False)
+
+    def test_invalid_request_size(self):
+        with pytest.raises(SimulationError):
+            IoPhase(role="hdfs", total_bytes=1.0, request_size=0.0, is_write=False)
+
+    def test_invalid_cap(self):
+        with pytest.raises(SimulationError):
+            IoPhase(role="hdfs", total_bytes=1.0, request_size=1.0,
+                    is_write=False, per_stream_cap=0.0)
+
+
+class TestComputePhase:
+    def test_negative_duration(self):
+        with pytest.raises(SimulationError):
+            ComputePhase(-1.0)
+
+    def test_zero_allowed(self):
+        assert ComputePhase(0.0).seconds == 0.0
+
+
+class TestSimTask:
+    def test_needs_phases(self):
+        with pytest.raises(SimulationError):
+            SimTask(phases=())
+
+    def test_duration_requires_completion(self):
+        task = SimTask(phases=(ComputePhase(1.0),))
+        with pytest.raises(SimulationError):
+            _ = task.duration
+
+    def test_io_bytes_accounting(self):
+        task = SimTask(
+            phases=(
+                IoPhase(role="hdfs", total_bytes=10 * MB, request_size=1 * MB,
+                        is_write=False),
+                ComputePhase(1.0),
+                IoPhase(role="local", total_bytes=20 * MB, request_size=1 * MB,
+                        is_write=True),
+            )
+        )
+        assert task.io_bytes() == pytest.approx(30 * MB)
+        assert task.io_bytes(is_write=False) == pytest.approx(10 * MB)
+        assert task.io_bytes(is_write=True) == pytest.approx(20 * MB)
+        assert task.compute_seconds() == pytest.approx(1.0)
+
+    def test_unique_ids(self):
+        a = SimTask(phases=(ComputePhase(0.0),))
+        b = SimTask(phases=(ComputePhase(0.0),))
+        assert a.task_id != b.task_id

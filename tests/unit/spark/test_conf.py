@@ -1,0 +1,46 @@
+"""Unit tests for SparkConf."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.spark.conf import PAPER_SPARK_CONF, SparkConf
+from repro.units import GB
+
+
+class TestSparkConf:
+    def test_table_ii_defaults(self):
+        assert PAPER_SPARK_CONF.worker_cores == 36
+        assert PAPER_SPARK_CONF.worker_memory_bytes == pytest.approx(90 * GB)
+        assert PAPER_SPARK_CONF.storage_memory_fraction == 0.40
+
+    def test_storage_memory(self):
+        conf = SparkConf(worker_memory_bytes=90 * GB, storage_memory_fraction=0.4)
+        assert conf.storage_memory_bytes == pytest.approx(36 * GB)
+
+    def test_cluster_storage_memory(self):
+        # The paper's ten-slave cluster caches up to 360 GB.
+        assert PAPER_SPARK_CONF.cluster_storage_memory_bytes(10) == pytest.approx(
+            360 * GB
+        )
+
+    def test_invalid_cores(self):
+        with pytest.raises(ConfigurationError):
+            SparkConf(worker_cores=0)
+
+    def test_invalid_memory(self):
+        with pytest.raises(ConfigurationError):
+            SparkConf(worker_memory_bytes=0.0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            SparkConf(storage_memory_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            SparkConf(storage_memory_fraction=1.5)
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(ConfigurationError):
+            SparkConf(default_parallelism=0)
+
+    def test_invalid_slave_count(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_SPARK_CONF.cluster_storage_memory_bytes(0)

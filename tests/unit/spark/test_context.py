@@ -1,0 +1,70 @@
+"""Unit tests for DoppioContext."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.spark.conf import SparkConf
+from repro.spark.context import DoppioContext
+from repro.units import GB
+
+
+class TestParallelize:
+    def test_even_split(self):
+        sc = DoppioContext()
+        rdd = sc.parallelize(range(10), 5)
+        assert rdd.num_partitions == 5
+        assert rdd.collect() == list(range(10))
+
+    def test_uneven_split_balanced(self):
+        sc = DoppioContext()
+        rdd = sc.parallelize(range(10), 3)
+        sizes = [len(rdd.compute_partition(i, sc.runtime)) for i in range(3)]
+        assert sorted(sizes) == [3, 3, 4]
+
+    def test_slices_capped_by_data(self):
+        sc = DoppioContext()
+        assert sc.parallelize([1, 2], 10).num_partitions == 2
+
+    def test_empty_data_single_partition(self):
+        sc = DoppioContext()
+        rdd = sc.parallelize([])
+        assert rdd.num_partitions == 1
+        assert rdd.collect() == []
+
+    def test_default_parallelism_used(self):
+        sc = DoppioContext(conf=SparkConf(default_parallelism=4))
+        assert sc.parallelize(range(100)).num_partitions == 4
+
+    def test_invalid_slices(self):
+        sc = DoppioContext()
+        with pytest.raises(SchedulerError):
+            sc.parallelize([1], 0)
+
+
+class TestContext:
+    def test_text_file(self):
+        sc = DoppioContext()
+        rdd = sc.text_file(["line1", "line2"], 1)
+        assert rdd.collect() == ["line1", "line2"]
+
+    def test_union_many(self):
+        sc = DoppioContext()
+        rdds = [sc.parallelize([i], 1) for i in range(4)]
+        assert sorted(sc.union(rdds).collect()) == [0, 1, 2, 3]
+
+    def test_union_empty_rejected(self):
+        sc = DoppioContext()
+        with pytest.raises(SchedulerError):
+            sc.union([])
+
+    def test_invalid_slaves(self):
+        with pytest.raises(SchedulerError):
+            DoppioContext(num_slaves=0)
+
+    def test_cache_pool_scales_with_slaves(self):
+        conf = SparkConf(worker_memory_bytes=10 * GB, storage_memory_fraction=0.5)
+        one = DoppioContext(conf=conf, num_slaves=1)
+        four = DoppioContext(conf=conf, num_slaves=4)
+        assert four.runtime.memory.capacity_bytes == pytest.approx(
+            4 * one.runtime.memory.capacity_bytes
+        )

@@ -1,0 +1,68 @@
+"""Unit tests for lineage-to-stage planning."""
+
+import pytest
+
+from repro.spark.context import DoppioContext
+from repro.spark.dag import build_stages, shuffle_dependencies
+
+
+@pytest.fixture()
+def sc():
+    return DoppioContext()
+
+
+class TestShuffleDependencies:
+    def test_narrow_only_has_none(self, sc):
+        rdd = sc.parallelize([1, 2], 2).map(lambda x: x).filter(bool)
+        assert shuffle_dependencies(rdd) == []
+
+    def test_single_shuffle(self, sc):
+        rdd = sc.parallelize([("a", 1)], 1).group_by_key(2)
+        deps = shuffle_dependencies(rdd)
+        assert len(deps) == 1
+        assert deps[0].name == "groupByKey"
+
+    def test_chained_shuffles_ordered(self, sc):
+        rdd = (
+            sc.parallelize([("a", 1)], 1)
+            .group_by_key(2)
+            .map(lambda kv: (kv[0], len(kv[1])))
+            .reduce_by_key(lambda a, b: a + b)
+        )
+        deps = shuffle_dependencies(rdd)
+        assert [d.name for d in deps] == ["groupByKey", "reduceByKey"]
+
+    def test_diamond_visited_once(self, sc):
+        base = sc.parallelize([("a", 1)], 1).group_by_key(2)
+        union = base.map(lambda x: x).union(base.filter(lambda x: True))
+        deps = shuffle_dependencies(union)
+        assert len(deps) == 1
+
+
+class TestBuildStages:
+    def test_narrow_job_single_stage(self, sc):
+        rdd = sc.parallelize([1], 1).map(lambda x: x)
+        stages = build_stages(rdd)
+        assert len(stages) == 1
+        assert stages[0].is_result_stage
+        assert stages[0].boundary is rdd
+
+    def test_shuffle_job_two_stages(self, sc):
+        rdd = sc.parallelize([("a", 1), ("b", 2), ("c", 3)], 3).group_by_key(5)
+        stages = build_stages(rdd)
+        assert len(stages) == 2
+        map_stage, result_stage = stages
+        assert not map_stage.is_result_stage
+        assert map_stage.num_tasks == 3  # parent partitions
+        assert result_stage.num_tasks == 5  # reducer partitions
+        assert "groupByKey" in map_stage.name
+
+    def test_stage_ids_sequential(self, sc):
+        rdd = (
+            sc.parallelize([("a", 1)], 1)
+            .group_by_key(2)
+            .map(lambda kv: (kv[0], 1))
+            .reduce_by_key(lambda a, b: a + b)
+        )
+        stages = build_stages(rdd)
+        assert [s.stage_id for s in stages] == [0, 1, 2]

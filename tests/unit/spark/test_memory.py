@@ -1,0 +1,100 @@
+"""Unit tests for storage-memory management and the caching decision rule."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.spark.conf import SparkConf
+from repro.spark.memory import (
+    StorageMemoryManager,
+    fits_in_storage_memory,
+    required_slaves_to_cache,
+)
+from repro.units import GB
+
+
+class TestCachingDecision:
+    def test_paper_union_rdd_cannot_be_cached(self):
+        # Section III-B2: the 870 GB markedReads RDD does not fit the
+        # ten-slave cluster's 360 GB of storage memory.
+        conf = SparkConf()
+        assert not fits_in_storage_memory(870 * GB, num_slaves=10, conf=conf)
+
+    def test_paper_25_node_requirement(self):
+        # 870 GB at 36 GB of storage memory per node -> ~25 slaves.
+        assert required_slaves_to_cache(870 * GB, SparkConf()) == 25
+
+    def test_small_rdd_fits(self):
+        assert fits_in_storage_memory(280 * GB, num_slaves=10, conf=SparkConf())
+
+    def test_zero_size_fits_everywhere(self):
+        assert fits_in_storage_memory(0.0, num_slaves=1, conf=SparkConf())
+        assert required_slaves_to_cache(0.0, SparkConf()) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fits_in_storage_memory(-1.0, 1, SparkConf())
+        with pytest.raises(ConfigurationError):
+            required_slaves_to_cache(-1.0, SparkConf())
+
+
+class TestStorageMemoryManager:
+    def test_put_and_get(self):
+        pool = StorageMemoryManager(100.0)
+        assert pool.put("a", 40.0) == []
+        assert pool.get("a")
+        assert pool.used_bytes == 40.0
+        assert pool.free_bytes == 60.0
+
+    def test_lru_eviction_order(self):
+        pool = StorageMemoryManager(100.0)
+        pool.put("a", 40.0)
+        pool.put("b", 40.0)
+        evicted = pool.put("c", 40.0)
+        assert [e.block_id for e in evicted] == ["a"]
+        assert pool.cached_blocks() == ["b", "c"]
+
+    def test_get_refreshes_recency(self):
+        pool = StorageMemoryManager(100.0)
+        pool.put("a", 40.0)
+        pool.put("b", 40.0)
+        pool.get("a")  # a becomes most recent
+        evicted = pool.put("c", 40.0)
+        assert [e.block_id for e in evicted] == ["b"]
+
+    def test_oversized_block_not_cached(self):
+        pool = StorageMemoryManager(100.0)
+        assert pool.put("huge", 200.0) == []
+        assert not pool.contains("huge")
+        assert pool.used_bytes == 0.0
+
+    def test_duplicate_put_is_touch(self):
+        pool = StorageMemoryManager(100.0)
+        pool.put("a", 40.0)
+        pool.put("b", 40.0)
+        pool.put("a", 40.0)  # refresh, not duplicate
+        assert pool.used_bytes == 80.0
+        evicted = pool.put("c", 40.0)
+        assert [e.block_id for e in evicted] == ["b"]
+
+    def test_remove(self):
+        pool = StorageMemoryManager(100.0)
+        pool.put("a", 10.0)
+        assert pool.remove("a")
+        assert not pool.remove("a")
+        assert pool.used_bytes == 0.0
+
+    def test_multi_eviction(self):
+        pool = StorageMemoryManager(100.0)
+        for name in "abcd":
+            pool.put(name, 25.0)
+        evicted = pool.put("e", 75.0)
+        assert [e.block_id for e in evicted] == ["a", "b", "c"]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            StorageMemoryManager(0.0)
+
+    def test_negative_block(self):
+        pool = StorageMemoryManager(10.0)
+        with pytest.raises(ConfigurationError):
+            pool.put("x", -1.0)

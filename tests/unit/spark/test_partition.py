@@ -1,0 +1,88 @@
+"""Unit tests for partitions and partitioners."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.spark.partition import (
+    HashPartitioner,
+    Partition,
+    RangePartitioner,
+    estimate_bytes,
+)
+
+
+class TestPartition:
+    def test_row_count(self):
+        assert Partition(index=0, rows=(1, 2, 3)).num_rows == 3
+
+    def test_estimate_bytes_positive(self):
+        assert estimate_bytes(["hello", "world"]) > 0
+
+    def test_estimate_bytes_empty(self):
+        assert estimate_bytes([]) == 0.0
+
+
+class TestHashPartitioner:
+    def test_deterministic(self):
+        partitioner = HashPartitioner(8)
+        assert partitioner.partition_of("key") == partitioner.partition_of("key")
+
+    def test_in_range(self):
+        partitioner = HashPartitioner(8)
+        for key in range(1000):
+            assert 0 <= partitioner.partition_of(key) < 8
+
+    def test_equality(self):
+        assert HashPartitioner(4) == HashPartitioner(4)
+        assert HashPartitioner(4) != HashPartitioner(8)
+        assert hash(HashPartitioner(4)) == hash(HashPartitioner(4))
+
+    def test_invalid_count(self):
+        with pytest.raises(SchedulerError):
+            HashPartitioner(0)
+
+
+class TestRangePartitioner:
+    def test_boundaries_route_correctly(self):
+        partitioner = RangePartitioner([10, 20])
+        assert partitioner.num_partitions == 3
+        assert partitioner.partition_of(5) == 0
+        assert partitioner.partition_of(10) == 0
+        assert partitioner.partition_of(15) == 1
+        assert partitioner.partition_of(25) == 2
+
+    def test_from_sample_balanced(self):
+        keys = list(range(100))
+        partitioner = RangePartitioner.from_sample(keys, 4)
+        assert partitioner.num_partitions == 4
+        counts = [0] * 4
+        for key in keys:
+            counts[partitioner.partition_of(key)] += 1
+        assert max(counts) - min(counts) <= 2
+
+    def test_from_sample_preserves_order(self):
+        keys = [5, 3, 9, 1, 7]
+        partitioner = RangePartitioner.from_sample(keys, 3)
+        previous = -1
+        for key in sorted(keys):
+            index = partitioner.partition_of(key)
+            assert index >= previous
+            previous = index
+
+    def test_single_partition(self):
+        partitioner = RangePartitioner.from_sample([1, 2, 3], 1)
+        assert partitioner.num_partitions == 1
+        assert partitioner.partition_of(99) == 0
+
+    def test_empty_sample(self):
+        partitioner = RangePartitioner.from_sample([], 4)
+        assert partitioner.num_partitions == 1
+
+    def test_duplicate_keys_deduplicated(self):
+        partitioner = RangePartitioner.from_sample([1, 1, 1, 1], 4)
+        # All boundaries collapse to one.
+        assert partitioner.num_partitions <= 2
+
+    def test_invalid_count(self):
+        with pytest.raises(SchedulerError):
+            RangePartitioner.from_sample([1], 0)

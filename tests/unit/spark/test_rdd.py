@@ -1,0 +1,153 @@
+"""Unit tests for the functional RDD API."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.spark.context import DoppioContext
+from repro.spark.rdd import DISK_ONLY, MEMORY_ONLY, NONE
+
+
+@pytest.fixture()
+def sc():
+    return DoppioContext()
+
+
+class TestTransformations:
+    def test_map(self, sc):
+        assert sc.parallelize([1, 2, 3], 2).map(lambda x: x * 2).collect() == [2, 4, 6]
+
+    def test_filter(self, sc):
+        rdd = sc.parallelize(range(10), 3).filter(lambda x: x % 2 == 0)
+        assert rdd.collect() == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, sc):
+        rdd = sc.parallelize(["a b", "c"], 2).flat_map(str.split)
+        assert rdd.collect() == ["a", "b", "c"]
+
+    def test_map_partitions(self, sc):
+        rdd = sc.parallelize(range(6), 3).map_partitions(lambda rows: [sum(rows)])
+        assert sum(rdd.collect()) == 15
+        assert rdd.num_partitions == 3
+
+    def test_key_by_and_map_values(self, sc):
+        rdd = sc.parallelize(["aa", "b"], 1).key_by(len).map_values(str.upper)
+        assert rdd.collect() == [(2, "AA"), (1, "B")]
+
+    def test_union(self, sc):
+        left = sc.parallelize([1, 2], 2)
+        right = sc.parallelize([3], 1)
+        union = left.union(right)
+        assert union.num_partitions == 3
+        assert sorted(union.collect()) == [1, 2, 3]
+
+    def test_union_requires_same_context(self, sc):
+        other = DoppioContext()
+        with pytest.raises(SchedulerError):
+            sc.parallelize([1]).union(other.parallelize([2]))
+
+    def test_chaining_is_lazy(self, sc):
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x
+
+        rdd = sc.parallelize([1, 2, 3], 1).map(spy)
+        assert calls == []  # nothing ran yet
+        rdd.collect()
+        assert calls == [1, 2, 3]
+
+
+class TestShuffleTransformations:
+    def test_group_by_key(self, sc):
+        pairs = [("a", 1), ("b", 2), ("a", 3)]
+        grouped = dict(sc.parallelize(pairs, 2).group_by_key(4).collect())
+        assert sorted(grouped["a"]) == [1, 3]
+        assert grouped["b"] == [2]
+
+    def test_reduce_by_key(self, sc):
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("b", 5)]
+        reduced = dict(sc.parallelize(pairs, 3).reduce_by_key(lambda a, b: a + b).collect())
+        assert reduced == {"a": 4, "b": 7}
+
+    def test_repartition(self, sc):
+        rdd = sc.parallelize(range(100), 4).repartition(10)
+        assert rdd.num_partitions == 10
+        assert sorted(rdd.collect()) == list(range(100))
+
+    def test_sort_by_key(self, sc):
+        pairs = [(9, "i"), (1, "a"), (5, "e"), (3, "c")]
+        result = sc.parallelize(pairs, 2).sort_by_key(2).collect()
+        assert [k for k, _ in result] == [1, 3, 5, 9]
+
+    def test_group_by_key_requires_pairs(self, sc):
+        with pytest.raises(SchedulerError):
+            sc.parallelize([1, 2, 3], 1).group_by_key(2).collect()
+
+
+class TestActions:
+    def test_count(self, sc):
+        assert sc.parallelize(range(42), 5).count() == 42
+
+    def test_take(self, sc):
+        assert sc.parallelize(range(100), 10).take(5) == [0, 1, 2, 3, 4]
+
+    def test_take_more_than_available(self, sc):
+        assert sc.parallelize([1, 2], 1).take(10) == [1, 2]
+
+    def test_reduce(self, sc):
+        assert sc.parallelize(range(5), 2).reduce(lambda a, b: a + b) == 10
+
+    def test_reduce_empty_raises(self, sc):
+        with pytest.raises(SchedulerError):
+            sc.parallelize([], 1).reduce(lambda a, b: a + b)
+
+    def test_count_by_key(self, sc):
+        pairs = [("x", 1), ("y", 1), ("x", 1)]
+        assert sc.parallelize(pairs, 2).count_by_key() == {"x": 2, "y": 1}
+
+
+class TestPersistence:
+    def test_cache_marks_level(self, sc):
+        rdd = sc.parallelize([1, 2], 1).map(lambda x: x)
+        assert rdd.storage_level == NONE
+        rdd.cache()
+        assert rdd.storage_level == MEMORY_ONLY
+
+    def test_persist_disk(self, sc):
+        rdd = sc.parallelize([1], 1).persist(DISK_ONLY)
+        assert rdd.storage_level == DISK_ONLY
+
+    def test_invalid_level(self, sc):
+        with pytest.raises(SchedulerError):
+            sc.parallelize([1], 1).persist("OFF_HEAP")
+
+    def test_cached_rdd_not_recomputed(self, sc):
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x
+
+        rdd = sc.parallelize([1, 2, 3], 1).map(spy).cache()
+        rdd.collect()
+        rdd.collect()
+        assert calls == [1, 2, 3]  # second collect served from cache
+
+    def test_unpersist_recomputes(self, sc):
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x
+
+        rdd = sc.parallelize([1], 1).map(spy).cache()
+        rdd.collect()
+        rdd.unpersist()
+        assert rdd.storage_level == NONE
+        rdd.collect()
+        assert calls == [1, 1]
+
+    def test_repr(self, sc):
+        rdd = sc.parallelize([1, 2], 2)
+        assert "partitions=2" in repr(rdd)

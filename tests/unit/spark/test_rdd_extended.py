@@ -1,0 +1,103 @@
+"""Unit tests for the extended RDD operations (join/cogroup/distinct/...)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.spark.context import DoppioContext
+
+
+@pytest.fixture()
+def sc():
+    return DoppioContext()
+
+
+class TestDistinct:
+    def test_removes_duplicates(self, sc):
+        rdd = sc.parallelize([1, 2, 2, 3, 3, 3], 3).distinct(2)
+        assert sorted(rdd.collect()) == [1, 2, 3]
+
+    def test_already_unique(self, sc):
+        assert sorted(sc.parallelize([4, 5, 6], 2).distinct().collect()) == [4, 5, 6]
+
+    def test_empty(self, sc):
+        assert sc.parallelize([], 1).distinct().collect() == []
+
+    def test_is_a_shuffle(self, sc):
+        from repro.spark.dag import shuffle_dependencies
+
+        rdd = sc.parallelize([1, 1], 1).distinct(2)
+        assert len(shuffle_dependencies(rdd)) == 1
+
+
+class TestSortBy:
+    def test_sorts_by_key_function(self, sc):
+        rdd = sc.parallelize(["ccc", "a", "bb"], 2).sort_by(len, 2)
+        assert rdd.collect() == ["a", "bb", "ccc"]
+
+    def test_preserves_multiset(self, sc):
+        data = [3, 1, 2, 1, 3, 3]
+        result = sc.parallelize(data, 3).sort_by(lambda x: x, 2).collect()
+        assert Counter(result) == Counter(data)
+        assert result == sorted(data)
+
+
+class TestCogroup:
+    def test_groups_both_sides(self, sc):
+        left = sc.parallelize([("a", 1), ("b", 2), ("a", 3)], 2)
+        right = sc.parallelize([("a", "x"), ("c", "y")], 2)
+        result = dict(left.cogroup(right, 2).collect())
+        lefts, rights = result["a"]
+        assert sorted(lefts) == [1, 3]
+        assert rights == ["x"]
+        assert result["b"] == ([2], [])
+        assert result["c"] == ([], ["y"])
+
+    def test_requires_same_context(self, sc):
+        other = DoppioContext()
+        with pytest.raises(SchedulerError):
+            sc.parallelize([("a", 1)], 1).cogroup(other.parallelize([("a", 2)], 1))
+
+
+class TestJoin:
+    def test_inner_join(self, sc):
+        left = sc.parallelize([("a", 1), ("b", 2)], 2)
+        right = sc.parallelize([("a", "x"), ("a", "y"), ("c", "z")], 2)
+        joined = sorted(left.join(right, 2).collect())
+        assert joined == [("a", (1, "x")), ("a", (1, "y"))]
+
+    def test_matches_reference_join(self, sc):
+        left_data = [(key % 5, key) for key in range(40)]
+        right_data = [(key % 7, -key) for key in range(40)]
+        joined = sc.parallelize(left_data, 4).join(
+            sc.parallelize(right_data, 4), 4
+        ).collect()
+        reference = [
+            (lk, (lv, rv))
+            for lk, lv in left_data
+            for rk, rv in right_data
+            if lk == rk
+        ]
+        assert Counter(joined) == Counter(reference)
+
+    def test_disjoint_keys_empty(self, sc):
+        left = sc.parallelize([("a", 1)], 1)
+        right = sc.parallelize([("b", 2)], 1)
+        assert left.join(right, 2).collect() == []
+
+
+class TestTakeOrderedAndGlom:
+    def test_take_ordered(self, sc):
+        rdd = sc.parallelize([5, 1, 4, 2, 3], 3)
+        assert rdd.take_ordered(3) == [1, 2, 3]
+
+    def test_take_ordered_with_key(self, sc):
+        rdd = sc.parallelize(["bb", "a", "ccc"], 2)
+        assert rdd.take_ordered(2, key_fn=len) == ["a", "bb"]
+
+    def test_glom_partition_structure(self, sc):
+        rdd = sc.parallelize(range(6), 3)
+        partitions = rdd.glom()
+        assert len(partitions) == 3
+        assert [row for part in partitions for row in part] == list(range(6))

@@ -1,0 +1,88 @@
+"""Unit tests for the functional runtime (caching, shuffles, profiles)."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.spark.conf import SparkConf
+from repro.spark.context import DoppioContext
+from repro.spark.rdd import DISK_ONLY
+from repro.units import KB
+
+
+@pytest.fixture()
+def sc():
+    return DoppioContext()
+
+
+class TestShuffleMachinery:
+    def test_shuffle_outputs_partition_by_key(self, sc):
+        pairs = [(key, key) for key in range(100)]
+        grouped = sc.parallelize(pairs, 4).group_by_key(8)
+        collected = dict(grouped.collect())
+        assert len(collected) == 100
+
+    def test_shuffle_reused_across_jobs(self, sc):
+        grouped = sc.parallelize([("a", 1)], 2).group_by_key(2)
+        grouped.count()
+        profiles_after_first = len(sc.stage_profiles)
+        grouped.count()
+        # Second job re-reads the materialized shuffle: only a result
+        # stage is added, not another map stage.
+        new_profiles = sc.stage_profiles[profiles_after_first:]
+        assert all("result" in p.name for p in new_profiles)
+
+    def test_segments_for_unrun_shuffle_rejected(self, sc):
+        grouped = sc.parallelize([("a", 1)], 1).group_by_key(2)
+        with pytest.raises(SchedulerError):
+            sc.runtime.shuffle_segments_for(grouped, 0)
+
+    def test_segment_count(self, sc):
+        pairs = [(key % 4, key) for key in range(64)]
+        grouped = sc.parallelize(pairs, 4).group_by_key(4)
+        grouped.count()
+        count = sc.runtime.shuffle_segment_count(grouped)
+        # 4 distinct keys hashed over 4 reducers from 4 mappers: at most
+        # 16 non-empty segments.
+        assert 4 <= count <= 16
+
+
+class TestCachingRuntime:
+    def test_memory_eviction_spills_to_disk(self):
+        # A pool sized to hold roughly one partition: later partitions
+        # evict earlier ones, demoting them to the disk store.
+        conf = SparkConf(worker_memory_bytes=60 * KB, storage_memory_fraction=0.5)
+        sc = DoppioContext(conf=conf)
+        rdd = sc.parallelize(list(range(3000)), 4).map(lambda x: x).cache()
+        rdd.collect()
+        # The pool can't hold all four partitions; spills happened.
+        assert sc.runtime.disk_spill_bytes > 0
+        # Results still correct.
+        assert sorted(rdd.collect()) == list(range(3000))
+
+    def test_disk_only_accounting(self, sc):
+        rdd = sc.parallelize([1, 2, 3], 1).persist(DISK_ONLY)
+        rdd.collect()
+        assert sc.runtime.disk_spill_bytes > 0
+
+    def test_drop_cached(self, sc):
+        rdd = sc.parallelize([1, 2], 1).cache()
+        rdd.collect()
+        assert sc.runtime.cached_memory_bytes > 0
+        sc.runtime.drop_cached(rdd)
+        assert sc.runtime.cached_memory_bytes == 0.0
+
+
+class TestStageProfiles:
+    def test_map_stage_profile_records_shuffle(self, sc):
+        pairs = [(key % 5, "x" * 50) for key in range(200)]
+        sc.parallelize(pairs, 4).group_by_key(5).count()
+        map_profiles = [p for p in sc.stage_profiles if p.shuffle_write_bytes > 0]
+        assert len(map_profiles) == 1
+        profile = map_profiles[0]
+        assert profile.num_tasks == 4
+        assert profile.num_mappers == 4
+        assert profile.num_reducers == 5
+
+    def test_result_stage_profile_present(self, sc):
+        sc.parallelize([1], 1).count()
+        assert any("result" in p.name for p in sc.stage_profiles)

@@ -1,0 +1,94 @@
+"""Unit tests for the shuffle geometry model (Section III-C2)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.spark.shuffle import (
+    ShufflePlan,
+    mappers_for_hdfs_input,
+    reducers_for_target_input,
+    shuffle_read_request_size,
+)
+from repro.units import GB, KB, MB
+
+
+class TestGatk4Geometry:
+    """The exact numbers of Section III-C2."""
+
+    @pytest.fixture()
+    def plan(self):
+        return ShufflePlan.from_reducer_target(
+            total_bytes=334 * GB,
+            num_mappers=973,
+            target_bytes_per_reducer=27 * MB,
+        )
+
+    def test_m_is_973(self):
+        assert mappers_for_hdfs_input(973 * 128 * MB, 128 * MB) == 973
+
+    def test_reducer_count(self, plan):
+        # 334 GB / 27 MB per reducer = 12,667 reduce tasks.
+        assert plan.num_reducers == 12667
+
+    def test_read_request_near_30kb(self, plan):
+        # 27 MB / 973 mappers ~ 28 KB, the paper's "around 30 KB".
+        assert plan.read_request_size == pytest.approx(28.4 * KB, rel=0.02)
+
+    def test_avgrq_sz_near_60_sectors(self, plan):
+        # iostat reports ~60 sectors of 512 B.
+        assert 54 <= plan.avgrq_sz_sectors() <= 60
+
+    def test_write_chunk_near_365mb(self, plan):
+        # The paper quotes ~365 MB sorted chunks; exact arithmetic gives
+        # 334 GB / 973 = 351.5 MB.
+        assert plan.write_request_size == pytest.approx(351.5 * MB, rel=0.01)
+
+    def test_reads_per_reducer_is_m(self, plan):
+        assert plan.reads_per_reducer() == 973
+
+    def test_total_segments(self, plan):
+        assert plan.total_segments == 973 * 12667
+        assert plan.segments_matrix_shape() == (973, 12667)
+
+
+class TestHelpers:
+    def test_request_size_formula(self):
+        assert shuffle_read_request_size(100 * MB, 10, 10) == pytest.approx(1 * MB)
+
+    def test_request_size_validation(self):
+        with pytest.raises(WorkloadError):
+            shuffle_read_request_size(0.0, 1, 1)
+        with pytest.raises(WorkloadError):
+            shuffle_read_request_size(1.0, 0, 1)
+
+    def test_reducers_for_target(self):
+        assert reducers_for_target_input(270 * MB, 27 * MB) == 10
+
+    def test_reducers_minimum_one(self):
+        assert reducers_for_target_input(1 * MB, 1 * GB) == 1
+
+    def test_reducers_validation(self):
+        with pytest.raises(WorkloadError):
+            reducers_for_target_input(0.0, 1.0)
+
+    def test_mappers_round_up(self):
+        assert mappers_for_hdfs_input(129 * MB, 128 * MB) == 2
+
+    def test_mappers_validation(self):
+        with pytest.raises(WorkloadError):
+            mappers_for_hdfs_input(0.0, 128 * MB)
+
+
+class TestPlanValidation:
+    def test_positive_fields_required(self):
+        with pytest.raises(WorkloadError):
+            ShufflePlan(total_bytes=0.0, num_mappers=1, num_reducers=1)
+        with pytest.raises(WorkloadError):
+            ShufflePlan(total_bytes=1.0, num_mappers=0, num_reducers=1)
+        with pytest.raises(WorkloadError):
+            ShufflePlan(total_bytes=1.0, num_mappers=1, num_reducers=0)
+
+    def test_per_side_sizes(self):
+        plan = ShufflePlan(total_bytes=100 * MB, num_mappers=4, num_reducers=10)
+        assert plan.bytes_per_mapper == pytest.approx(25 * MB)
+        assert plan.bytes_per_reducer == pytest.approx(10 * MB)

@@ -1,0 +1,88 @@
+"""Unit tests for stage runtime profiles and spec conversion."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.spark.stageinfo import StageRuntimeProfile, profiles_to_workload
+from repro.units import GB, KB, MB
+
+
+class TestChannelBytes:
+    def test_nonzero_channels_only(self):
+        profile = StageRuntimeProfile(
+            name="s", num_tasks=4, hdfs_read_bytes=1 * GB, shuffle_write_bytes=2 * GB
+        )
+        assert set(profile.channel_bytes()) == {"hdfs_read", "shuffle_write"}
+
+    def test_empty(self):
+        assert StageRuntimeProfile(name="s", num_tasks=1).channel_bytes() == {}
+
+
+class TestToStageSpec:
+    def test_basic_conversion(self):
+        profile = StageRuntimeProfile(
+            name="scan",
+            num_tasks=8,
+            hdfs_read_bytes=8 * 128 * MB,
+            compute_seconds_per_task=2.0,
+        )
+        spec = profile.to_stage_spec()
+        assert spec.name == "scan"
+        assert spec.num_tasks == 8
+        group = spec.groups[0]
+        assert group.compute_seconds == 2.0
+        assert group.read_channels[0].bytes_per_task == pytest.approx(128 * MB)
+
+    def test_shuffle_read_request_size_uses_geometry(self):
+        profile = StageRuntimeProfile(
+            name="reduce",
+            num_tasks=10,
+            shuffle_read_bytes=100 * MB,
+            num_mappers=10,
+            num_reducers=10,
+        )
+        spec = profile.to_stage_spec()
+        channel = spec.groups[0].read_channels[0]
+        assert channel.request_size == pytest.approx(1 * MB)
+
+    def test_request_size_override_via_extras(self):
+        profile = StageRuntimeProfile(
+            name="s",
+            num_tasks=2,
+            persist_read_bytes=4 * MB,
+            extras={"persist_read_request_size": 512 * KB},
+        )
+        channel = profile.to_stage_spec().groups[0].read_channels[0]
+        assert channel.request_size == pytest.approx(512 * KB)
+
+    def test_default_request_capped_by_per_task(self):
+        profile = StageRuntimeProfile(
+            name="s", num_tasks=100, hdfs_write_bytes=10 * MB
+        )
+        channel = profile.to_stage_spec().groups[0].write_channels[0]
+        assert channel.request_size <= 10 * MB / 100 + 1
+
+    def test_throughputs_applied(self):
+        profile = StageRuntimeProfile(name="s", num_tasks=2, hdfs_read_bytes=2 * MB)
+        spec = profile.to_stage_spec(throughputs={"hdfs_read": 50 * MB})
+        assert spec.groups[0].read_channels[0].per_core_throughput == 50 * MB
+
+    def test_zero_tasks_rejected(self):
+        profile = StageRuntimeProfile(name="s", num_tasks=0)
+        with pytest.raises(WorkloadError):
+            profile.to_stage_spec()
+
+
+class TestProfilesToWorkload:
+    def test_bundle(self):
+        profiles = [
+            StageRuntimeProfile(name="a", num_tasks=2, compute_seconds_per_task=1.0),
+            StageRuntimeProfile(name="b", num_tasks=3, compute_seconds_per_task=1.0),
+        ]
+        workload = profiles_to_workload("mini", profiles)
+        assert workload.name == "mini"
+        assert [s.name for s in workload.stages] == ["a", "b"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            profiles_to_workload("none", [])

@@ -1,0 +1,85 @@
+"""Unit tests for storage device models."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.device import StorageDevice, make_hdd, make_ssd
+from repro.units import GB, KB, MB, TB
+
+
+class TestFactories:
+    def test_hdd_defaults(self, hdd):
+        assert hdd.kind == "hdd"
+        assert hdd.capacity_bytes == pytest.approx(4 * TB)
+        assert hdd.used_bytes == 0.0
+
+    def test_ssd_defaults(self, ssd):
+        assert ssd.kind == "ssd"
+        assert ssd.capacity_bytes == pytest.approx(240 * GB)
+
+    def test_custom_name_and_capacity(self):
+        device = make_hdd(name="d0", capacity_bytes=1 * TB)
+        assert device.name == "d0"
+        assert device.capacity_bytes == pytest.approx(1 * TB)
+
+    def test_repr(self, hdd):
+        assert "hdd" in repr(hdd)
+
+
+class TestBandwidthDispatch:
+    def test_read_vs_write_curves_differ(self, hdd):
+        assert hdd.read_bandwidth(128 * MB) != hdd.write_bandwidth(128 * MB)
+
+    def test_bandwidth_dispatch(self, ssd):
+        assert ssd.bandwidth(30 * KB, is_write=False) == pytest.approx(
+            ssd.read_bandwidth(30 * KB)
+        )
+        assert ssd.bandwidth(30 * KB, is_write=True) == pytest.approx(
+            ssd.write_bandwidth(30 * KB)
+        )
+
+    def test_hdd_shuffle_write_near_100mbs(self, hdd):
+        # Section V-A1: BW_write ~ 100 MB/s at the ~365 MB chunk size.
+        assert hdd.write_bandwidth(365 * MB) == pytest.approx(100 * MB, rel=0.05)
+
+    def test_write_curves_monotone(self, hdd, ssd):
+        for device in (hdd, ssd):
+            previous = 0.0
+            for size in (4 * KB, 30 * KB, 1 * MB, 16 * MB, 128 * MB):
+                value = device.write_bandwidth(size)
+                assert value >= previous
+                previous = value
+
+
+class TestAllocation:
+    def test_allocate_and_release(self, ssd):
+        ssd.allocate(100 * GB)
+        assert ssd.used_bytes == pytest.approx(100 * GB)
+        assert ssd.free_bytes == pytest.approx(140 * GB)
+        ssd.release(60 * GB)
+        assert ssd.used_bytes == pytest.approx(40 * GB)
+
+    def test_allocate_beyond_capacity(self, ssd):
+        with pytest.raises(StorageError):
+            ssd.allocate(250 * GB)
+
+    def test_release_more_than_allocated(self, ssd):
+        ssd.allocate(10 * GB)
+        with pytest.raises(StorageError):
+            ssd.release(20 * GB)
+
+    def test_negative_amounts_rejected(self, ssd):
+        with pytest.raises(StorageError):
+            ssd.allocate(-1.0)
+        with pytest.raises(StorageError):
+            ssd.release(-1.0)
+
+    def test_zero_capacity_rejected(self):
+        from repro.core.bandwidth import EffectiveBandwidthTable
+
+        table = EffectiveBandwidthTable({1.0: 1.0})
+        with pytest.raises(StorageError):
+            StorageDevice(
+                name="bad", kind="hdd", capacity_bytes=0.0,
+                read_table=table, write_table=table,
+            )

@@ -1,0 +1,58 @@
+"""Unit tests for the fio-style microbenchmark (Fig. 5 machinery)."""
+
+import pytest
+
+from repro.storage.fio import DEFAULT_BLOCK_SIZES, run_fio_point, run_fio_sweep
+from repro.units import KB, MB
+
+
+class TestFioPoint:
+    def test_single_job_reads_device_curve(self, hdd):
+        result = run_fio_point(hdd, 30 * KB)
+        assert result.bandwidth == pytest.approx(15 * MB)
+        assert result.iops == pytest.approx(15 * MB / (30 * KB))
+        assert result.device_name == hdd.name
+        assert not result.is_write
+
+    def test_multiple_jobs_saturate_same_aggregate(self, hdd):
+        one = run_fio_point(hdd, 30 * KB, num_jobs=1)
+        many = run_fio_point(hdd, 30 * KB, num_jobs=8)
+        assert many.bandwidth == pytest.approx(one.bandwidth)
+
+    def test_write_mode(self, ssd):
+        result = run_fio_point(ssd, 1 * MB, is_write=True)
+        assert result.is_write
+        assert result.bandwidth == pytest.approx(ssd.write_bandwidth(1 * MB))
+
+    def test_queue_left_clean(self, hdd):
+        run_fio_point(hdd, 30 * KB, num_jobs=4)
+        # A fresh single-job point still sees the whole device.
+        again = run_fio_point(hdd, 30 * KB)
+        assert again.bandwidth == pytest.approx(15 * MB)
+
+
+class TestFioSweep:
+    def test_sweep_covers_default_sizes(self, ssd):
+        results = run_fio_sweep(ssd)
+        assert [r.block_size for r in results] == list(DEFAULT_BLOCK_SIZES)
+
+    def test_bandwidth_monotone_in_block_size(self, hdd):
+        results = run_fio_sweep(hdd)
+        bandwidths = [r.bandwidth for r in results]
+        assert bandwidths == sorted(bandwidths)
+
+    def test_iops_decrease_with_block_size(self, hdd):
+        results = run_fio_sweep(hdd)
+        iops = [r.iops for r in results]
+        assert iops == sorted(iops, reverse=True)
+
+    def test_fig5_gap_series(self, hdd, ssd):
+        hdd_sweep = {r.block_size: r.bandwidth for r in run_fio_sweep(hdd)}
+        ssd_sweep = {r.block_size: r.bandwidth for r in run_fio_sweep(ssd)}
+        gap_4k = ssd_sweep[4 * KB] / hdd_sweep[4 * KB]
+        gap_30k = ssd_sweep[30 * KB] / hdd_sweep[30 * KB]
+        gap_128m = ssd_sweep[128 * MB] / hdd_sweep[128 * MB]
+        assert gap_4k > gap_30k > gap_128m
+        assert gap_4k == pytest.approx(181, rel=0.02)
+        assert gap_30k == pytest.approx(32, rel=0.02)
+        assert gap_128m == pytest.approx(3.7, rel=0.02)

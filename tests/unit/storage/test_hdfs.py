@@ -1,0 +1,112 @@
+"""Unit tests for the HDFS model."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    FileNotFoundInStoreError,
+    StorageError,
+)
+from repro.storage.device import make_hdd
+from repro.storage.hdfs import Hdfs
+from repro.units import GB, MB, TB
+
+
+@pytest.fixture()
+def hdfs():
+    devices = [make_hdd(name=f"dn{i}", capacity_bytes=1 * TB) for i in range(3)]
+    return Hdfs(devices=devices, block_size=128 * MB, replication=2)
+
+
+class TestConstruction:
+    def test_defaults(self, hdfs):
+        assert hdfs.block_size == pytest.approx(128 * MB)
+        assert hdfs.replication == 2
+
+    def test_requires_devices(self):
+        with pytest.raises(ConfigurationError):
+            Hdfs(devices=[])
+
+    def test_replication_bounds(self):
+        devices = [make_hdd(name="dn0")]
+        with pytest.raises(ConfigurationError):
+            Hdfs(devices=devices, replication=0)
+        with pytest.raises(ConfigurationError):
+            Hdfs(devices=devices, replication=2)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ConfigurationError):
+            Hdfs(devices=[make_hdd()], block_size=0.0, replication=1)
+
+
+class TestFiles:
+    def test_put_get(self, hdfs):
+        put = hdfs.put("/genome.bam", 122 * GB)
+        got = hdfs.get("/genome.bam")
+        assert got == put
+        assert hdfs.exists("/genome.bam")
+
+    def test_block_count_gatk4(self, hdfs):
+        # 973 blocks for the paper's input (973 * 128 MB file).
+        hdfs_file = hdfs.put("/input.bam", 973 * 128 * MB)
+        assert hdfs_file.num_blocks == 973
+
+    def test_block_count_rounds_up(self, hdfs):
+        assert hdfs.put("/x", 129 * MB).num_blocks == 2
+
+    def test_empty_file_one_block(self, hdfs):
+        assert hdfs.put("/empty", 0.0).num_blocks == 1
+
+    def test_duplicate_path_rejected(self, hdfs):
+        hdfs.put("/a", 1 * GB)
+        with pytest.raises(StorageError):
+            hdfs.put("/a", 1 * GB)
+
+    def test_missing_file(self, hdfs):
+        with pytest.raises(FileNotFoundInStoreError):
+            hdfs.get("/missing")
+
+    def test_negative_size_rejected(self, hdfs):
+        with pytest.raises(StorageError):
+            hdfs.put("/neg", -1.0)
+
+    def test_list_sorted(self, hdfs):
+        hdfs.put("/b", 1 * GB)
+        hdfs.put("/a", 1 * GB)
+        assert [f.path for f in hdfs.list_files()] == ["/a", "/b"]
+
+
+class TestCapacityAccounting:
+    def test_replicated_allocation(self, hdfs):
+        hdfs.put("/a", 300 * GB)
+        # 300 GB * replication 2 over 3 devices = 200 GB each.
+        for device in hdfs.devices:
+            assert device.used_bytes == pytest.approx(200 * GB)
+
+    def test_delete_releases(self, hdfs):
+        hdfs.put("/a", 300 * GB)
+        hdfs.delete("/a")
+        for device in hdfs.devices:
+            assert device.used_bytes == 0.0
+        assert not hdfs.exists("/a")
+
+    def test_overflow_rolls_back(self, hdfs):
+        with pytest.raises(StorageError):
+            hdfs.put("/huge", 10 * TB)
+        for device in hdfs.devices:
+            assert device.used_bytes == 0.0
+        assert not hdfs.exists("/huge")
+
+    def test_total_stored(self, hdfs):
+        hdfs.put("/a", 10 * GB)
+        hdfs.put("/b", 5 * GB)
+        assert hdfs.total_stored_bytes == pytest.approx(15 * GB)
+
+
+class TestRequestSizes:
+    def test_read_write_request_is_block(self, hdfs):
+        assert hdfs.read_request_size() == pytest.approx(128 * MB)
+        assert hdfs.write_request_size() == pytest.approx(128 * MB)
+
+    def test_write_amplification(self, hdfs):
+        assert hdfs.write_amplification() == 2.0

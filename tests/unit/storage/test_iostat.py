@@ -1,0 +1,67 @@
+"""Unit tests for the iostat-style request collector."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.iostat import IostatCollector
+from repro.units import KB, MB
+
+
+@pytest.fixture()
+def collector():
+    return IostatCollector()
+
+
+class TestRecording:
+    def test_average_request_size(self, collector):
+        collector.record("disk0", total_bytes=300 * KB, request_size=30 * KB,
+                         is_write=False)
+        sample = collector.sample("disk0", is_write=False)
+        assert sample.num_requests == pytest.approx(10.0)
+        assert sample.avg_request_size == pytest.approx(30 * KB)
+
+    def test_byte_weighted_mixing(self, collector):
+        collector.record("disk0", 100 * MB, request_size=1 * MB, is_write=False)
+        collector.record("disk0", 100 * MB, request_size=100 * MB, is_write=False)
+        sample = collector.sample("disk0", is_write=False)
+        # 100 requests of 1 MB + 1 request of 100 MB = 101 requests / 200 MB.
+        assert sample.avg_request_size == pytest.approx(200 * MB / 101)
+
+    def test_directions_separate(self, collector):
+        collector.record("disk0", 10 * MB, 1 * MB, is_write=False)
+        collector.record("disk0", 20 * MB, 2 * MB, is_write=True)
+        assert collector.sample("disk0", False).total_bytes == pytest.approx(10 * MB)
+        assert collector.sample("disk0", True).total_bytes == pytest.approx(20 * MB)
+
+    def test_zero_byte_transfer_ignored(self, collector):
+        collector.record("disk0", 0.0, 1 * MB, is_write=False)
+        assert collector.sample("disk0", False).num_requests == 0.0
+
+    def test_invalid_records(self, collector):
+        with pytest.raises(StorageError):
+            collector.record("d", -1.0, 1.0, False)
+        with pytest.raises(StorageError):
+            collector.record("d", 1.0, 0.0, False)
+
+
+class TestSamples:
+    def test_avgrq_sz_sectors_matches_paper(self, collector):
+        # The paper measures ~60 sectors (30 KB) during shuffle read.
+        collector.record("local", 334 * MB, request_size=30 * KB, is_write=False)
+        sample = collector.sample("local", is_write=False)
+        assert sample.avgrq_sz_sectors == pytest.approx(60.0)
+
+    def test_empty_sample_raises_on_avg(self, collector):
+        sample = collector.sample("nothing", is_write=False)
+        with pytest.raises(StorageError):
+            _ = sample.avg_request_size
+
+    def test_devices_listing(self, collector):
+        collector.record("b", 1 * MB, 1 * MB, False)
+        collector.record("a", 1 * MB, 1 * MB, True)
+        assert collector.devices() == ["a", "b"]
+
+    def test_reset(self, collector):
+        collector.record("a", 1 * MB, 1 * MB, False)
+        collector.reset()
+        assert collector.devices() == []

@@ -1,0 +1,76 @@
+"""Unit tests for the Spark-local directory store."""
+
+import pytest
+
+from repro.errors import FileNotFoundInStoreError, StorageError
+from repro.storage.device import make_ssd
+from repro.storage.local import SparkLocalDir
+from repro.units import GB, MB
+
+
+@pytest.fixture()
+def local():
+    return SparkLocalDir(make_ssd(capacity_bytes=100 * GB))
+
+
+class TestWriteAndRead:
+    def test_write_get(self, local):
+        written = local.write("shuffle_0_0", 351 * MB, SparkLocalDir.SHUFFLE)
+        assert local.get("shuffle_0_0") == written
+        assert local.exists("shuffle_0_0")
+        assert written.kind == "shuffle"
+
+    def test_unknown_kind_rejected(self, local):
+        with pytest.raises(StorageError):
+            local.write("x", 1 * MB, "temporary")
+
+    def test_duplicate_rejected(self, local):
+        local.write("x", 1 * MB, SparkLocalDir.PERSIST)
+        with pytest.raises(StorageError):
+            local.write("x", 1 * MB, SparkLocalDir.PERSIST)
+
+    def test_negative_size_rejected(self, local):
+        with pytest.raises(StorageError):
+            local.write("x", -1.0, SparkLocalDir.SHUFFLE)
+
+    def test_missing_file(self, local):
+        with pytest.raises(FileNotFoundInStoreError):
+            local.get("nope")
+
+
+class TestAccounting:
+    def test_device_allocation(self, local):
+        local.write("a", 10 * GB, SparkLocalDir.SHUFFLE)
+        assert local.device.used_bytes == pytest.approx(10 * GB)
+        local.delete("a")
+        assert local.device.used_bytes == 0.0
+
+    def test_capacity_enforced(self, local):
+        with pytest.raises(StorageError):
+            local.write("big", 200 * GB, SparkLocalDir.PERSIST)
+
+    def test_used_bytes_by_kind(self, local):
+        local.write("s", 10 * GB, SparkLocalDir.SHUFFLE)
+        local.write("p", 5 * GB, SparkLocalDir.PERSIST)
+        assert local.used_bytes == pytest.approx(15 * GB)
+        assert local.used_bytes_of("shuffle") == pytest.approx(10 * GB)
+        assert local.used_bytes_of("persist") == pytest.approx(5 * GB)
+
+    def test_clear_by_kind(self, local):
+        local.write("s", 10 * GB, SparkLocalDir.SHUFFLE)
+        local.write("p", 5 * GB, SparkLocalDir.PERSIST)
+        local.clear(kind=SparkLocalDir.SHUFFLE)
+        assert not local.exists("s")
+        assert local.exists("p")
+
+    def test_clear_all(self, local):
+        local.write("s", 10 * GB, SparkLocalDir.SHUFFLE)
+        local.write("p", 5 * GB, SparkLocalDir.PERSIST)
+        local.clear()
+        assert local.used_bytes == 0.0
+        assert local.device.used_bytes == 0.0
+
+    def test_list_sorted(self, local):
+        local.write("b", 1 * MB, SparkLocalDir.SHUFFLE)
+        local.write("a", 1 * MB, SparkLocalDir.PERSIST)
+        assert [f.name for f in local.list_files()] == ["a", "b"]

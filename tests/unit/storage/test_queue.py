@@ -1,0 +1,142 @@
+"""Unit tests for the processor-sharing device queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.storage.device import make_hdd, make_ssd
+from repro.storage.queue import DeviceQueue, IoStream
+from repro.units import KB, MB
+
+
+def stream(bytes_=100 * MB, rs=30 * KB, write=False, cap=None):
+    return IoStream(
+        remaining_bytes=bytes_, request_size=rs, is_write=write, per_stream_cap=cap
+    )
+
+
+class TestIoStream:
+    def test_done_and_finish_time(self):
+        s = stream(bytes_=10 * MB)
+        s.rate = 5 * MB
+        assert not s.done
+        assert s.seconds_to_finish() == pytest.approx(2.0)
+
+    def test_stalled_stream(self):
+        s = stream()
+        assert s.seconds_to_finish() == float("inf")
+
+    def test_finished_stream(self):
+        s = stream(bytes_=0.0)
+        assert s.done
+        assert s.seconds_to_finish() == 0.0
+
+    def test_invalid_streams_rejected(self):
+        with pytest.raises(SimulationError):
+            stream(bytes_=-1.0)
+        with pytest.raises(SimulationError):
+            stream(rs=0.0)
+        with pytest.raises(SimulationError):
+            stream(cap=0.0)
+
+
+class TestWaterFilling:
+    def test_single_uncapped_stream_gets_device_bandwidth(self, ssd):
+        queue = DeviceQueue(ssd)
+        s = stream()
+        queue.attach(s)
+        assert s.rate == pytest.approx(ssd.read_bandwidth(30 * KB))
+
+    def test_below_break_point_everyone_gets_cap(self, ssd):
+        # b = BW/T = 480/60 = 8: with 4 capped streams, no contention.
+        queue = DeviceQueue(ssd)
+        streams = [stream(cap=60 * MB) for _ in range(4)]
+        for s in streams:
+            queue.attach(s)
+        for s in streams:
+            assert s.rate == pytest.approx(60 * MB)
+
+    def test_above_break_point_fair_share(self, ssd):
+        # 16 capped streams on 480 MB/s -> 30 MB/s each (below the 60 cap).
+        queue = DeviceQueue(ssd)
+        streams = [stream(cap=60 * MB) for _ in range(16)]
+        for s in streams:
+            queue.attach(s)
+        for s in streams:
+            assert s.rate == pytest.approx(30 * MB)
+
+    def test_exactly_break_point(self, ssd):
+        queue = DeviceQueue(ssd)
+        streams = [stream(cap=60 * MB) for _ in range(8)]
+        for s in streams:
+            queue.attach(s)
+        for s in streams:
+            assert s.rate == pytest.approx(60 * MB)
+
+    def test_mixed_caps_surplus_redistribution(self, ssd):
+        queue = DeviceQueue(ssd)
+        slow = stream(cap=10 * MB)
+        fast = stream(cap=1000 * MB)
+        queue.attach(slow)
+        queue.attach(fast)
+        assert slow.rate == pytest.approx(10 * MB)
+        assert fast.rate == pytest.approx(480 * MB - 10 * MB)
+
+    def test_detach_rebalances(self, ssd):
+        queue = DeviceQueue(ssd)
+        streams = [stream(cap=60 * MB) for _ in range(16)]
+        for s in streams:
+            queue.attach(s)
+        for s in streams[:8]:
+            queue.detach(s)
+        for s in streams[8:]:
+            assert s.rate == pytest.approx(60 * MB)
+
+    def test_reads_and_writes_independent_pools(self, ssd):
+        queue = DeviceQueue(ssd)
+        reader = stream()
+        writer = stream(write=True)
+        queue.attach(reader)
+        queue.attach(writer)
+        assert reader.rate == pytest.approx(ssd.read_bandwidth(30 * KB))
+        assert writer.rate == pytest.approx(ssd.write_bandwidth(30 * KB))
+
+    def test_smallest_request_size_sets_capacity(self, hdd):
+        # Mixing a 30 KB stream with a 128 MB stream drags the aggregate
+        # down to the seek-dominated regime.
+        queue = DeviceQueue(hdd)
+        small = stream(rs=30 * KB)
+        large = stream(rs=128 * MB)
+        queue.attach(small)
+        queue.attach(large)
+        total = small.rate + large.rate
+        assert total == pytest.approx(hdd.read_bandwidth(30 * KB))
+
+
+class TestAttachDetachErrors:
+    def test_double_attach(self, ssd):
+        queue = DeviceQueue(ssd)
+        s = stream()
+        queue.attach(s)
+        with pytest.raises(SimulationError):
+            queue.attach(s)
+
+    def test_detach_unknown(self, ssd):
+        queue = DeviceQueue(ssd)
+        with pytest.raises(SimulationError):
+            queue.detach(stream())
+
+    def test_num_active_tracking(self, ssd):
+        queue = DeviceQueue(ssd)
+        s1, s2 = stream(), stream()
+        queue.attach(s1)
+        queue.attach(s2)
+        assert queue.num_active == 2
+        queue.detach(s1)
+        assert queue.num_active == 1
+        assert s1.rate == 0.0
+
+    def test_aggregate_capacity_reporting(self, hdd):
+        queue = DeviceQueue(hdd)
+        assert queue.aggregate_capacity() == 0.0
+        queue.attach(stream(rs=30 * KB))
+        assert queue.aggregate_capacity() == pytest.approx(15 * MB)

@@ -1,0 +1,67 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import WORKLOADS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_fio_defaults(self):
+        args = build_parser().parse_args(["fio"])
+        assert args.device == "hdd"
+        assert not args.write
+
+    def test_predict_arguments(self):
+        args = build_parser().parse_args(
+            ["predict", "--workload", "svm", "--slaves", "5",
+             "--cores", "12", "--hdfs", "hdd", "--local", "ssd"]
+        )
+        assert args.workload == "svm"
+        assert args.slaves == 5
+        assert args.cores == 12
+
+
+class TestCommands:
+    def test_list_workloads(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in WORKLOADS:
+            assert name in out
+
+    def test_fio_read_sweep(self, capsys):
+        assert main(["fio", "--device", "hdd"]) == 0
+        out = capsys.readouterr().out
+        assert "30.0KB" in out
+        assert "15.0" in out  # the paper's 15 MB/s anchor
+
+    def test_fio_write_sweep(self, capsys):
+        assert main(["fio", "--device", "ssd", "--write"]) == 0
+        assert "write" in capsys.readouterr().out
+
+    def test_unknown_workload_exits(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--workload", "nope"])
+
+    def test_profile_small_workload(self, capsys):
+        # SVM is the fastest built-in to profile.
+        assert main(["profile", "--workload", "svm", "--nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "dataValidator" in out
+        assert "t_avg" in out
+
+    def test_predict_small_workload(self, capsys):
+        assert main(
+            ["predict", "--workload", "svm", "--slaves", "4", "--cores", "8",
+             "--hdfs", "ssd", "--local", "hdd", "--profile-nodes", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+        assert "bottleneck" in out

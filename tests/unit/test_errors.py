@@ -1,0 +1,38 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.schedule.scheduler import SchedulingError
+
+
+class TestHierarchy:
+    def test_all_derive_from_doppio_error(self):
+        subclasses = [
+            errors.ConfigurationError,
+            errors.StorageError,
+            errors.FileNotFoundInStoreError,
+            errors.SimulationError,
+            errors.SchedulerError,
+            errors.ModelError,
+            errors.ProfilingError,
+            errors.OptimizationError,
+            errors.WorkloadError,
+            SchedulingError,
+        ]
+        for cls in subclasses:
+            assert issubclass(cls, errors.DoppioError)
+
+    def test_file_not_found_is_storage_error(self):
+        assert issubclass(errors.FileNotFoundInStoreError, errors.StorageError)
+
+    def test_catch_all_at_api_boundary(self):
+        # A caller catching DoppioError sees every library failure.
+        with pytest.raises(errors.DoppioError):
+            raise errors.ProfilingError("boom")
+
+    def test_messages_preserved(self):
+        try:
+            raise errors.ModelError("bandwidth must be positive")
+        except errors.DoppioError as caught:
+            assert "bandwidth" in str(caught)

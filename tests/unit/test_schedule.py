@@ -1,0 +1,120 @@
+"""Unit tests for the prediction-driven job scheduler."""
+
+import pytest
+
+from repro.schedule.scheduler import (
+    Job,
+    ScheduleResult,
+    SchedulingError,
+    fifo_order,
+    oracle_order,
+    simulate_queue,
+    spjf_order,
+)
+
+
+def jobs_batch():
+    """Three batch jobs with accurate predictions, longest first in FIFO."""
+    return [
+        Job(name="long", true_runtime=100.0, predicted_runtime=95.0),
+        Job(name="mid", true_runtime=50.0, predicted_runtime=52.0),
+        Job(name="short", true_runtime=10.0, predicted_runtime=11.0),
+    ]
+
+
+class TestPolicies:
+    def test_fifo_by_arrival(self):
+        jobs = [
+            Job("b", 1.0, 1.0, arrival_time=5.0),
+            Job("a", 1.0, 1.0, arrival_time=0.0),
+        ]
+        assert [j.name for j in fifo_order(jobs)] == ["a", "b"]
+
+    def test_spjf_by_prediction(self):
+        ordered = spjf_order(jobs_batch())
+        assert [j.name for j in ordered] == ["short", "mid", "long"]
+
+    def test_oracle_by_truth(self):
+        mispredicted = [
+            Job("a", true_runtime=10.0, predicted_runtime=100.0),
+            Job("b", true_runtime=100.0, predicted_runtime=10.0),
+        ]
+        assert [j.name for j in oracle_order(mispredicted)] == ["a", "b"]
+        assert [j.name for j in spjf_order(mispredicted)] == ["b", "a"]
+
+
+class TestSimulateQueue:
+    def test_fifo_waiting_times(self):
+        result = simulate_queue(jobs_batch(), fifo_order, "fifo")
+        by_name = {s.job.name: s for s in result.scheduled}
+        assert by_name["long"].waiting_time == 0.0
+        assert by_name["mid"].waiting_time == 100.0
+        assert by_name["short"].waiting_time == 150.0
+        assert result.mean_waiting_time == pytest.approx(250 / 3)
+
+    def test_spjf_cuts_mean_wait(self):
+        fifo = simulate_queue(jobs_batch(), fifo_order, "fifo")
+        spjf = simulate_queue(jobs_batch(), spjf_order, "spjf")
+        assert spjf.mean_waiting_time < fifo.mean_waiting_time
+        # SJF on this batch: waits 0, 10, 60 -> mean 23.3.
+        assert spjf.mean_waiting_time == pytest.approx(70 / 3)
+
+    def test_makespan_policy_independent(self):
+        fifo = simulate_queue(jobs_batch(), fifo_order, "fifo")
+        spjf = simulate_queue(jobs_batch(), spjf_order, "spjf")
+        assert fifo.makespan == pytest.approx(spjf.makespan)
+
+    def test_arrivals_respected(self):
+        jobs = [
+            Job("first", 10.0, 10.0, arrival_time=0.0),
+            Job("tiny", 1.0, 1.0, arrival_time=5.0),
+        ]
+        result = simulate_queue(jobs, spjf_order, "spjf")
+        by_name = {s.job.name: s for s in result.scheduled}
+        # tiny arrives mid-run; non-preemptive, so it waits for first.
+        assert by_name["tiny"].start_time == pytest.approx(10.0)
+
+    def test_idle_gap_jumps_clock(self):
+        jobs = [
+            Job("late", 5.0, 5.0, arrival_time=100.0),
+        ]
+        result = simulate_queue(jobs, fifo_order, "fifo")
+        assert result.scheduled[0].start_time == pytest.approx(100.0)
+        assert result.scheduled[0].waiting_time == 0.0
+
+    def test_turnaround_time(self):
+        result = simulate_queue(jobs_batch(), fifo_order, "fifo")
+        by_name = {s.job.name: s for s in result.scheduled}
+        assert by_name["long"].turnaround_time == pytest.approx(100.0)
+
+    def test_empty_queue_rejected(self):
+        with pytest.raises(SchedulingError):
+            simulate_queue([], fifo_order)
+
+    def test_empty_result_metrics_rejected(self):
+        with pytest.raises(SchedulingError):
+            _ = ScheduleResult(policy="x").mean_waiting_time
+
+    def test_invalid_job(self):
+        with pytest.raises(SchedulingError):
+            Job("bad", true_runtime=-1.0, predicted_runtime=1.0)
+        with pytest.raises(SchedulingError):
+            Job("bad", true_runtime=1.0, predicted_runtime=1.0,
+                arrival_time=-1.0)
+
+
+class TestAccuratePredictionsApproachOracle:
+    def test_spjf_with_doppio_quality_errors_matches_oracle(self):
+        # Doppio's ~5% errors never change the relative order of jobs
+        # whose lengths differ by more than ~10%.
+        jobs = [
+            Job("a", 100.0, 103.0),
+            Job("b", 50.0, 48.0),
+            Job("c", 200.0, 192.0),
+            Job("d", 25.0, 26.0),
+        ]
+        spjf = simulate_queue(jobs, spjf_order, "spjf")
+        oracle = simulate_queue(jobs, oracle_order, "oracle")
+        assert spjf.mean_waiting_time == pytest.approx(
+            oracle.mean_waiting_time
+        )

@@ -1,0 +1,59 @@
+"""Unit tests for units and formatting helpers."""
+
+import pytest
+
+from repro.units import (
+    GB,
+    HOUR,
+    KB,
+    MB,
+    MINUTE,
+    MONTH_HOURS,
+    SECTOR,
+    TB,
+    fmt_bandwidth,
+    fmt_bytes,
+    fmt_dollars,
+    fmt_duration,
+)
+
+
+class TestConstants:
+    def test_binary_multiples(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+        assert TB == 1024 * GB
+
+    def test_time_units(self):
+        assert MINUTE == 60
+        assert HOUR == 3600
+
+    def test_sector_is_512(self):
+        assert SECTOR == 512
+
+    def test_month_hours(self):
+        # 365.25 / 12 days of 24 hours.
+        assert MONTH_HOURS == pytest.approx(730.5)
+
+
+class TestFormatting:
+    def test_fmt_bytes_scales(self):
+        assert fmt_bytes(512) == "512B"
+        assert fmt_bytes(30 * KB) == "30.0KB"
+        assert fmt_bytes(128 * MB) == "128.0MB"
+        assert fmt_bytes(1.5 * GB) == "1.5GB"
+        assert fmt_bytes(4 * TB) == "4.0TB"
+
+    def test_fmt_bandwidth(self):
+        assert fmt_bandwidth(15 * MB) == "15.0MB/s"
+        assert fmt_bandwidth(480 * MB) == "480.0MB/s"
+
+    def test_fmt_duration(self):
+        assert fmt_duration(42.0) == "42.0s"
+        assert fmt_duration(126 * 60) == "126.0min"
+        assert fmt_duration(59.9) == "59.9s"
+
+    def test_fmt_dollars(self):
+        assert fmt_dollars(4.12) == "$4.12"
+        assert fmt_dollars(3.749) == "$3.75"

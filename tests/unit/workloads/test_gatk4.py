@@ -1,0 +1,114 @@
+"""Unit tests for the GATK4 workload model (Table IV and Section III/V-A)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.units import GB, KB, MB
+from repro.workloads.gatk4 import (
+    Gatk4Parameters,
+    make_br_stage,
+    make_gatk4_workload,
+    make_md_stage,
+    make_sf_stage,
+)
+
+
+@pytest.fixture()
+def params():
+    return Gatk4Parameters()
+
+
+@pytest.fixture()
+def workload():
+    return make_gatk4_workload()
+
+
+class TestParameters:
+    def test_default_geometry(self, params):
+        assert params.num_mappers == 973
+        assert params.shuffle_plan.num_reducers == 12667
+
+    def test_input_size_near_122gb(self, params):
+        assert params.input_bytes / GB == pytest.approx(121.6, abs=0.1)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(WorkloadError):
+            Gatk4Parameters(input_bytes=0.0)
+        with pytest.raises(WorkloadError):
+            Gatk4Parameters(md_lambda=0.5)
+
+    def test_custom_coverage_scales(self):
+        small = Gatk4Parameters(
+            input_bytes=100 * 128 * MB, shuffle_bytes=34 * GB, output_bytes=17 * GB
+        )
+        assert small.num_mappers == 100
+
+
+class TestTableIV:
+    """Per-stage I/O sizes in GB: the rows of Table IV."""
+
+    def test_md_row(self, workload):
+        stage = workload.stage("MD")
+        assert stage.total_bytes("hdfs_read") / GB == pytest.approx(121.6, abs=0.1)
+        assert stage.total_bytes("shuffle_write") / GB == pytest.approx(334.0)
+        assert stage.total_bytes("shuffle_read") == 0.0
+        assert stage.total_bytes("hdfs_write") == 0.0
+
+    def test_br_row(self, workload):
+        stage = workload.stage("BR")
+        assert stage.total_bytes("hdfs_read") / GB == pytest.approx(121.6, abs=0.1)
+        assert stage.total_bytes("shuffle_read") / GB == pytest.approx(334.0)
+        assert stage.total_bytes("shuffle_write") == 0.0
+        assert stage.total_bytes("hdfs_write") == 0.0
+
+    def test_sf_row(self, workload):
+        stage = workload.stage("SF")
+        assert stage.total_bytes("hdfs_read") / GB == pytest.approx(121.6, abs=0.1)
+        assert stage.total_bytes("shuffle_read") / GB == pytest.approx(334.0)
+        # Physical HDFS writes include the replication factor 2.
+        assert stage.total_bytes("hdfs_write") / GB == pytest.approx(332.0)
+
+
+class TestStageStructure:
+    def test_md_single_map_group(self, params):
+        stage = make_md_stage(params)
+        assert [g.name for g in stage.groups] == ["map"]
+        assert stage.num_tasks == 973
+
+    def test_br_two_groups(self, params):
+        stage = make_br_stage(params)
+        assert {g.name for g in stage.groups} == {"shuffle", "hdfs_scan"}
+        assert stage.group("shuffle").count == 12667
+        assert stage.group("hdfs_scan").count == 973
+
+    def test_sf_has_hdfs_write(self, params):
+        stage = make_sf_stage(params)
+        shuffle_group = stage.group("shuffle")
+        assert shuffle_group.write_channels[0].kind == "hdfs_write"
+
+    def test_shuffle_read_request_size(self, params):
+        stage = make_br_stage(params)
+        channel = stage.group("shuffle").read_channels[0]
+        assert channel.request_size == pytest.approx(28.4 * KB, rel=0.02)
+
+    def test_md_write_chunk_size(self, params):
+        stage = make_md_stage(params)
+        channel = stage.group("map").write_channels[0]
+        assert channel.request_size == pytest.approx(351.5 * MB, rel=0.01)
+
+    def test_lambda_encodes_compute(self, params):
+        # MD: lambda = 12 on a 128 MB read at T = 33 MB/s -> compute =
+        # 11 * 3.879 s.
+        stage = make_md_stage(params)
+        group = stage.group("map")
+        io_seconds = 128 * MB / (33 * MB)
+        assert group.compute_seconds == pytest.approx(11 * io_seconds, rel=0.01)
+
+    def test_br_shuffle_lambda_20(self, params):
+        group = make_br_stage(params).group("shuffle")
+        io_seconds = group.read_channels[0].uncontended_seconds()
+        total = io_seconds + group.compute_seconds
+        assert total / io_seconds == pytest.approx(20.0, rel=0.01)
+
+    def test_workload_order(self, workload):
+        assert [s.name for s in workload.stages] == ["MD", "BR", "SF"]

@@ -1,0 +1,117 @@
+"""Unit tests for the extended GATK4 pipeline (BWA + HC)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.units import GB
+from repro.workloads.gatk4 import Gatk4Parameters
+from repro.workloads.gatk4_extended import (
+    ExtendedGatk4Parameters,
+    make_bwa_stage,
+    make_extended_gatk4_workload,
+    make_hc_stage,
+)
+
+
+@pytest.fixture()
+def workload():
+    return make_extended_gatk4_workload()
+
+
+class TestPipelineStructure:
+    def test_five_stages_in_order(self, workload):
+        assert [s.name for s in workload.stages] == [
+            "BWA", "MD", "BR", "SF", "HC",
+        ]
+
+    def test_core_stages_unchanged(self, workload):
+        # The three paper stages keep their Table IV totals.
+        assert workload.stage("BR").total_bytes("shuffle_read") == (
+            pytest.approx(334 * GB)
+        )
+        assert workload.stage("MD").total_bytes("shuffle_write") == (
+            pytest.approx(334 * GB)
+        )
+
+
+class TestBwaStage:
+    def test_reads_fastq_and_writes_aligned(self):
+        params = ExtendedGatk4Parameters()
+        stage = make_bwa_stage(params)
+        assert stage.total_bytes("hdfs_read") == pytest.approx(220 * GB)
+        assert stage.total_bytes("shuffle_write") == pytest.approx(
+            params.aligned_bytes
+        )
+
+    def test_compute_bound(self):
+        stage = make_bwa_stage(ExtendedGatk4Parameters())
+        group = stage.group("align")
+        io = group.read_channels[0].uncontended_seconds()
+        assert group.compute_seconds / io == pytest.approx(29.0, rel=0.01)
+
+    def test_task_count_from_fastq_blocks(self):
+        params = ExtendedGatk4Parameters()
+        assert make_bwa_stage(params).num_tasks == params.num_bwa_tasks
+        assert params.num_bwa_tasks == 1760  # 220 GB / 128 MB
+
+
+class TestHcStage:
+    def test_rereads_recalibrated_shuffle(self):
+        stage = make_hc_stage(ExtendedGatk4Parameters())
+        assert stage.total_bytes("shuffle_read") == pytest.approx(334 * GB)
+
+    def test_vcf_output_replicated(self):
+        stage = make_hc_stage(ExtendedGatk4Parameters())
+        assert stage.total_bytes("hdfs_write") == pytest.approx(8 * GB)
+
+    def test_task_count_matches_reducers(self):
+        params = ExtendedGatk4Parameters()
+        assert make_hc_stage(params).num_tasks == (
+            params.base.shuffle_plan.num_reducers
+        )
+
+
+class TestParameters:
+    def test_custom_base(self):
+        base = Gatk4Parameters(shuffle_bytes=100 * GB)
+        params = ExtendedGatk4Parameters(base=base)
+        workload = make_extended_gatk4_workload(params)
+        assert workload.stage("HC").total_bytes("shuffle_read") == (
+            pytest.approx(100 * GB)
+        )
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ExtendedGatk4Parameters(fastq_bytes=0.0)
+        with pytest.raises(WorkloadError):
+            ExtendedGatk4Parameters(bwa_lambda=0.5)
+        with pytest.raises(WorkloadError):
+            ExtendedGatk4Parameters(vcf_bytes=-1.0)
+
+
+class TestModeling:
+    def test_profiles_and_predicts(self):
+        from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
+        from repro.core import Predictor, Profiler
+        from repro.workloads.runner import measure_workload
+
+        workload = make_extended_gatk4_workload()
+        predictor = Predictor(Profiler(workload, nodes=3).profile())
+        cluster = make_paper_cluster(10, HYBRID_CONFIGS[0])
+        measured = measure_workload(cluster, 24, workload)
+        predicted = predictor.predict(cluster, 24)
+        error = abs(predicted.t_app - measured.total_seconds) / (
+            measured.total_seconds
+        )
+        assert error < 0.10
+
+    def test_bwa_is_compute_dominated_on_both_devices(self):
+        from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
+        from repro.core import Predictor, Profiler
+
+        workload = make_extended_gatk4_workload()
+        predictor = Predictor(Profiler(workload, nodes=3).profile())
+        for config in (HYBRID_CONFIGS[0], HYBRID_CONFIGS[3]):
+            cluster = make_paper_cluster(10, config)
+            prediction = predictor.predict(cluster, 36)
+            assert prediction.stage("BWA").bottleneck == "scale"

@@ -1,0 +1,107 @@
+"""Unit tests for the synthetic data generators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.generators import (
+    generate_edge_list,
+    generate_genome_reads,
+    generate_labelled_points,
+    generate_terasort_records,
+    generate_triangle_rich_graph,
+)
+
+
+class TestLabelledPoints:
+    def test_shape(self):
+        lines = generate_labelled_points(100, 5)
+        assert len(lines) == 100
+        label, *features = lines[0].split()
+        assert label in ("0", "1")
+        assert len(features) == 5
+
+    def test_deterministic(self):
+        assert generate_labelled_points(10, 3, seed=1) == generate_labelled_points(
+            10, 3, seed=1
+        )
+
+    def test_both_classes_present(self):
+        labels = {line.split()[0] for line in generate_labelled_points(200, 4)}
+        assert labels == {"0", "1"}
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_labelled_points(0, 1)
+
+
+class TestEdgeList:
+    def test_no_self_loops(self):
+        edges = generate_edge_list(50, 500)
+        assert all(src != dst for src, dst in edges)
+
+    def test_count_and_range(self):
+        edges = generate_edge_list(10, 100)
+        assert len(edges) == 100
+        assert all(0 <= v < 10 for edge in edges for v in edge)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_edge_list(1, 10)
+
+
+class TestTriangleRichGraph:
+    def test_known_triangle_count(self):
+        edges = generate_triangle_rich_graph(7)
+        assert len(edges) == 21  # 3 edges per triangle
+
+    def test_disjoint_cliques(self):
+        edges = generate_triangle_rich_graph(3)
+        vertices = {v for edge in edges for v in edge}
+        assert vertices == set(range(9))
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_triangle_rich_graph(0)
+
+
+class TestTerasortRecords:
+    def test_key_shape(self):
+        records = generate_terasort_records(20)
+        assert len(records) == 20
+        assert all(len(key) == 10 for key, _ in records)
+
+    def test_payloads_unique(self):
+        records = generate_terasort_records(50)
+        assert len({payload for _, payload in records}) == 50
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_terasort_records(0)
+
+
+class TestGenomeReads:
+    def test_shape(self):
+        reads = generate_genome_reads(100, read_length=50)
+        assert len(reads) == 100
+        chrom, pos, seq = reads[0]
+        assert chrom.startswith("chr")
+        assert pos >= 1
+        assert len(seq) == 50
+        assert set(seq) <= set("ACGT")
+
+    def test_duplicates_planted(self):
+        reads = generate_genome_reads(500, duplicate_fraction=0.5)
+        positions = [(chrom, pos) for chrom, pos, _ in reads]
+        assert len(set(positions)) < len(positions)
+
+    def test_no_duplicates_when_zero(self):
+        reads = generate_genome_reads(50, duplicate_fraction=0.0, seed=3)
+        positions = [(chrom, pos) for chrom, pos, _ in reads]
+        # Collisions are possible but vanishingly unlikely at this size.
+        assert len(set(positions)) >= len(positions) - 1
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_genome_reads(0)
+        with pytest.raises(WorkloadError):
+            generate_genome_reads(10, duplicate_fraction=1.5)

@@ -1,0 +1,147 @@
+"""Unit tests for the LR, SVM, and PageRank workload models."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.spark.conf import SparkConf
+from repro.units import GB, KB, MB
+from repro.workloads.logistic_regression import (
+    LARGE_DATASET,
+    LogisticRegressionParameters,
+    make_logistic_regression_workload,
+)
+from repro.workloads.pagerank import PageRankParameters, make_pagerank_workload
+from repro.workloads.svm import SvmParameters, make_svm_workload
+
+
+class TestLogisticRegression:
+    def test_small_dataset_cached(self):
+        workload = make_logistic_regression_workload(num_slaves=10)
+        assert workload.parameters["cached"] is True
+        iteration = workload.stage("iteration")
+        # Cached: iterations are pure compute.
+        assert iteration.groups[0].channels == ()
+        assert iteration.repeat == 50
+
+    def test_large_dataset_persisted(self):
+        workload = make_logistic_regression_workload(LARGE_DATASET, num_slaves=10)
+        assert workload.parameters["cached"] is False
+        iteration = workload.stage("iteration")
+        kinds = [ch.kind for ch in iteration.groups[0].channels]
+        assert kinds == ["persist_read"]
+        validator = workload.stage("dataValidator")
+        write_kinds = [ch.kind for ch in validator.groups[0].write_channels]
+        assert write_kinds == ["persist_write"]
+
+    def test_large_dataset_iteration_bytes(self):
+        workload = make_logistic_regression_workload(LARGE_DATASET, num_slaves=10)
+        iteration = workload.stage("iteration")
+        # 990 GB per pass x 50 iterations.
+        assert iteration.total_bytes("persist_read") == pytest.approx(
+            50 * 990 * GB
+        )
+
+    def test_caching_follows_cluster_memory(self):
+        # On three slaves even the small parsedData (280 GB > 3*36 GB)
+        # cannot be cached.
+        workload = make_logistic_regression_workload(num_slaves=3)
+        assert workload.parameters["cached"] is False
+
+    def test_partition_count_from_blocks(self):
+        params = LogisticRegressionParameters()
+        assert params.num_partitions == 1920  # 240 GB / 128 MB
+
+    def test_persist_read_request_is_512kb(self):
+        workload = make_logistic_regression_workload(LARGE_DATASET, num_slaves=10)
+        channel = workload.stage("iteration").groups[0].read_channels[0]
+        assert channel.request_size == pytest.approx(512 * KB)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            LogisticRegressionParameters(iterations=0)
+        with pytest.raises(WorkloadError):
+            LogisticRegressionParameters(input_bytes=0.0)
+
+
+class TestSvm:
+    def test_stage_sequence(self):
+        workload = make_svm_workload()
+        assert [s.name for s in workload.stages] == [
+            "dataValidator", "iteration", "subtract_write", "subtract_read",
+        ]
+
+    def test_phase_groups_merge_subtract(self):
+        workload = make_svm_workload()
+        groups = workload.parameters["phase_groups"]
+        assert groups["subtract"] == ["subtract_write", "subtract_read"]
+
+    def test_iteration_in_memory(self):
+        workload = make_svm_workload()
+        iteration = workload.stage("iteration")
+        assert iteration.groups[0].channels == ()
+        assert iteration.repeat == 10
+
+    def test_shuffle_totals(self):
+        workload = make_svm_workload()
+        assert workload.stage("subtract_write").total_bytes(
+            "shuffle_write"
+        ) == pytest.approx(170 * GB)
+        assert workload.stage("subtract_read").total_bytes(
+            "shuffle_read"
+        ) == pytest.approx(170 * GB)
+
+    def test_reducer_request_size(self):
+        params = SvmParameters()
+        plan = params.shuffle_plan
+        # (170 GB / 400) / 1200 mappers.
+        assert plan.read_request_size == pytest.approx(
+            170 * GB / 400 / 1200
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            SvmParameters(num_reducers=0)
+        with pytest.raises(WorkloadError):
+            SvmParameters(iterations=0)
+
+
+class TestPageRank:
+    def test_stage_sequence(self):
+        workload = make_pagerank_workload()
+        assert [s.name for s in workload.stages] == [
+            "graphLoader", "iteration", "save",
+        ]
+
+    def test_iteration_reads_and_writes_graph(self):
+        workload = make_pagerank_workload()
+        iteration = workload.stage("iteration")
+        group = iteration.groups[0]
+        assert [ch.kind for ch in group.read_channels] == ["persist_read"]
+        assert [ch.kind for ch in group.write_channels] == ["persist_write"]
+        assert iteration.repeat == 10
+
+    def test_iteration_moves_420gb_each_way(self):
+        workload = make_pagerank_workload()
+        iteration = workload.stage("iteration")
+        assert iteration.total_bytes("persist_read") == pytest.approx(
+            10 * 420 * GB
+        )
+        assert iteration.total_bytes("persist_write") == pytest.approx(
+            10 * 420 * GB
+        )
+
+    def test_loader_persists_graph(self):
+        workload = make_pagerank_workload()
+        loader = workload.stage("graphLoader")
+        assert loader.total_bytes("persist_write") == pytest.approx(420 * GB)
+
+    def test_save_writes_replicated_ranks(self):
+        workload = make_pagerank_workload()
+        save = workload.stage("save")
+        assert save.total_bytes("hdfs_write") == pytest.approx(0.8 * GB)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            PageRankParameters(num_partitions=0)
+        with pytest.raises(WorkloadError):
+            PageRankParameters(iterations=0)

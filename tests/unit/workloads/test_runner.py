@@ -1,0 +1,68 @@
+"""Unit tests for the workload measurement runner (repeat scaling)."""
+
+import pytest
+
+from repro.workloads.base import StageSpec, TaskGroupSpec, WorkloadSpec
+from repro.workloads.runner import measure_stage, measure_workload
+
+
+def compute_stage(name, count=6, seconds=1.0, repeat=1):
+    return StageSpec(
+        name=name,
+        groups=(TaskGroupSpec(name="g", count=count, compute_seconds=seconds),),
+        repeat=repeat,
+    )
+
+
+class TestMeasureStage:
+    def test_single_execution(self, ssd_cluster):
+        measurement = measure_stage(ssd_cluster, 2, compute_stage("s"))
+        assert measurement.num_tasks == 6
+        # One wave of six jittered (+-20%) tasks: the longest one paces it.
+        assert measurement.makespan == pytest.approx(1.2, rel=0.1)
+
+    def test_repeat_scales_linearly(self, ssd_cluster):
+        once = measure_stage(ssd_cluster, 2, compute_stage("s", repeat=1))
+        many = measure_stage(ssd_cluster, 2, compute_stage("s", repeat=10))
+        assert many.makespan == pytest.approx(10 * once.makespan)
+        assert many.num_tasks == 10 * once.num_tasks
+        assert many.task_counts == {"g": 60}
+
+    def test_repeat_scales_bytes(self, ssd_cluster):
+        from repro.units import MB
+        from repro.workloads.base import ChannelSpec
+
+        stage = StageSpec(
+            name="io",
+            groups=(
+                TaskGroupSpec(
+                    name="g",
+                    count=3,
+                    read_channels=(
+                        ChannelSpec(
+                            kind="shuffle_read",
+                            bytes_per_task=10 * MB,
+                            request_size=1 * MB,
+                            per_core_throughput=60 * MB,
+                        ),
+                    ),
+                    compute_seconds=0.1,
+                ),
+            ),
+            repeat=4,
+        )
+        measurement = measure_stage(ssd_cluster, 2, stage)
+        assert measurement.read_bytes == pytest.approx(4 * 3 * 10 * MB)
+
+
+class TestMeasureWorkload:
+    def test_stages_in_order(self, ssd_cluster):
+        workload = WorkloadSpec(
+            name="w",
+            stages=(compute_stage("a"), compute_stage("b", seconds=2.0)),
+        )
+        measurement = measure_workload(ssd_cluster, 2, workload)
+        assert [s.name for s in measurement.stages] == ["a", "b"]
+        assert measurement.total_seconds == pytest.approx(
+            measurement.stage("a").makespan + measurement.stage("b").makespan
+        )

@@ -1,0 +1,85 @@
+"""Unit tests for the TriangleCount and Terasort workload models."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.units import GB, KB, MB
+from repro.workloads.terasort import TerasortParameters, make_terasort_workload
+from repro.workloads.triangle_count import (
+    TriangleCountParameters,
+    make_triangle_count_workload,
+)
+
+
+class TestTriangleCount:
+    def test_stage_sequence(self):
+        workload = make_triangle_count_workload()
+        assert [s.name for s in workload.stages] == [
+            "graphLoader", "canonicalize", "countTriangles",
+        ]
+
+    def test_phase_groups(self):
+        workload = make_triangle_count_workload()
+        groups = workload.parameters["phase_groups"]
+        assert groups["computeTriangleCount"] == ["canonicalize", "countTriangles"]
+
+    def test_shuffle_396gb(self):
+        workload = make_triangle_count_workload()
+        assert workload.stage("canonicalize").total_bytes(
+            "shuffle_write"
+        ) == pytest.approx(396 * GB)
+        assert workload.stage("countTriangles").total_bytes(
+            "shuffle_read"
+        ) == pytest.approx(396 * GB)
+
+    def test_reducer_request_size_near_70kb(self):
+        # (396 GB / 2400 reducers) / 2400 mappers = 72.1 KB per request.
+        plan = TriangleCountParameters().shuffle_plan
+        assert plan.read_request_size == pytest.approx(72.1 * KB, rel=0.02)
+
+    def test_count_side_compute_heavy(self):
+        workload = make_triangle_count_workload()
+        group = workload.stage("countTriangles").groups[0]
+        io_seconds = group.read_channels[0].uncontended_seconds()
+        assert group.compute_seconds / io_seconds == pytest.approx(9.0, rel=0.01)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            TriangleCountParameters(num_partitions=0)
+        with pytest.raises(WorkloadError):
+            TriangleCountParameters(shuffle_bytes=0.0)
+
+
+class TestTerasort:
+    def test_stage_sequence(self):
+        workload = make_terasort_workload()
+        assert [s.name for s in workload.stages] == ["NF", "SF"]
+
+    def test_930gb_through_shuffle(self):
+        workload = make_terasort_workload()
+        assert workload.stage("NF").total_bytes("shuffle_write") == pytest.approx(
+            930 * GB
+        )
+        assert workload.stage("SF").total_bytes("shuffle_read") == pytest.approx(
+            930 * GB
+        )
+
+    def test_mapper_count_from_blocks(self):
+        params = TerasortParameters()
+        assert params.num_mappers == 7440  # 930 GB / 128 MB
+
+    def test_output_replicated(self):
+        workload = make_terasort_workload()
+        assert workload.stage("SF").total_bytes("hdfs_write") == pytest.approx(
+            2 * 930 * GB
+        )
+
+    def test_reducer_request_size_sub_megabyte(self):
+        plan = TerasortParameters().shuffle_plan
+        assert 100 * KB < plan.read_request_size < 1 * MB
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            TerasortParameters(total_bytes=0.0)
+        with pytest.raises(WorkloadError):
+            TerasortParameters(num_reducers=0)
