@@ -1,0 +1,87 @@
+"""Microbenchmark for the simulation engine's event loop.
+
+Times the GATK4 MarkDuplicates stage (973 tasks) on the paper's ten-slave
+cfg1 cluster at 24 cores per node — the heaviest single-stage simulation in
+the validation suite — and writes the result to ``BENCH_simulator.json`` at
+the repo root so the performance trajectory is tracked across PRs.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/perf_simulator.py
+
+Not collected by pytest (no ``test_`` prefix); it is a standalone script so
+the tier-1 suite stays fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
+from repro.simulator.engine import SimulationEngine
+from repro.workloads import make_gatk4_workload
+
+NUM_SLAVES = 10
+CORES_PER_NODE = 24
+ROUNDS = 3
+
+# Wall time of the same scenario under the O(active)-scan event loop that
+# predates the indexed event heap, measured on the reference container when
+# the heap landed.  Kept as a fixed baseline so the speedup column stays
+# meaningful without checking out old revisions.
+SCAN_LOOP_BASELINE_SECONDS = 0.777
+
+
+def run_once() -> tuple[float, float]:
+    """Build and run the MD stage once; returns (wall seconds, makespan)."""
+    spec = make_gatk4_workload().stages[0]
+    cluster = make_paper_cluster(NUM_SLAVES, HYBRID_CONFIGS[0])
+    tasks = spec.build_tasks(cores_per_node=CORES_PER_NODE, jitter_offset=0.0)
+    engine = SimulationEngine(cluster, cores_per_node=CORES_PER_NODE)
+    start = time.perf_counter()
+    makespan = engine.run(tasks)
+    return time.perf_counter() - start, makespan
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_simulator.json",
+        help="where to write the JSON result",
+    )
+    parser.add_argument("--rounds", type=int, default=ROUNDS)
+    args = parser.parse_args(argv)
+
+    walls = []
+    makespan = None
+    for _ in range(max(1, args.rounds)):
+        wall, makespan = run_once()
+        walls.append(wall)
+    best = min(walls)
+
+    result = {
+        "benchmark": "gatk4-md-stage",
+        "num_slaves": NUM_SLAVES,
+        "cores_per_node": CORES_PER_NODE,
+        "rounds": len(walls),
+        "wall_seconds_best": round(best, 4),
+        "wall_seconds_all": [round(w, 4) for w in walls],
+        "simulated_makespan_seconds": makespan,
+        "scan_loop_baseline_seconds": SCAN_LOOP_BASELINE_SECONDS,
+        "speedup_vs_scan_loop": round(SCAN_LOOP_BASELINE_SECONDS / best, 2),
+        "python": platform.python_version(),
+    }
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    print(f"[saved to {args.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,7 @@ from app_validation import (
 )
 from conftest import run_once
 
-from repro.cluster import HYBRID_CONFIGS, HybridDiskConfig, make_paper_cluster
+from repro.cluster import HybridDiskConfig, make_paper_cluster
 from repro.workloads import make_terasort_workload
 from repro.workloads.runner import measure_workload
 

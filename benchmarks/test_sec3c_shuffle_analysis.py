@@ -12,7 +12,6 @@ from conftest import run_once
 from repro.analysis.report import render_table
 from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
 from repro.units import KB, MB
-from repro.workloads import make_gatk4_workload
 from repro.workloads.gatk4 import Gatk4Parameters
 from repro.workloads.runner import measure_workload
 

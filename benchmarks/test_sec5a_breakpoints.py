@@ -16,7 +16,7 @@ from conftest import run_once
 from repro.analysis.report import render_table
 from repro.core.breakpoints import BreakPointAnalysis
 from repro.storage.device import make_hdd, make_ssd
-from repro.units import KB, MB
+from repro.units import MB
 from repro.workloads.gatk4 import Gatk4Parameters
 
 

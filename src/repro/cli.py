@@ -10,6 +10,9 @@ Commands
     Run the four-sample-run procedure and print the fitted constants.
 ``predict --workload NAME --slaves N --cores P --hdfs KIND --local KIND``
     Predict an application runtime on a target cluster.
+``simulate WORKLOAD [--slaves N] [--cores P] [--network-gbps G]``
+    Run the discrete-event simulator and print per-stage makespans,
+    core/device utilization, and the iostat request-size summary.
 ``optimize --workload NAME [--workers N]``
     Search cloud configurations for the cheapest run (Section VI).
 """
@@ -17,6 +20,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import re
 from collections.abc import Callable, Sequence
 
 from repro.analysis.report import render_table
@@ -26,6 +30,7 @@ from repro.cloud import (
     r2_cloudera_recommendation,
 )
 from repro.cluster import HybridDiskConfig, make_paper_cluster
+from repro.cluster.network import NetworkModel
 from repro.core import Predictor, Profiler, load_report, save_report
 from repro.storage.device import make_hdd, make_ssd
 from repro.storage.fio import run_fio_sweep
@@ -134,6 +139,73 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.workloads.runner import measure_workload
+
+    workload = _workload(args.workload)
+    network = None
+    if args.network_gbps is not None:
+        network = NetworkModel.from_gbps(args.network_gbps)
+    cluster = make_paper_cluster(
+        args.slaves,
+        HybridDiskConfig(0, hdfs_kind=args.hdfs, local_kind=args.local),
+    )
+    app = measure_workload(cluster, args.cores, workload, network=network)
+    rows = [
+        [stage.name, stage.num_tasks, fmt_duration(stage.makespan),
+         f"{stage.core_utilization * 100:.0f}%"]
+        for stage in app.stages
+    ]
+    rows.append(["TOTAL", sum(s.num_tasks for s in app.stages),
+                 fmt_duration(app.total_seconds), ""])
+    wire = f", {args.network_gbps:g} Gb/s NIC" if network is not None else ""
+    print(render_table(
+        f"simulated {workload.name} on {args.slaves} slaves x {args.cores}"
+        f" cores (HDFS={args.hdfs}, local={args.local}{wire})",
+        ["stage", "tasks", "makespan", "core util"], rows))
+
+    # Busy-seconds-weighted utilization per resource direction, averaged
+    # across nodes (slaveN-hdfs-ssd -> hdfs-ssd; slave-N:nic -> nic) and
+    # aggregated over stages.
+    busy: dict[tuple[str, bool], list[float]] = {}
+    for stage in app.stages:
+        per_class: dict[tuple[str, bool], list[float]] = {}
+        for name, is_write, fraction in stage.device_utilizations:
+            label = re.sub(r"^slave-?\d+[-:]", "", name)
+            per_class.setdefault((label, is_write), []).append(fraction)
+        for key, fractions in per_class.items():
+            mean = sum(fractions) / len(fractions)
+            busy.setdefault(key, []).append(mean * stage.makespan)
+    if busy:
+        rows = [
+            [label, "write" if is_write else "read",
+             f"{sum(seconds) / app.total_seconds * 100:.0f}%"]
+            for (label, is_write), seconds in sorted(busy.items())
+        ]
+        print(render_table(
+            "device utilization (whole application, mean across nodes)",
+            ["resource", "dir", "busy"], rows))
+
+    totals: dict[tuple[str, bool], list[float]] = {}
+    for stage in app.stages:
+        for s in stage.iostat_samples:
+            label = re.sub(r"^slave-?\d+[-:]", "", s.device_name)
+            entry = totals.setdefault((label, s.is_write), [0.0, 0.0])
+            entry[0] += s.total_bytes
+            entry[1] += s.num_requests
+    if totals:
+        rows = []
+        for (label, is_write), (total_bytes, requests) in sorted(totals.items()):
+            avg = total_bytes / requests
+            rows.append([label, "write" if is_write else "read",
+                         f"{requests:.0f}", fmt_bytes(avg),
+                         f"{avg / 512:.0f}"])
+        print(render_table("iostat request-size summary (all nodes)",
+                           ["device", "dir", "requests", "avg req size",
+                            "avgrq-sz"], rows))
+    return 0
+
+
 def cmd_optimize(args: argparse.Namespace) -> int:
     workload = _workload(args.workload)
     print(f"profiling {workload.name}...")
@@ -199,6 +271,19 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--report", default=None,
                          help="reuse a saved profiling report (skips profiling)")
 
+    simulate = sub.add_parser(
+        "simulate", help="run the discrete-event simulator on a workload"
+    )
+    simulate.add_argument("workload", help="workload name (see list-workloads)")
+    simulate.add_argument("--slaves", type=int, default=10)
+    simulate.add_argument("--cores", type=int, default=24)
+    simulate.add_argument("--hdfs", choices=("hdd", "ssd"), default="ssd")
+    simulate.add_argument("--local", choices=("hdd", "ssd"), default="ssd")
+    simulate.add_argument(
+        "--network-gbps", type=float, default=None,
+        help="per-node NIC speed; omit for the paper's infinite-wire default",
+    )
+
     optimize = sub.add_parser("optimize", help="cloud cost optimization")
     optimize.add_argument("--workload", required=True)
     optimize.add_argument("--workers", type=int, default=10)
@@ -212,6 +297,7 @@ _COMMANDS = {
     "fio": cmd_fio,
     "profile": cmd_profile,
     "predict": cmd_predict,
+    "simulate": cmd_simulate,
     "optimize": cmd_optimize,
 }
 

@@ -3,9 +3,18 @@
 The paper's clusters use a 10 Gb/s network and note (after [5]) that it is
 usually not the Spark bottleneck; shuffle read moves roughly
 ``(N - 1) / N`` of its bytes across the network, the rest being local.
-The model here exists mainly to *check* that assumption: it can compute
-the network-floor time of a transfer so callers can assert the disk floor
-dominates, and it flags configurations where that would not hold.
+
+The model serves two consumers:
+
+- offline assumption checks (``transfer_floor_seconds`` /
+  ``is_bottleneck``): assert that the disk floor dominates, flagging
+  configurations where it would not; and
+- the simulator: passing a :class:`NetworkModel` to
+  :class:`~repro.simulator.engine.SimulationEngine` gives every node a
+  NIC :class:`~repro.resources.LinkResource` at ``link_bandwidth`` and
+  splits each shuffle read into local and remote streams in the
+  ``remote_fraction`` proportion.  With no model passed the wire is
+  treated as infinite — the paper's assumption, and the default.
 """
 
 from __future__ import annotations
@@ -33,6 +42,11 @@ class NetworkModel:
     def __post_init__(self) -> None:
         if self.link_bandwidth <= 0:
             raise ConfigurationError("network link bandwidth must be positive")
+
+    @classmethod
+    def from_gbps(cls, gbps: float) -> NetworkModel:
+        """Build from a link speed in gigabits per second."""
+        return cls(link_bandwidth=gbps * 1e9 / 8.0)
 
     def remote_fraction(self, num_slaves: int) -> float:
         """Fraction of shuffle bytes that cross the network.

@@ -2,9 +2,11 @@
 
 Binds a device-independent :class:`~repro.core.profiler.ProfilingReport`
 to a *target* cluster: each profiled channel's effective bandwidth is
-looked up in the target device's curve at the channel's request size, and
-the resulting :class:`~repro.core.app_model.ApplicationModel` evaluates
-Equation 1 at any ``(N, P)``.
+read from a :class:`~repro.resources.ResourceRegistry` built over the
+target devices — the *same* resource abstraction the simulator allocates
+from, so Equation 1 and the simulation can never disagree on ``BW`` —
+and the resulting :class:`~repro.core.app_model.ApplicationModel`
+evaluates Equation 1 at any ``(N, P)``.
 
 This is the workflow of Sections V and VI: four sample runs on a small
 cluster, then predictions across core counts, disk types, disk sizes, and
@@ -20,6 +22,7 @@ from repro.core.profiler import ProfilingReport, StageProfileData
 from repro.core.stage_model import StageModel
 from repro.core.variables import IoChannel, StageModelVariables
 from repro.errors import ModelError
+from repro.resources import ResourceRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.cluster import Cluster
@@ -36,6 +39,7 @@ class Predictor:
         self,
         devices_by_role: dict[str, StorageDevice],
         network_bandwidth: float | None = None,
+        remote_fraction: float = 1.0,
     ) -> ApplicationModel:
         """Build the application model for explicit per-role devices.
 
@@ -45,23 +49,37 @@ class Predictor:
         ``network_bandwidth`` (bytes/s per node link) enables the network
         extension: shuffle-read bytes also cross the wire, so each
         shuffle-read channel contributes an extra read-limit group on a
-        virtual ``"network"`` device — ``D_shuffle / (N * link_bw)``.  The
-        paper omits this term because its 10 Gb/s links never bind
+        virtual ``"network"`` device — ``remote_fraction * D_shuffle /
+        (N * link_bw)``.  ``remote_fraction`` is the share of shuffle
+        bytes living on *other* nodes (``(N-1)/N`` under a uniform
+        spread; the default 1.0 is the conservative whole-shuffle bound).
+        The paper omits this term because its 10 Gb/s links never bind
         (Section III-B1, after [5]); on slow links it dominates, as
         Trivedi et al. [34] observed moving from 1 Gb/s to 10 Gb/s.
         """
         if network_bandwidth is not None and network_bandwidth <= 0:
             raise ModelError("network bandwidth must be positive when given")
+        if not 0.0 <= remote_fraction <= 1.0:
+            raise ModelError("remote fraction must be within [0, 1]")
+        registry = ResourceRegistry.for_devices(
+            devices_by_role, network_bandwidth=network_bandwidth
+        )
         stage_models = [
-            StageModel(
-                self._stage_variables(stage, devices_by_role, network_bandwidth)
-            )
+            StageModel(self._stage_variables(stage, registry, remote_fraction))
             for stage in self.report.stages
         ]
         return ApplicationModel(self.report.workload_name, stage_models)
 
-    def model_for_cluster(self, cluster: Cluster) -> ApplicationModel:
-        """Build the application model for a (homogeneous) cluster."""
+    def model_for_cluster(
+        self, cluster: Cluster, network_bandwidth: float | None = None
+    ) -> ApplicationModel:
+        """Build the application model for a (homogeneous) cluster.
+
+        When ``network_bandwidth`` is given, the remote fraction is taken
+        from the cluster's own :class:`~repro.cluster.network.NetworkModel`
+        at the cluster's node count — matching what the simulator does
+        with a finite network configured.
+        """
         sample = cluster.slaves[0]
         for node in cluster.slaves:
             if (
@@ -72,8 +90,13 @@ class Predictor:
                     "prediction requires homogeneous slave storage; node"
                     f" {node.name} differs from {sample.name}"
                 )
+        remote_fraction = 1.0
+        if network_bandwidth is not None:
+            remote_fraction = cluster.network.remote_fraction(cluster.num_slaves)
         return self.model_for_devices(
-            {"hdfs": sample.hdfs_device, "local": sample.local_device}
+            {"hdfs": sample.hdfs_device, "local": sample.local_device},
+            network_bandwidth=network_bandwidth,
+            remote_fraction=remote_fraction,
         )
 
     def predict(
@@ -92,21 +115,20 @@ class Predictor:
     def _stage_variables(
         self,
         stage: StageProfileData,
-        devices_by_role: dict[str, StorageDevice],
-        network_bandwidth: float | None = None,
+        registry: ResourceRegistry,
+        remote_fraction: float = 1.0,
     ) -> StageModelVariables:
         channels = []
         for profile in stage.channels:
             if profile.total_bytes == 0:
                 continue
-            try:
-                device = devices_by_role[profile.role]
-            except KeyError:
+            key = ("role", profile.role, profile.is_write)
+            if key not in registry:
                 raise ModelError(
                     f"stage {stage.name}: no target device for role"
                     f" {profile.role!r}"
-                ) from None
-            bandwidth = device.bandwidth(profile.request_size, profile.is_write)
+                )
+            bandwidth = registry.bandwidth(key, profile.request_size)
             channels.append(
                 IoChannel(
                     kind=profile.kind,
@@ -117,20 +139,24 @@ class Predictor:
                     device=profile.role,
                 )
             )
-            if network_bandwidth is not None and profile.kind == "shuffle_read":
-                # Reducer-side bytes also cross the network (remote
-                # fraction (N-1)/N ~ 1); a separate per-device group means
-                # the slower of disk and wire sets the read floor.
-                channels.append(
-                    IoChannel(
-                        kind=profile.kind,
-                        total_bytes=profile.total_bytes,
-                        request_size=profile.request_size,
-                        bandwidth=network_bandwidth,
-                        is_write=False,
-                        device="network",
+            if ("network",) in registry and profile.kind == "shuffle_read":
+                # Reducer-side remote bytes also cross the network; a
+                # separate per-device group means the slower of disk and
+                # wire sets the read floor.
+                network_bytes = profile.total_bytes * remote_fraction
+                if network_bytes > 0:
+                    channels.append(
+                        IoChannel(
+                            kind=profile.kind,
+                            total_bytes=network_bytes,
+                            request_size=profile.request_size,
+                            bandwidth=registry.bandwidth(
+                                ("network",), profile.request_size
+                            ),
+                            is_write=False,
+                            device="network",
+                        )
                     )
-                )
         return StageModelVariables(
             name=stage.name,
             num_tasks=stage.num_tasks,

@@ -1,0 +1,95 @@
+"""Named lookup of one deployment's shared resources.
+
+The registry is the single source of truth for ``BW``: the simulator
+allocates from exactly the resources registered here, and the analytic
+model (Equation 1) reads its channel bandwidths from the same objects via
+:meth:`ResourceRegistry.bandwidth`.  A bandwidth disagreement between
+simulation and model therefore becomes structurally impossible — both
+sides would have to read a different object, and there is only one.
+
+Keys are tuples so that call sites can build structured namespaces
+without string formatting, e.g. ``("device", id(disk), is_write)`` in the
+engine or ``("role", "hdfs", False)`` in the predictor.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator, Mapping
+
+from repro.errors import SimulationError
+from repro.resources.resource import DeviceResource, LinkResource, Resource
+
+
+class ResourceRegistry:
+    """Maps hashable keys to :class:`Resource` instances."""
+
+    def __init__(self) -> None:
+        self._resources: dict[Hashable, Resource] = {}
+
+    def register(self, key: Hashable, resource: Resource) -> Resource:
+        """Register ``resource`` under ``key``; duplicate keys are an error."""
+        if key in self._resources:
+            raise SimulationError(f"resource key {key!r} already registered")
+        self._resources[key] = resource
+        return resource
+
+    def get(self, key: Hashable) -> Resource:
+        """Return the resource registered under ``key``."""
+        try:
+            return self._resources[key]
+        except KeyError:
+            raise SimulationError(f"no resource registered under {key!r}") from None
+
+    def find(self, key: Hashable) -> Resource | None:
+        """Like :meth:`get` but returns ``None`` for unknown keys."""
+        return self._resources.get(key)
+
+    def bandwidth(self, key: Hashable, request_size: float) -> float:
+        """``BW`` a single stream at ``request_size`` would see on ``key``."""
+        return self.get(key).bandwidth_at(request_size)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._resources
+
+    def __len__(self) -> int:
+        return len(self._resources)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._resources)
+
+    def values(self) -> list[Resource]:
+        """All registered resources, in registration order."""
+        return list(self._resources.values())
+
+    def items(self) -> list[tuple[Hashable, Resource]]:
+        """All (key, resource) pairs, in registration order."""
+        return list(self._resources.items())
+
+    @classmethod
+    def for_devices(
+        cls,
+        devices_by_role: Mapping[str, object],
+        network_bandwidth: float | None = None,
+    ) -> ResourceRegistry:
+        """Registry for one node's devices, keyed by storage role.
+
+        Registers ``("role", role, is_write)`` for both directions of
+        every device, and ``("network",)`` when a finite link bandwidth
+        is given.  This is the shape the analytic model consumes;
+        the simulator builds its own per-node registry instead.
+        """
+        registry = cls()
+        for role, device in devices_by_role.items():
+            for is_write in (False, True):
+                registry.register(
+                    ("role", role, is_write),
+                    DeviceResource(device, is_write),  # type: ignore[arg-type]
+                )
+        if network_bandwidth is not None:
+            registry.register(
+                ("network",), LinkResource("network", network_bandwidth)
+            )
+        return registry
+
+    def __repr__(self) -> str:
+        return f"ResourceRegistry({len(self._resources)} resources)"

@@ -1,37 +1,71 @@
-"""The fluid discrete-event loop.
+"""The fluid discrete-event loop, over generic shared resources.
 
 State advances between *phase completion* events.  Between events every
-I/O stream progresses at the rate its device queue allocated (see
-:mod:`repro.storage.queue`) and every compute phase progresses at 1 s/s.
-At each event the engine:
+I/O stream progresses at the rate its resources allocated (see
+:mod:`repro.resources`) and every compute phase progresses at 1 s/s.
+Completion times are kept in an event heap; a stream's ``remaining_bytes``
+is only materialized when its rate actually changes (rate-epoch
+invalidation), so an event touches the streams whose allocation changed
+rather than every active stream.  At each event the engine:
 
-1. retires phases that reached zero remaining work,
-2. moves their tasks to the next phase (or finishes them, freeing a core),
-3. launches waiting tasks onto freed cores, and
-4. lets the affected device queues re-balance rates.
+1. retires phases whose heap entry came due,
+2. moves their tasks to the next phase (or finishes them, freeing a core
+   slot), launching waiting tasks onto freed slots, and
+3. re-balances exactly the resources whose membership changed —
+   re-scheduling only streams whose rate moved.
 
-Tasks hold one core from launch to finish — like Spark tasks, whose I/O
-(shuffle read, HDFS read/write) happens on the task's own thread.  The
-pipeline overlap of Fig. 6 emerges naturally: while one task computes,
-other tasks' I/O proceeds.
+Tasks hold one core slot from launch to finish — like Spark tasks, whose
+I/O (shuffle read, HDFS read/write) happens on the task's own thread.
+The pipeline overlap of Fig. 6 emerges naturally: while one task
+computes, other tasks' I/O proceeds.
+
+Contention is expressed entirely through :mod:`repro.resources`:
+
+- each node's executor cores are a :class:`SlotPool`;
+- each storage device direction is a :class:`DeviceResource` (per array
+  *member* when a :class:`~repro.storage.array.DiskArray` asks for
+  per-member mode — streams are striped round-robin across members, like
+  Spark round-robins files across local dirs);
+- when a :class:`~repro.cluster.network.NetworkModel` is passed, each
+  node gets a NIC :class:`LinkResource` and shuffle-read phases
+  (``via_network=True``) split into a local-disk stream plus a remote
+  stream bound to both the disk and the NIC, in the proportion
+  ``NetworkModel.remote_fraction`` dictates.  With no network configured
+  (the default) the wire is treated as infinite and results recover the
+  paper's disk-only numbers exactly.
 """
 
 from __future__ import annotations
 
-import math
+import heapq
+import itertools
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.network import NetworkModel
 from repro.cluster.node import Node
 from repro.errors import SimulationError
+from repro.resources import (
+    DeviceResource,
+    LinkResource,
+    Resource,
+    ResourceRegistry,
+    SharedStream,
+    SlotPool,
+    rebalance_coupled,
+)
 from repro.simulator.task import ComputePhase, IoPhase, SimTask
+from repro.storage.array import DiskArray
 from repro.storage.iostat import IostatCollector
-from repro.storage.queue import DeviceQueue, IoStream
 
 #: Remaining work below these thresholds counts as complete.
 _BYTE_EPS = 1e-6
 _TIME_EPS = 1e-9
+
+#: Heap entry kinds.
+_EV_STREAM = 0
+_EV_COMPUTE = 1
 
 
 @dataclass
@@ -41,12 +75,17 @@ class _Running:
     task: SimTask
     node: Node
     phase_index: int = 0
-    stream: IoStream | None = None
+    #: I/O streams of the current phase still moving bytes (a phase may
+    #: hold several when a shuffle read splits into local + remote).
+    open_streams: int = 0
     compute_remaining: float = 0.0
+    #: Bumped at every phase transition; stale heap entries are dropped.
+    epoch: int = 0
+    streams: list[SharedStream] = field(default_factory=list)
 
     @property
     def in_io(self) -> bool:
-        return self.stream is not None
+        return self.open_streams > 0
 
 
 class SimulationEngine:
@@ -58,6 +97,7 @@ class SimulationEngine:
         cores_per_node: int,
         iostat: IostatCollector | None = None,
         max_events: int = 50_000_000,
+        network: NetworkModel | None = None,
     ) -> None:
         if cores_per_node <= 0:
             raise SimulationError("cores per node must be positive")
@@ -71,30 +111,86 @@ class SimulationEngine:
         self.cores_per_node = cores_per_node
         self.iostat = iostat
         self.max_events = max_events
-        # One queue per *physical* device (HDFS and local may share one).
-        self._queues: dict[int, DeviceQueue] = {}
+        self.network = network
+        self.registry = ResourceRegistry()
+        self._cores: dict[str, SlotPool] = {}
+        #: Round-robin cursors for striping streams across array members,
+        #: keyed like the device resources.
+        self._stripe: dict[tuple, int] = {}
         for node in cluster.slaves:
+            self._cores[node.name] = self.registry.register(
+                ("cores", node.name), SlotPool(f"{node.name}:cores", cores_per_node)
+            )  # type: ignore[assignment]
+            # One resource per *physical* device direction (HDFS and local
+            # may share a device); per-member arrays get one per member.
             for device in (node.hdfs_device, node.local_device):
-                self._queues.setdefault(id(device), DeviceQueue(device))
+                for is_write in (False, True):
+                    key = ("device", id(device), is_write)
+                    if key in self.registry:
+                        continue
+                    if isinstance(device, DiskArray) and device.per_member:
+                        for index, member in enumerate(device.members):
+                            self.registry.register(
+                                key + (index,), DeviceResource(member, is_write)
+                            )
+                        self._stripe[key] = 0
+                    else:
+                        self.registry.register(key, DeviceResource(device, is_write))
+            if network is not None:
+                self.registry.register(
+                    ("nic", node.name),
+                    LinkResource(f"{node.name}:nic", network.link_bandwidth),
+                )
+        #: (resource, busy-accounting key) pairs, computed once.
+        self._rate_resources: list[tuple[Resource, tuple[str, bool]]] = []
+        for resource in self.registry.values():
+            if isinstance(resource, DeviceResource):
+                self._rate_resources.append(
+                    (resource, (resource.device.name, resource.is_write))
+                )
+            elif isinstance(resource, LinkResource):
+                self._rate_resources.append((resource, (resource.name, False)))
         #: Seconds each (device name, is_write) direction had >= 1 active
         #: stream, accumulated by :meth:`run`.
         self.device_busy_seconds: dict[tuple[str, bool], float] = {}
         #: Core-seconds occupied by tasks (held during I/O and compute).
         self.core_busy_seconds: float = 0.0
+        # -- per-run state (reset in :meth:`run`) --------------------------
+        self._heap: list[tuple] = []
+        self._seq = itertools.count()
+        self._dirty: set[int] = set()
+        self._dirty_resources: dict[int, Resource] = {}
+        self._owner: dict[int, _Running] = {}
+        self._stalled: dict[int, SharedStream] = {}
+        self._freed_nodes: set[str] = set()
 
-    def _queue_for(self, node: Node, role: str) -> DeviceQueue:
-        return self._queues[id(node.device_for(role))]
+    # -- resource resolution ----------------------------------------------
+
+    def _resource_for(self, node: Node, role: str, is_write: bool) -> Resource:
+        """Resolve a phase's device resource, striping across array members."""
+        device = node.device_for(role)
+        key = ("device", id(device), is_write)
+        if key in self._stripe:
+            members = len(device.members)  # type: ignore[attr-defined]
+            cursor = self._stripe[key]
+            self._stripe[key] = (cursor + 1) % members
+            return self.registry.get(key + (cursor,))
+        return self.registry.get(key)
+
+    # -- the event loop ----------------------------------------------------
 
     def run(self, tasks: list[SimTask]) -> float:
         """Execute ``tasks`` to completion; returns the makespan in seconds.
 
         Tasks are assigned to nodes round-robin at submission (Spark's
         locality-free scheduling under a uniform data spread) and started
-        FIFO as cores free up.  Task ``start_time``/``finish_time`` fields
-        are filled in.
+        FIFO as cores free up.  Submission order is canonicalized by
+        ``task_id`` so that shuffling a task list cannot change the
+        schedule.  Task ``start_time``/``finish_time`` are filled in.
         """
         if not tasks:
             return 0.0
+        tasks = sorted(tasks, key=lambda t: t.task_id)
         pending: dict[str, deque[SimTask]] = {
             node.name: deque() for node in self.cluster.slaves
         }
@@ -102,51 +198,232 @@ class SimulationEngine:
             node = self.cluster.slaves[index % self.cluster.num_slaves]
             pending[node.name].append(task)
 
-        free_cores = {node.name: self.cores_per_node for node in self.cluster.slaves}
-        active: list[_Running] = []
+        self._heap = []
+        self._seq = itertools.count()
+        self._dirty_resources = {}
+        self._owner = {}
+        self._stalled = {}
+        self._freed_nodes = set()
+        self._pending = pending
+        self._remaining_tasks = len(tasks)
+        self._num_running = 0
+
         now = 0.0
-        remaining_tasks = len(tasks)
-
-        def launch_waiting() -> None:
-            nonlocal remaining_tasks
-            for node in self.cluster.slaves:
-                queue = pending[node.name]
-                while queue and free_cores[node.name] > 0:
-                    task = queue.popleft()
-                    free_cores[node.name] -= 1
-                    task.start_time = now
-                    running = _Running(task=task, node=node)
-                    if self._enter_phase(running, now):
-                        active.append(running)
-                    else:
-                        free_cores[node.name] += 1
-                        remaining_tasks -= 1
-
-        launch_waiting()
+        self._launch_waiting(now)
+        self._settle(now)
         events = 0
-        while remaining_tasks > 0:
+        while self._remaining_tasks > 0:
             events += 1
             if events > self.max_events:
                 raise SimulationError(
                     f"exceeded {self.max_events} events; simulation is stuck"
                 )
-            if not active:
-                raise SimulationError(
-                    "no active tasks but work remains; scheduler invariant broken"
-                )
-            dt = self._next_event_dt(active)
-            if math.isinf(dt):
-                raise SimulationError("all active streams are stalled at rate 0")
-            self._account_busy_time(active, dt)
-            now += dt
-            self._advance(active, dt)
-            finished_any = self._retire_completed(active, now)
-            if finished_any:
-                for running in finished_any:
-                    free_cores[running.node.name] += 1
-                    remaining_tasks -= 1
-                launch_waiting()
+            batch = self._pop_batch()
+            if not batch:
+                self._raise_stuck()
+            dt = batch[0][0] - now
+            self._account_busy_time(dt)
+            now = batch[0][0]
+            for entry in batch:
+                self._process_entry(entry, now)
+            self._settle(now)
         return now
+
+    def _pop_batch(self) -> list[tuple]:
+        """Pop all valid entries due within ``_TIME_EPS`` of the earliest."""
+        heap = self._heap
+        batch: list[tuple] = []
+        while heap:
+            entry = heap[0]
+            if not self._entry_valid(entry):
+                heapq.heappop(heap)
+                continue
+            if batch and entry[0] > batch[0][0] + _TIME_EPS:
+                break
+            batch.append(heapq.heappop(heap))
+        return batch
+
+    @staticmethod
+    def _entry_valid(entry: tuple) -> bool:
+        _, _, kind, obj, epoch = entry
+        return obj.epoch == epoch
+
+    def _process_entry(self, entry: tuple, now: float) -> None:
+        _, _, kind, obj, epoch = entry
+        if obj.epoch != epoch:
+            # Invalidated by an earlier entry of the same batch.
+            return
+        if kind == _EV_COMPUTE:
+            running = obj
+            running.compute_remaining = 0.0
+            self._transition(running, now)
+        else:
+            stream = obj
+            stream.remaining_bytes = 0.0
+            self._complete_stream(stream, now)
+
+    def _complete_stream(self, stream: SharedStream, now: float) -> None:
+        stream.epoch += 1  # invalidate any scheduled entry
+        self._stalled.pop(stream.stream_id, None)
+        for resource in list(stream.resources):
+            resource.detach(stream, rebalance=False)
+            self._mark_dirty(resource)
+        running = self._owner.pop(stream.stream_id)
+        running.streams.remove(stream)
+        running.open_streams -= 1
+        if running.open_streams == 0:
+            self._transition(running, now)
+
+    def _transition(self, running: _Running, now: float) -> None:
+        """Move a task past its completed phase; free its slot if done."""
+        running.epoch += 1
+        running.phase_index += 1
+        if not self._enter_phase(running, now):
+            self._cores[running.node.name].release()
+            self._num_running -= 1
+            self._remaining_tasks -= 1
+            self._freed_nodes.add(running.node.name)
+
+    def _launch_waiting(self, now: float) -> None:
+        for node in self.cluster.slaves:
+            queue = self._pending[node.name]
+            pool = self._cores[node.name]
+            while queue and pool.free > 0:
+                task = queue.popleft()
+                pool.acquire()
+                self._num_running += 1
+                task.start_time = now
+                running = _Running(task=task, node=node)
+                if not self._enter_phase(running, now):
+                    pool.release()
+                    self._num_running -= 1
+                    self._remaining_tasks -= 1
+
+    def _settle(self, now: float) -> None:
+        """Launch onto freed slots and re-balance dirty resources, to fixpoint.
+
+        Materializing remaining bytes at a rate change can itself complete
+        a stream (the sub-:data:`_BYTE_EPS` clamp), which frees slots and
+        dirties more resources — hence the loop.
+        """
+        while True:
+            if self._freed_nodes:
+                self._freed_nodes.clear()
+                self._launch_waiting(now)
+            if not self._dirty_resources:
+                return
+            dirty = self._dirty_resources
+            self._dirty_resources = {}
+            for component in self._components(dirty):
+                self._rebalance_component(component, now)
+
+    def _mark_dirty(self, resource: Resource) -> None:
+        self._dirty_resources[id(resource)] = resource
+
+    @staticmethod
+    def _components(dirty: dict[int, Resource]) -> list[list[Resource]]:
+        """Group dirty resources into coupling components.
+
+        Two resources are coupled when a stream is bound to both (a remote
+        shuffle-read stream on disk + NIC); the closure pulls in coupled
+        resources even if they were not dirtied directly.
+        """
+        components: list[list[Resource]] = []
+        seen: set[int] = set()
+        for resource in dirty.values():
+            if id(resource) in seen:
+                continue
+            component: list[Resource] = []
+            frontier = [resource]
+            seen.add(id(resource))
+            while frontier:
+                current = frontier.pop()
+                component.append(current)
+                for stream in current.streams:
+                    for other in stream.resources:
+                        if id(other) not in seen:
+                            seen.add(id(other))
+                            frontier.append(other)
+            components.append(component)
+        return components
+
+    def _rebalance_component(self, component: list[Resource], now: float) -> None:
+        before: dict[int, tuple[SharedStream, float]] = {}
+        for resource in component:
+            for stream in resource.streams:
+                before[stream.stream_id] = (stream, stream.rate)
+        if len(component) == 1 and all(
+            len(stream.resources) == 1 for stream, _ in before.values()
+        ):
+            # Singly-bound streams on one resource: the exact historical
+            # water-filling arithmetic (bit-identical default path).
+            component[0].rebalance()
+        else:
+            rebalance_coupled(component)
+        for stream, old_rate in before.values():
+            if stream.rate == old_rate:
+                if stream.rate <= 0.0 and not stream.done:
+                    self._note_stall(stream)
+                continue
+            self._materialize(stream, old_rate, now)
+            if stream.done:
+                self._complete_stream(stream, now)
+            else:
+                self._reschedule(stream, now)
+
+    @staticmethod
+    def _materialize(stream: SharedStream, old_rate: float, now: float) -> None:
+        """Apply the progress accrued at the stream's previous rate."""
+        elapsed = now - stream.last_update
+        if elapsed > 0.0 and old_rate > 0.0:
+            stream.remaining_bytes -= old_rate * elapsed
+            if stream.remaining_bytes < _BYTE_EPS:
+                stream.remaining_bytes = 0.0
+        stream.last_update = now
+
+    def _reschedule(self, stream: SharedStream, now: float) -> None:
+        stream.epoch += 1
+        if stream.rate > 0.0:
+            stream.stalled = False
+            self._stalled.pop(stream.stream_id, None)
+            finish = now + stream.remaining_bytes / stream.rate
+            heapq.heappush(
+                self._heap,
+                (finish, next(self._seq), _EV_STREAM, stream, stream.epoch),
+            )
+            return
+        self._note_stall(stream)
+
+    def _note_stall(self, stream: SharedStream) -> None:
+        """Zero rate with work remaining: one strike, then a hard error.
+
+        A second consecutive zero-rate allocation can never finish — fail
+        loudly naming the culprit instead of hanging until ``max_events``.
+        """
+        if stream.stalled:
+            raise SimulationError(
+                f"stream stalled at rate 0 across consecutive events:"
+                f" {stream.describe()}"
+            )
+        stream.stalled = True
+        self._stalled[stream.stream_id] = stream
+
+    def _schedule_compute(self, running: _Running, now: float) -> None:
+        finish = now + running.compute_remaining
+        heapq.heappush(
+            self._heap,
+            (finish, next(self._seq), _EV_COMPUTE, running, running.epoch),
+        )
+
+    def _raise_stuck(self) -> None:
+        if self._stalled:
+            stuck = ", ".join(s.describe() for s in self._stalled.values())
+            raise SimulationError(f"all remaining streams are stalled at rate 0: {stuck}")
+        raise SimulationError(
+            "no active tasks but work remains; scheduler invariant broken"
+        )
+
+    # -- reporting ---------------------------------------------------------
 
     def core_utilization(self, makespan: float) -> float:
         """Fraction of core-time occupied over a completed run."""
@@ -162,19 +439,17 @@ class SimulationEngine:
             return 0.0
         return self.device_busy_seconds.get((device_name, is_write), 0.0) / makespan
 
-    def _account_busy_time(self, active: list[_Running], dt: float) -> None:
+    def _account_busy_time(self, dt: float) -> None:
         if dt <= 0.0:
             return
-        self.core_busy_seconds += len(active) * dt
-        for queue in self._queues.values():
-            directions = {stream.is_write for stream in queue.streams}
-            for is_write in directions:
-                key = (queue.device.name, is_write)
+        self.core_busy_seconds += self._num_running * dt
+        for resource, key in self._rate_resources:
+            if resource.num_active:
                 self.device_busy_seconds[key] = (
                     self.device_busy_seconds.get(key, 0.0) + dt
                 )
 
-    # -- internals ---------------------------------------------------------
+    # -- phase entry -------------------------------------------------------
 
     def _enter_phase(self, running: _Running, now: float) -> bool:
         """Advance ``running`` into its next non-empty phase.
@@ -188,26 +463,11 @@ class SimulationEngine:
             if isinstance(phase, ComputePhase):
                 if phase.seconds > _TIME_EPS:
                     running.compute_remaining = phase.seconds
-                    running.stream = None
+                    self._schedule_compute(running, now)
                     return True
             elif isinstance(phase, IoPhase):
                 if phase.total_bytes > _BYTE_EPS:
-                    stream = IoStream(
-                        remaining_bytes=phase.total_bytes,
-                        request_size=phase.request_size,
-                        is_write=phase.is_write,
-                        per_stream_cap=phase.per_stream_cap,
-                    )
-                    self._queue_for(running.node, phase.role).attach(stream)
-                    running.stream = stream
-                    if self.iostat is not None:
-                        device = running.node.device_for(phase.role)
-                        self.iostat.record(
-                            device_name=device.name,
-                            total_bytes=phase.total_bytes,
-                            request_size=phase.request_size,
-                            is_write=phase.is_write,
-                        )
+                    self._open_io(running, phase, now)
                     return True
             else:  # pragma: no cover - phase union is closed
                 raise SimulationError(f"unknown phase type: {phase!r}")
@@ -215,50 +475,65 @@ class SimulationEngine:
         task.finish_time = now
         return False
 
-    @staticmethod
-    def _next_event_dt(active: list[_Running]) -> float:
-        dt = math.inf
-        for running in active:
-            if running.stream is not None:
-                dt = min(dt, running.stream.seconds_to_finish())
-            else:
-                dt = min(dt, running.compute_remaining)
-        return max(dt, 0.0)
-
-    @staticmethod
-    def _advance(active: list[_Running], dt: float) -> None:
-        for running in active:
-            if running.stream is not None:
-                running.stream.remaining_bytes -= running.stream.rate * dt
-                if running.stream.remaining_bytes < _BYTE_EPS:
-                    running.stream.remaining_bytes = 0.0
-            else:
-                running.compute_remaining -= dt
-                if running.compute_remaining < _TIME_EPS:
-                    running.compute_remaining = 0.0
-
-    def _retire_completed(self, active: list[_Running], now: float) -> list[_Running]:
-        """Detach finished phases; return tasks that fully finished."""
-        finished: list[_Running] = []
-        still_active: list[_Running] = []
-        for running in active:
-            done = (
-                running.stream.done
-                if running.stream is not None
-                else running.compute_remaining <= 0.0
+    def _open_io(self, running: _Running, phase: IoPhase, now: float) -> None:
+        """Create the phase's stream(s) and attach them (balance deferred)."""
+        node = running.node
+        if self.iostat is not None:
+            device = node.device_for(phase.role)
+            self.iostat.record(
+                device_name=device.name,
+                total_bytes=phase.total_bytes,
+                request_size=phase.request_size,
+                is_write=phase.is_write,
             )
-            if not done:
-                still_active.append(running)
+        remote_fraction = 0.0
+        if (
+            phase.via_network
+            and not phase.is_write
+            and self.network is not None
+            and self.cluster.num_slaves > 1
+        ):
+            remote_fraction = self.network.remote_fraction(self.cluster.num_slaves)
+        disk = self._resource_for(node, phase.role, phase.is_write)
+        cap = phase.per_stream_cap
+        splits: list[tuple[float, float | None, list[Resource], str]] = []
+        if remote_fraction <= 0.0:
+            splits.append((phase.total_bytes, cap, [disk], "local"))
+        else:
+            # Split the phase in the remote proportion; the software-path
+            # cap T splits with it so the pair still totals at most T.
+            local_share = 1.0 - remote_fraction
+            splits.append(
+                (
+                    phase.total_bytes * local_share,
+                    cap * local_share if cap is not None else None,
+                    [disk],
+                    "local",
+                )
+            )
+            nic = self.registry.get(("nic", node.name))
+            splits.append(
+                (
+                    phase.total_bytes * remote_fraction,
+                    cap * remote_fraction if cap is not None else None,
+                    [disk, nic],
+                    "remote",
+                )
+            )
+        for total_bytes, stream_cap, resources, tag in splits:
+            if total_bytes <= _BYTE_EPS:
                 continue
-            if running.stream is not None:
-                phase = running.task.phases[running.phase_index]
-                assert isinstance(phase, IoPhase)
-                self._queue_for(running.node, phase.role).detach(running.stream)
-                running.stream = None
-            running.phase_index += 1
-            if self._enter_phase(running, now):
-                still_active.append(running)
-            else:
-                finished.append(running)
-        active[:] = still_active
-        return finished
+            stream = SharedStream(
+                remaining_bytes=total_bytes,
+                request_size=phase.request_size,
+                per_stream_cap=stream_cap,
+                label=f"task {running.task.task_id} {tag} {phase.role}"
+                f" {'write' if phase.is_write else 'read'}",
+                last_update=now,
+            )
+            for resource in resources:
+                resource.attach(stream, rebalance=False)
+                self._mark_dirty(resource)
+            self._owner[stream.stream_id] = running
+            running.streams.append(stream)
+            running.open_streams += 1

@@ -12,6 +12,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.network import NetworkModel
 from repro.errors import SimulationError
 from repro.simulator.engine import SimulationEngine
 from repro.simulator.task import SimTask
@@ -58,6 +59,11 @@ class StageMeasurement:
     #: Mean per-task JVM GC stall — the task metric the GC-aware profiler
     #: consumes (zero for GC-free workload specs).
     avg_gc_seconds: float = 0.0
+    #: Fraction of core-time occupied by tasks over the makespan.
+    core_utilization: float = 0.0
+    #: (resource name, is_write, busy fraction) per contended resource
+    #: direction — devices and, when a network is configured, NICs.
+    device_utilizations: tuple[tuple[str, bool, float], ...] = ()
 
     @property
     def t_avg(self) -> float:
@@ -106,10 +112,15 @@ def run_stage(
     cores_per_node: int,
     tasks: list[SimTask],
     name: str = "stage",
+    network: NetworkModel | None = None,
 ) -> StageMeasurement:
-    """Simulate one stage and collect its measurement record."""
+    """Simulate one stage and collect its measurement record.
+
+    ``network`` switches the engine from the paper's infinite-wire default
+    to finite NIC links (shuffle reads then contend on the network too).
+    """
     iostat = IostatCollector()
-    engine = SimulationEngine(cluster, cores_per_node, iostat=iostat)
+    engine = SimulationEngine(cluster, cores_per_node, iostat=iostat, network=network)
     makespan = engine.run(tasks)
 
     durations_by_group: dict[str, list[float]] = defaultdict(list)
@@ -141,6 +152,14 @@ def run_stage(
         avg_gc_seconds=(
             sum(t.gc_seconds for t in tasks) / len(tasks) if tasks else 0.0
         ),
+        core_utilization=engine.core_utilization(makespan),
+        device_utilizations=tuple(
+            (device_name, is_write, busy / makespan)
+            for (device_name, is_write), busy in sorted(
+                engine.device_busy_seconds.items()
+            )
+            if makespan > 0
+        ),
     )
 
 
@@ -149,10 +168,11 @@ def run_application(
     cores_per_node: int,
     staged_tasks: list[tuple[str, list[SimTask]]],
     name: str = "app",
+    network: NetworkModel | None = None,
 ) -> ApplicationMeasurement:
     """Simulate stages sequentially (Spark stages synchronize at shuffles)."""
     measurements = [
-        run_stage(cluster, cores_per_node, tasks, name=stage_name)
+        run_stage(cluster, cores_per_node, tasks, name=stage_name, network=network)
         for stage_name, tasks in staged_tasks
     ]
     return ApplicationMeasurement(name=name, stages=tuple(measurements))

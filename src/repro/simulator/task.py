@@ -40,6 +40,12 @@ class IoPhase:
     per_stream_cap:
         The software-path throughput cap ``T`` (bytes/s); ``None`` = only
         the device limits the stream.
+    via_network:
+        True for phases whose data partly lives on *other* nodes (shuffle
+        reads).  When the engine runs with a finite network model, such a
+        phase is split into a local-disk stream and a remote stream that
+        also crosses the node's NIC; with no network configured (the
+        default) the flag has no effect.
     """
 
     role: str
@@ -47,6 +53,7 @@ class IoPhase:
     request_size: float
     is_write: bool
     per_stream_cap: float | None = None
+    via_network: bool = False
 
     def __post_init__(self) -> None:
         if self.role not in ("hdfs", "local"):

@@ -10,15 +10,42 @@ aggregate throughput adds) and whose capacity is the members' total.
 
 This is also how the paper's R1/R2 reference configurations (4-12 disks
 per node) are expressed with the same model machinery.
+
+Two granularities are available:
+
+- **summed** (the default, and the paper's model): the array *is* one
+  device with the pointwise-summed curve — a task streaming alone on the
+  array sees the full aggregate bandwidth;
+- **per-member** (``per_member=True``): the array keeps its members, and
+  the simulator stripes streams across them round-robin (JBOD semantics —
+  Spark round-robins files over ``spark.local.dir`` entries, so one task
+  reads one member at a time while concurrent tasks spread out).
+
+Both build the same :class:`DiskArray`; the flag only changes how the
+simulation engine materializes the array as contention resources.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
+from dataclasses import dataclass
 
 from repro.core.bandwidth import EffectiveBandwidthTable
 from repro.errors import StorageError
 from repro.storage.device import StorageDevice
+
+
+@dataclass
+class DiskArray(StorageDevice):
+    """A :class:`StorageDevice` that remembers its member disks.
+
+    Behaves exactly like the summed device everywhere (``bandwidth`` reads
+    the summed curve); ``members``/``per_member`` let resource-aware
+    consumers (the simulation engine) break the aggregate apart.
+    """
+
+    members: tuple[StorageDevice, ...] = ()
+    per_member: bool = False
 
 
 def _summed_table(
@@ -38,19 +65,20 @@ def _summed_table(
 
 
 def make_disk_array(
-    name: str, members: Sequence[StorageDevice]
-) -> StorageDevice:
+    name: str, members: Sequence[StorageDevice], per_member: bool = False
+) -> DiskArray:
     """Aggregate member disks into one striped array device.
 
     All members contribute bandwidth at every request size; capacity is
     the sum.  The array's ``kind`` is the member kind when homogeneous,
-    ``"array"`` otherwise.
+    ``"array"`` otherwise.  With ``per_member=True`` the simulator
+    allocates contention per member instead of against the summed curve.
     """
     if not members:
         raise StorageError("a disk array needs at least one member")
     kinds = {member.kind for member in members}
     kind = kinds.pop() if len(kinds) == 1 else "array"
-    return StorageDevice(
+    return DiskArray(
         name=name,
         kind=kind,
         capacity_bytes=sum(member.capacity_bytes for member in members),
@@ -60,6 +88,8 @@ def make_disk_array(
         write_table=_summed_table(
             [member.write_table for member in members], f"{name}-write"
         ),
+        members=tuple(members),
+        per_member=per_member,
     )
 
 

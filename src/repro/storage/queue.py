@@ -1,116 +1,85 @@
-"""Processor-sharing device queue: the mechanism behind ``b = BW / T``.
+"""Processor-sharing device queue, as a view over ``repro.resources``.
 
-When several executor cores issue I/O against the same device, each stream
-is limited twice:
+Historically this module *was* the contention layer: the water-filling
+allocator lived here, hardwired to one storage device.  The mechanism now
+lives in :mod:`repro.resources` (generic over disks, network links, and
+anything else with a capacity); this module keeps the storage-flavoured
+surface — :class:`IoStream` with an ``is_write`` flag, and
+:class:`DeviceQueue` bundling a device's two directions — on top of two
+:class:`~repro.resources.resource.DeviceResource` pools.
 
-1. by its own software path — decompression, deserialization, syscall
-   overhead — captured as a per-stream cap (the paper's ``T``); and
-2. by the device — the aggregate of all streams cannot exceed the device's
-   effective bandwidth at the active request size.
+The semantics are unchanged:
 
-The queue allocates rates by *water-filling*: capacity is divided equally,
-streams that cannot use their share (cap < fair share) donate the surplus
-to the others.  With ``k`` identical streams this yields exactly
-``min(T, BW / k)`` per stream — so contention appears precisely when
-``k > BW / T = b``, the paper's break point.
-
-When streams with different request sizes share a device, the aggregate
-capacity is taken at the *smallest* active request size: small random
-requests force the head (HDD) or the flash controller into its
-seek/IOPS-dominated regime, so they dictate the aggregate behaviour.
+- each stream is limited by its software-path cap ``T`` and by the
+  device's effective bandwidth at the active request-size mix, yielding
+  ``min(T, BW / k)`` per stream and the paper's break point ``b = BW/T``;
+- reads and writes are independent capacity pools (full duplex);
+- when streams with different request sizes share a direction, the
+  aggregate capacity is taken at the *smallest* active request size.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import SimulationError
+from repro.resources.resource import DeviceResource
+from repro.resources.stream import SharedStream
 from repro.storage.device import StorageDevice
-
-_stream_ids = itertools.count()
 
 
 @dataclass
-class IoStream:
+class IoStream(SharedStream):
     """One in-flight I/O transfer on a device.
 
-    Attributes
-    ----------
-    remaining_bytes:
-        Bytes still to move; the simulator decrements this as time advances.
-    request_size:
-        Block size the stream issues (determines the device's effective
-        bandwidth and the aggregate regime).
-    is_write:
-        Read or write (selects the device curve).
-    per_stream_cap:
-        The software-path cap ``T`` in bytes/s; ``None`` means uncapped
-        (limited only by the device).
-    rate:
-        Current allocated rate in bytes/s, recomputed by the owning queue.
+    A :class:`~repro.resources.stream.SharedStream` plus the direction
+    flag (``is_write`` selects the device's read or write curve).
     """
 
-    remaining_bytes: float
-    request_size: float
-    is_write: bool
-    per_stream_cap: float | None = None
-    rate: float = field(default=0.0)
-    stream_id: int = field(default_factory=lambda: next(_stream_ids))
-
-    def __post_init__(self) -> None:
-        if self.remaining_bytes < 0:
-            raise SimulationError("stream cannot start with negative bytes")
-        if self.request_size <= 0:
-            raise SimulationError("stream request size must be positive")
-        if self.per_stream_cap is not None and self.per_stream_cap <= 0:
-            raise SimulationError("per-stream cap must be positive when set")
-
-    @property
-    def done(self) -> bool:
-        """True when the transfer has no bytes left."""
-        return self.remaining_bytes <= 1e-9
-
-    def seconds_to_finish(self) -> float:
-        """Time to drain at the current rate (inf when stalled)."""
-        if self.done:
-            return 0.0
-        if self.rate <= 0.0:
-            return float("inf")
-        return self.remaining_bytes / self.rate
+    is_write: bool = False
 
 
 class DeviceQueue:
-    """Allocates device bandwidth among concurrent :class:`IoStream` s."""
+    """Allocates device bandwidth among concurrent :class:`IoStream` s.
+
+    A thin bundle of two :class:`DeviceResource` s — one per direction —
+    that preserves the original single-queue API.
+    """
 
     def __init__(self, device: StorageDevice) -> None:
         self.device = device
-        self._streams: dict[int, IoStream] = {}
+        self._read = DeviceResource(device, is_write=False)
+        self._write = DeviceResource(device, is_write=True)
+        # Insertion order across both directions, for the combined view.
+        self._order: dict[int, IoStream] = {}
 
     @property
     def streams(self) -> list[IoStream]:
         """Streams currently attached to the device."""
-        return list(self._streams.values())
+        return list(self._order.values())
 
     @property
     def num_active(self) -> int:
         """Number of attached streams."""
-        return len(self._streams)
+        return len(self._order)
+
+    def resource_for(self, is_write: bool) -> DeviceResource:
+        """The underlying directional resource (for generic consumers)."""
+        return self._write if is_write else self._read
 
     def attach(self, stream: IoStream) -> None:
         """Add a stream and re-balance rates."""
-        if stream.stream_id in self._streams:
+        if stream.stream_id in self._order:
             raise SimulationError(f"stream {stream.stream_id} already attached")
-        self._streams[stream.stream_id] = stream
-        self.rebalance()
+        self._order[stream.stream_id] = stream
+        self.resource_for(stream.is_write).attach(stream)
 
     def detach(self, stream: IoStream) -> None:
         """Remove a stream and re-balance rates."""
-        if stream.stream_id not in self._streams:
+        if stream.stream_id not in self._order:
             raise SimulationError(f"stream {stream.stream_id} is not attached")
-        del self._streams[stream.stream_id]
-        stream.rate = 0.0
-        self.rebalance()
+        del self._order[stream.stream_id]
+        self.resource_for(stream.is_write).detach(stream)
 
     def aggregate_capacity(self) -> float:
         """Device capacity given the currently active request-size mix.
@@ -118,52 +87,9 @@ class DeviceQueue:
         Reads and writes are balanced separately in :meth:`rebalance`; this
         returns the read+write capacities summed only for reporting.
         """
-        reads = [s for s in self._streams.values() if not s.is_write]
-        writes = [s for s in self._streams.values() if s.is_write]
-        return self._capacity(reads, is_write=False) + self._capacity(
-            writes, is_write=True
-        )
+        return self._read.aggregate_capacity() + self._write.aggregate_capacity()
 
     def rebalance(self) -> None:
-        """Recompute every attached stream's rate via water-filling.
-
-        Reads and writes are treated as independent capacity pools (full
-        duplex), each at the device's effective bandwidth for its own
-        direction and active request-size mix.
-        """
-        reads = [s for s in self._streams.values() if not s.is_write]
-        writes = [s for s in self._streams.values() if s.is_write]
-        self._waterfill(reads, self._capacity(reads, is_write=False))
-        self._waterfill(writes, self._capacity(writes, is_write=True))
-
-    def _capacity(self, streams: list[IoStream], is_write: bool) -> float:
-        if not streams:
-            return 0.0
-        smallest_request = min(s.request_size for s in streams)
-        return self.device.bandwidth(smallest_request, is_write)
-
-    @staticmethod
-    def _waterfill(streams: list[IoStream], capacity: float) -> None:
-        """Equal shares with surplus redistribution, honouring per-stream caps."""
-        if not streams:
-            return
-        pending = list(streams)
-        remaining = capacity
-        # Streams whose cap is below the evolving fair share lock in their
-        # cap and free the surplus; iterate until shares stabilize.
-        while pending:
-            fair_share = remaining / len(pending)
-            capped = [
-                s
-                for s in pending
-                if s.per_stream_cap is not None and s.per_stream_cap < fair_share
-            ]
-            if not capped:
-                for stream in pending:
-                    stream.rate = fair_share
-                return
-            for stream in capped:
-                stream.rate = stream.per_stream_cap  # type: ignore[assignment]
-                remaining -= stream.per_stream_cap  # type: ignore[operator]
-                pending.remove(stream)
-        # Every stream was cap-limited; nothing left to distribute.
+        """Recompute every attached stream's rate via water-filling."""
+        self._read.rebalance()
+        self._write.rebalance()

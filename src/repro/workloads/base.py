@@ -102,6 +102,7 @@ class ChannelSpec:
             request_size=self.request_size,
             is_write=self.is_write,
             per_stream_cap=self.per_core_throughput,
+            via_network=self.kind == "shuffle_read",
         )
 
 
@@ -207,6 +208,7 @@ def _chunk_phase(channel: ChannelSpec, chunks: int, scale: float = 1.0) -> IoPha
         request_size=min(phase.request_size, max(scaled_bytes, 1.0)),
         is_write=phase.is_write,
         per_stream_cap=phase.per_stream_cap,
+        via_network=phase.via_network,
     )
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.network import NetworkModel
 from repro.simulator.run import (
     ApplicationMeasurement,
     StageMeasurement,
@@ -25,6 +26,7 @@ def measure_stage(
     cores_per_node: int,
     spec: StageSpec,
     run_index: int = 0,
+    network: NetworkModel | None = None,
 ) -> StageMeasurement:
     """Simulate one stage spec (all repeats) and return its measurement.
 
@@ -39,6 +41,7 @@ def measure_stage(
             jitter_offset=run_index * 0.381966011,
         ),
         name=spec.name,
+        network=network,
     )
     if spec.repeat == 1:
         return single
@@ -59,10 +62,13 @@ def measure_workload(
     cores_per_node: int,
     workload: WorkloadSpec,
     run_index: int = 0,
+    network: NetworkModel | None = None,
 ) -> ApplicationMeasurement:
     """Simulate every stage of a workload back to back."""
     measurements = tuple(
-        measure_stage(cluster, cores_per_node, spec, run_index=run_index)
+        measure_stage(
+            cluster, cores_per_node, spec, run_index=run_index, network=network
+        )
         for spec in workload.stages
     )
     return ApplicationMeasurement(name=workload.name, stages=measurements)

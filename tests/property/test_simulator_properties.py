@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
 from repro.simulator.engine import SimulationEngine
 from repro.simulator.task import ComputePhase, IoPhase, SimTask
-from repro.units import KB, MB
+from repro.units import MB
 
 task_specs = st.lists(
     st.tuples(

@@ -9,7 +9,6 @@ import pytest
 from repro.core.profiler import Profiler, ProfilingReport
 from repro.errors import ProfilingError
 from repro.units import GB, KB, MB
-from repro.workloads import make_gatk4_workload
 
 
 class TestProfilerConstruction:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import StorageError
-from repro.storage.device import StorageDevice, make_hdd, make_ssd
+from repro.storage.device import StorageDevice, make_hdd
 from repro.units import GB, KB, MB, TB
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.storage.device import make_hdd, make_ssd
 from repro.storage.queue import DeviceQueue, IoStream
 from repro.units import KB, MB
 

@@ -28,6 +28,20 @@ class TestParser:
         assert args.slaves == 5
         assert args.cores == 12
 
+    def test_simulate_arguments(self):
+        args = build_parser().parse_args(
+            ["simulate", "svm", "--slaves", "4", "--cores", "8",
+             "--network-gbps", "1"]
+        )
+        assert args.workload == "svm"
+        assert args.slaves == 4
+        assert args.cores == 8
+        assert args.network_gbps == 1.0
+
+    def test_simulate_network_defaults_off(self):
+        args = build_parser().parse_args(["simulate", "svm"])
+        assert args.network_gbps is None
+
 
 class TestCommands:
     def test_list_workloads(self, capsys):
@@ -65,3 +79,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "TOTAL" in out
         assert "bottleneck" in out
+
+    def test_simulate_small_workload(self, capsys):
+        assert main(["simulate", "svm", "--slaves", "2", "--cores", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+        assert "core util" in out
+        assert "iostat request-size summary" in out
+        assert "avgrq-sz" in out
+
+    def test_simulate_with_network(self, capsys):
+        assert main(
+            ["simulate", "svm", "--slaves", "2", "--cores", "4",
+             "--network-gbps", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 Gb/s NIC" in out
+        assert "nic" in out  # NIC rows in the utilization table

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.errors import WorkloadError
-from repro.spark.conf import SparkConf
-from repro.units import GB, KB, MB
+from repro.units import GB, KB
 from repro.workloads.logistic_regression import (
     LARGE_DATASET,
     LogisticRegressionParameters,
