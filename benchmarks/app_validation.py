@@ -10,43 +10,51 @@ from __future__ import annotations
 
 from repro.analysis.errors import ExpVsModel, average_error, error_summary
 from repro.analysis.report import render_table
-from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
-from repro.core import Predictor, Profiler
+from repro.cluster import HYBRID_CONFIGS
+from repro.pipeline import ClusterPlatform, Experiment, ResultCache, SpecSource
 from repro.workloads.base import WorkloadSpec
-from repro.workloads.runner import measure_workload
 
 CORE_SWEEP = (12, 36)
 NODES = 10
 
 
-def validate_application(workload: WorkloadSpec) -> list[ExpVsModel]:
+def validate_application(
+    workload: WorkloadSpec, cache: ResultCache | None = None
+) -> list[ExpVsModel]:
     """Profile, measure, and predict one application; return the points.
+
+    One experiment-pipeline pass per disk configuration: the source is
+    profiled once, each ``(config, P)`` point yields an exp-vs-model run
+    record, and a shared ``cache`` deduplicates repeated points across
+    figures.
 
     Phases listed in the workload's ``phase_groups`` parameter are merged
     (e.g. SVM's subtract_write + subtract_read into one "subtract" bar), as
     in the paper's figures.
     """
-    predictor = Predictor(Profiler(workload, nodes=3).profile())
+    source = SpecSource(workload)
     groups = workload.parameters.get(
         "phase_groups",
         {stage.name: [stage.name] for stage in workload.stages},
     )
     points = []
     for config in (HYBRID_CONFIGS[0], HYBRID_CONFIGS[3]):
-        cluster = make_paper_cluster(NODES, config)
-        model = predictor.model_for_cluster(cluster)
+        experiment = Experiment(
+            source, ClusterPlatform.from_config(config), cache=cache
+        )
         for cores in CORE_SWEEP:
-            measured = measure_workload(cluster, cores, workload)
-            predicted = model.predict(NODES, cores)
+            result = experiment.run(NODES, cores)
             for phase, stage_names in groups.items():
                 points.append(
                     ExpVsModel(
                         label=f"{config.shorthand} {phase} P={cores}",
                         measured=sum(
-                            measured.stage(name).makespan for name in stage_names
+                            result.stage(name).measured_seconds
+                            for name in stage_names
                         ),
                         predicted=sum(
-                            predicted.stage(name).t_stage for name in stage_names
+                            result.stage(name).predicted_seconds
+                            for name in stage_names
                         ),
                     )
                 )

@@ -14,6 +14,7 @@ import pytest
 
 from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
 from repro.core import Predictor, Profiler
+from repro.pipeline import ResolvedSource, ResultCache
 from repro.workloads import make_gatk4_workload
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -51,6 +52,18 @@ def gatk4_report(gatk4_workload):
 @pytest.fixture(scope="session")
 def gatk4_predictor(gatk4_report):
     return Predictor(gatk4_report)
+
+
+@pytest.fixture(scope="session")
+def gatk4_source(gatk4_workload, gatk4_report):
+    """GATK4 as a pre-resolved pipeline source (no re-profiling)."""
+    return ResolvedSource(gatk4_workload, gatk4_report)
+
+
+@pytest.fixture(scope="session")
+def pipeline_cache():
+    """One result cache shared by every pipeline-driven benchmark."""
+    return ResultCache()
 
 
 @pytest.fixture(scope="session")

@@ -1,16 +1,29 @@
-"""Microbenchmark for the simulation engine's event loop.
+"""Performance benchmarks for the simulator and the experiment pipeline.
 
-Times the GATK4 MarkDuplicates stage (973 tasks) on the paper's ten-slave
-cfg1 cluster at 24 cores per node — the heaviest single-stage simulation in
-the validation suite — and writes the result to ``BENCH_simulator.json`` at
-the repo root so the performance trajectory is tracked across PRs.
+Three scenarios, written to ``BENCH_simulator.json`` at the repo root so
+the performance trajectory is tracked across PRs:
+
+- ``gatk4-md-stage`` — the GATK4 MarkDuplicates stage (973 tasks) on the
+  paper's ten-slave cfg1 cluster at 24 cores per node: the heaviest
+  single-stage simulation in the validation suite, timing the raw event
+  loop.
+- ``core_sweep`` — the Fig. 3 core-scaling sweep (2SSD, P = 12/24/36) run
+  cold and then warm through a shared pipeline result cache.
+- ``optimizer_search`` — the Fig. 13/15 grid search (8/16/32 vCPU, both
+  disk kinds) cold and warm through the same cache.
 
 Run with::
 
-    PYTHONPATH=src python benchmarks/perf_simulator.py
+    PYTHONPATH=src python benchmarks/perf_simulator.py          # refresh
+    PYTHONPATH=src python benchmarks/perf_simulator.py --check  # CI guard
 
-Not collected by pytest (no ``test_`` prefix); it is a standalone script so
-the tier-1 suite stays fast.
+``--check`` reruns everything and compares against the committed JSON:
+simulated numbers must match exactly (the engine is deterministic), wall
+times may not regress beyond a generous tolerance, and the cache speedups
+must stay at least 2x.
+
+Not collected by pytest (no ``test_`` prefix); it is a standalone script
+so the tier-1 suite stays fast.
 """
 
 from __future__ import annotations
@@ -21,7 +34,11 @@ import platform
 import time
 from pathlib import Path
 
+from repro.analysis.sweep import sweep_cores
+from repro.cloud.optimizer import CostOptimizer
 from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
+from repro.core import Predictor, Profiler
+from repro.pipeline import ResultCache
 from repro.simulator.engine import SimulationEngine
 from repro.workloads import make_gatk4_workload
 
@@ -29,11 +46,26 @@ NUM_SLAVES = 10
 CORES_PER_NODE = 24
 ROUNDS = 3
 
+#: Fig. 3 setting: the 3-slave motivation cluster, 2SSD placement.
+SWEEP_SLAVES = 3
+SWEEP_CORES = (12, 24, 36)
+
+#: Fig. 13/15 search grid (the benchmark suite's vcpu grid).
+SEARCH_VCPUS = (8, 16, 32)
+
 # Wall time of the same scenario under the O(active)-scan event loop that
 # predates the indexed event heap, measured on the reference container when
 # the heap landed.  Kept as a fixed baseline so the speedup column stays
 # meaningful without checking out old revisions.
 SCAN_LOOP_BASELINE_SECONDS = 0.777
+
+#: ``--check`` allows fresh wall times up to this multiple of the recorded
+#: ones — generous, because CI machines are noisy; catching order-of-
+#: magnitude regressions is the goal.
+WALL_TOLERANCE = 4.0
+
+#: Minimum cold/warm speedup the result cache must deliver.
+MIN_CACHE_SPEEDUP = 2.0
 
 
 def run_once() -> tuple[float, float]:
@@ -47,25 +79,15 @@ def run_once() -> tuple[float, float]:
     return time.perf_counter() - start, makespan
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_simulator.json",
-        help="where to write the JSON result",
-    )
-    parser.add_argument("--rounds", type=int, default=ROUNDS)
-    args = parser.parse_args(argv)
-
+def bench_md_stage(rounds: int) -> dict:
+    """The historical event-loop microbenchmark (fields kept stable)."""
     walls = []
     makespan = None
-    for _ in range(max(1, args.rounds)):
+    for _ in range(max(1, rounds)):
         wall, makespan = run_once()
         walls.append(wall)
     best = min(walls)
-
-    result = {
+    return {
         "benchmark": "gatk4-md-stage",
         "num_slaves": NUM_SLAVES,
         "cores_per_node": CORES_PER_NODE,
@@ -77,6 +99,177 @@ def main(argv: list[str] | None = None) -> int:
         "speedup_vs_scan_loop": round(SCAN_LOOP_BASELINE_SECONDS / best, 2),
         "python": platform.python_version(),
     }
+
+
+def bench_core_sweep() -> dict:
+    """Fig. 3 sweep, cold then warm through one result cache."""
+    workload = make_gatk4_workload()
+    predictor = Predictor(Profiler(workload, nodes=3).profile())
+    cluster = make_paper_cluster(SWEEP_SLAVES, HYBRID_CONFIGS[0])
+    cache = ResultCache()
+
+    start = time.perf_counter()
+    cold_points = sweep_cores(workload, predictor, cluster, SWEEP_CORES, cache)
+    cold_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm_points = sweep_cores(workload, predictor, cluster, SWEEP_CORES, cache)
+    warm_wall = time.perf_counter() - start
+
+    assert [p.total.measured for p in warm_points] == [
+        p.total.measured for p in cold_points
+    ], "cache hits must be bit-identical"
+    return {
+        "benchmark": "fig3-core-sweep",
+        "num_slaves": SWEEP_SLAVES,
+        "core_counts": list(SWEEP_CORES),
+        "total_seconds_per_p": [p.total.measured for p in cold_points],
+        "cold_wall_seconds": round(cold_wall, 4),
+        "warm_wall_seconds": round(warm_wall, 4),
+        "cache_speedup": round(cold_wall / warm_wall, 2),
+        "cache_stats": cache.stats_summary(),
+    }
+
+
+def bench_optimizer_search() -> dict:
+    """Fig. 13/15 grid search, cold then warm through one result cache."""
+    workload = make_gatk4_workload()
+    predictor = Predictor(Profiler(workload, nodes=3).profile())
+    hdfs_gb, local_gb = CostOptimizer.capacity_requirements(
+        workload, num_workers=10
+    )
+    cache = ResultCache()
+    optimizer = CostOptimizer(
+        predictor, num_workers=10,
+        min_hdfs_gb=hdfs_gb, min_local_gb=local_gb,
+        cache=cache,
+    )
+
+    start = time.perf_counter()
+    cold = optimizer.grid_search(vcpu_grid=SEARCH_VCPUS)
+    cold_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = optimizer.grid_search(vcpu_grid=SEARCH_VCPUS)
+    warm_wall = time.perf_counter() - start
+
+    assert warm.best.cost_dollars == cold.best.cost_dollars
+    return {
+        "benchmark": "fig13-15-grid-search",
+        "vcpu_grid": list(SEARCH_VCPUS),
+        "num_candidates": cold.num_evaluated,
+        "best_config": cold.best.config.label(),
+        "best_cost_dollars": round(cold.best.cost_dollars, 4),
+        "best_runtime_seconds": cold.best.runtime_seconds,
+        "cold_wall_seconds": round(cold_wall, 4),
+        "warm_wall_seconds": round(warm_wall, 4),
+        "cache_speedup": round(cold_wall / warm_wall, 2),
+        "cache_stats": cache.stats_summary(),
+    }
+
+
+def collect(rounds: int) -> dict:
+    result = bench_md_stage(rounds)
+    result["core_sweep"] = bench_core_sweep()
+    result["optimizer_search"] = bench_optimizer_search()
+    return result
+
+
+def check(fresh: dict, baseline: dict) -> list[str]:
+    """Compare a fresh run against the committed baseline; return failures."""
+    failures: list[str] = []
+
+    def close(a: float, b: float, rel: float = 1e-9) -> bool:
+        return abs(a - b) <= rel * max(abs(a), abs(b), 1.0)
+
+    if not close(
+        fresh["simulated_makespan_seconds"],
+        baseline["simulated_makespan_seconds"],
+    ):
+        failures.append(
+            "MD-stage makespan changed:"
+            f" {fresh['simulated_makespan_seconds']!r} vs baseline"
+            f" {baseline['simulated_makespan_seconds']!r}"
+        )
+    if fresh["wall_seconds_best"] > baseline["wall_seconds_best"] * WALL_TOLERANCE:
+        failures.append(
+            "MD-stage wall time regressed:"
+            f" {fresh['wall_seconds_best']}s vs baseline"
+            f" {baseline['wall_seconds_best']}s (tolerance {WALL_TOLERANCE}x)"
+        )
+
+    for section in ("core_sweep", "optimizer_search"):
+        fresh_s, base_s = fresh[section], baseline.get(section)
+        if base_s is None:
+            continue
+        if section == "core_sweep" and not all(
+            close(a, b)
+            for a, b in zip(
+                fresh_s["total_seconds_per_p"], base_s["total_seconds_per_p"]
+            )
+        ):
+            failures.append(
+                f"{section}: simulated totals changed:"
+                f" {fresh_s['total_seconds_per_p']} vs"
+                f" {base_s['total_seconds_per_p']}"
+            )
+        if section == "optimizer_search" and not close(
+            fresh_s["best_runtime_seconds"], base_s["best_runtime_seconds"]
+        ):
+            failures.append(
+                f"{section}: predicted optimum runtime changed:"
+                f" {fresh_s['best_runtime_seconds']!r} vs"
+                f" {base_s['best_runtime_seconds']!r}"
+            )
+        if fresh_s["cold_wall_seconds"] > (
+            base_s["cold_wall_seconds"] * WALL_TOLERANCE
+        ):
+            failures.append(
+                f"{section}: cold wall time regressed:"
+                f" {fresh_s['cold_wall_seconds']}s vs baseline"
+                f" {base_s['cold_wall_seconds']}s (tolerance {WALL_TOLERANCE}x)"
+            )
+        if fresh_s["cache_speedup"] < MIN_CACHE_SPEEDUP:
+            failures.append(
+                f"{section}: cache speedup {fresh_s['cache_speedup']}x is"
+                f" below the required {MIN_CACHE_SPEEDUP}x"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_simulator.json",
+        help="where to write (or read, with --check) the JSON result",
+    )
+    parser.add_argument("--rounds", type=int, default=ROUNDS)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare a fresh run against the recorded JSON instead of"
+             " overwriting it; non-zero exit on regression",
+    )
+    args = parser.parse_args(argv)
+
+    result = collect(args.rounds)
+    if args.check:
+        baseline = json.loads(args.output.read_text())
+        failures = check(result, baseline)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
+            return 1
+        print(
+            "perf check OK:"
+            f" md {result['wall_seconds_best']}s"
+            f" (baseline {baseline['wall_seconds_best']}s),"
+            f" sweep cache {result['core_sweep']['cache_speedup']}x,"
+            f" search cache {result['optimizer_search']['cache_speedup']}x"
+        )
+        return 0
+
     args.output.write_text(json.dumps(result, indent=2) + "\n")
     print(json.dumps(result, indent=2))
     print(f"[saved to {args.output}]")

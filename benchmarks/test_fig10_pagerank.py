@@ -20,9 +20,9 @@ from repro.workloads import make_pagerank_workload
 from repro.workloads.runner import measure_workload
 
 
-def test_fig10_pagerank_accuracy(benchmark, emit):
+def test_fig10_pagerank_accuracy(benchmark, emit, pipeline_cache):
     workload = make_pagerank_workload()
-    points = run_once(benchmark, lambda: validate_application(workload))
+    points = run_once(benchmark, lambda: validate_application(workload, pipeline_cache))
     emit("fig10_pagerank", render_validation("Fig. 10", "PageRank", 5.2, points))
     assert_within_paper_bound(points)
 

@@ -16,9 +16,9 @@ from repro.workloads import make_triangle_count_workload
 from repro.workloads.runner import measure_workload
 
 
-def test_fig11_triangle_count_accuracy(benchmark, emit):
+def test_fig11_triangle_count_accuracy(benchmark, emit, pipeline_cache):
     workload = make_triangle_count_workload()
-    points = run_once(benchmark, lambda: validate_application(workload))
+    points = run_once(benchmark, lambda: validate_application(workload, pipeline_cache))
     emit("fig11_triangle_count", render_validation(
         "Fig. 11", "TriangleCount", 3.6, points))
     assert_within_paper_bound(points)

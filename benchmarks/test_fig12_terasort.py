@@ -16,9 +16,9 @@ from repro.workloads import make_terasort_workload
 from repro.workloads.runner import measure_workload
 
 
-def test_fig12_terasort_accuracy(benchmark, emit):
+def test_fig12_terasort_accuracy(benchmark, emit, pipeline_cache):
     workload = make_terasort_workload()
-    points = run_once(benchmark, lambda: validate_application(workload))
+    points = run_once(benchmark, lambda: validate_application(workload, pipeline_cache))
     emit("fig12_terasort", render_validation("Fig. 12", "Terasort", 3.9, points))
     assert_within_paper_bound(points)
 

@@ -17,19 +17,20 @@ from repro.cloud import (
 SSD_SIZES = (20, 50, 100, 200, 500, 1000, 2000, 3200)
 
 
-def _optimizer(gatk4_predictor, gatk4_workload):
+def _optimizer(gatk4_predictor, gatk4_workload, cache=None):
     hdfs_gb, local_gb = CostOptimizer.capacity_requirements(
         gatk4_workload, num_workers=10
     )
     return CostOptimizer(
         gatk4_predictor, num_workers=10,
         min_hdfs_gb=hdfs_gb, min_local_gb=local_gb,
+        cache=cache,
     )
 
 
 def test_fig15_cost_and_runtime_vs_ssd_size(benchmark, emit, gatk4_predictor,
-                                            gatk4_workload):
-    optimizer = _optimizer(gatk4_predictor, gatk4_workload)
+                                            gatk4_workload, pipeline_cache):
+    optimizer = _optimizer(gatk4_predictor, gatk4_workload, pipeline_cache)
 
     def sweep():
         rows = []
@@ -63,8 +64,8 @@ def test_fig15_cost_and_runtime_vs_ssd_size(benchmark, emit, gatk4_predictor,
 
 
 def test_fig15_headline_savings(benchmark, emit, gatk4_predictor,
-                                gatk4_workload):
-    optimizer = _optimizer(gatk4_predictor, gatk4_workload)
+                                gatk4_workload, pipeline_cache):
+    optimizer = _optimizer(gatk4_predictor, gatk4_workload, pipeline_cache)
 
     def search():
         full = optimizer.grid_search(vcpu_grid=(8, 16, 32))

@@ -8,18 +8,24 @@ from conftest import run_once
 
 from repro.analysis.report import render_series
 from repro.cluster import HYBRID_CONFIGS
-from repro.workloads.runner import measure_workload
+from repro.pipeline import Experiment
 
 CORE_COUNTS = (12, 24, 36)
 
 
-def test_fig3_core_scaling(benchmark, emit, paper_clusters, gatk4_workload):
+def test_fig3_core_scaling(
+    benchmark, emit, paper_clusters, gatk4_source, pipeline_cache
+):
     def sweep():
         results = {}
         for config in (HYBRID_CONFIGS[0], HYBRID_CONFIGS[3]):
-            cluster = paper_clusters[config.config_id]
+            experiment = Experiment(
+                gatk4_source,
+                paper_clusters[config.config_id],
+                cache=pipeline_cache,
+            )
             for cores in CORE_COUNTS:
-                measurement = measure_workload(cluster, cores, gatk4_workload)
+                measurement = experiment.measure(cores_per_node=cores)
                 for stage in measurement.stages:
                     key = (config.shorthand, stage.name)
                     results.setdefault(key, []).append(stage.makespan / 60)

@@ -8,27 +8,29 @@ from conftest import run_once
 
 from repro.analysis.errors import ExpVsModel, average_error, error_summary
 from repro.analysis.report import render_table
-from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
-from repro.workloads.runner import measure_workload
+from repro.cluster import HYBRID_CONFIGS
+from repro.pipeline import ClusterPlatform, Experiment
 
 CORE_SWEEP = (6, 12, 24)
 
 
-def test_fig7_model_accuracy(benchmark, emit, gatk4_workload, gatk4_predictor):
+def test_fig7_model_accuracy(benchmark, emit, gatk4_source, pipeline_cache):
     def validate():
         points = []
         for config in (HYBRID_CONFIGS[0], HYBRID_CONFIGS[3]):
-            cluster = make_paper_cluster(10, config)
-            model = gatk4_predictor.model_for_cluster(cluster)
+            experiment = Experiment(
+                gatk4_source,
+                ClusterPlatform.from_config(config),
+                cache=pipeline_cache,
+            )
             for cores in CORE_SWEEP:
-                measured = measure_workload(cluster, cores, gatk4_workload)
-                predicted = model.predict(10, cores)
-                for stage in gatk4_workload.stages:
+                result = experiment.run(10, cores)
+                for stage in result.stages:
                     points.append(
                         ExpVsModel(
                             label=f"{config.shorthand} {stage.name} P={cores}",
-                            measured=measured.stage(stage.name).makespan,
-                            predicted=predicted.stage(stage.name).t_stage,
+                            measured=stage.measured_seconds,
+                            predicted=stage.predicted_seconds,
                         )
                     )
         return points

@@ -20,18 +20,18 @@ from repro.workloads.logistic_regression import LARGE_DATASET
 from repro.workloads.runner import measure_workload
 
 
-def test_fig8a_small_dataset(benchmark, emit):
+def test_fig8a_small_dataset(benchmark, emit, pipeline_cache):
     workload = make_logistic_regression_workload(num_slaves=10)
-    points = run_once(benchmark, lambda: validate_application(workload))
+    points = run_once(benchmark, lambda: validate_application(workload, pipeline_cache))
     emit("fig8a_lr_small", render_validation(
         "Fig. 8a", "LogisticRegression (1200M, cached)", 5.3, points))
     assert_within_paper_bound(points)
     assert workload.parameters["cached"] is True
 
 
-def test_fig8b_large_dataset(benchmark, emit):
+def test_fig8b_large_dataset(benchmark, emit, pipeline_cache):
     workload = make_logistic_regression_workload(LARGE_DATASET, num_slaves=10)
-    points = run_once(benchmark, lambda: validate_application(workload))
+    points = run_once(benchmark, lambda: validate_application(workload, pipeline_cache))
     emit("fig8b_lr_large", render_validation(
         "Fig. 8b", "LogisticRegression (4000M, persisted)", 5.3, points))
     assert_within_paper_bound(points)

@@ -16,9 +16,9 @@ from repro.workloads import make_svm_workload
 from repro.workloads.runner import measure_workload
 
 
-def test_fig9_svm_accuracy(benchmark, emit):
+def test_fig9_svm_accuracy(benchmark, emit, pipeline_cache):
     workload = make_svm_workload()
-    points = run_once(benchmark, lambda: validate_application(workload))
+    points = run_once(benchmark, lambda: validate_application(workload, pipeline_cache))
     emit("fig9_svm", render_validation("Fig. 9", "SVM", 8.4, points))
     assert_within_paper_bound(points)
 

@@ -8,17 +8,16 @@ This walks the library's core loop in ~30 lines:
 3. predict the runtime on larger clusters with different disks and core
    counts — no further measurement needed.
 
+Everything runs through ``repro.pipeline``: one :class:`Experiment` per
+cluster configuration, all sharing a workload source and a result cache,
+each ``run`` yielding a uniform record with the simulated ("exp") and
+Equation-1 ("model") makespans side by side.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    HYBRID_CONFIGS,
-    Predictor,
-    Profiler,
-    make_gatk4_workload,
-    make_paper_cluster,
-    measure_workload,
-)
+from repro import HYBRID_CONFIGS, make_gatk4_workload
+from repro.pipeline import ClusterPlatform, Experiment, ResultCache, SpecSource
 from repro.units import fmt_duration
 
 
@@ -26,28 +25,32 @@ def main() -> None:
     workload = make_gatk4_workload()
     print(f"Workload: {workload.name} — {workload.description}")
 
+    cache = ResultCache()
+    source = SpecSource(workload, profile_nodes=3)
+
     print("\nProfiling with four sample runs on a 3-slave cluster...")
-    report = Profiler(workload, nodes=3).profile()
+    report = source.resolve(cache).report
     for stage in report.stages:
         print(
             f"  stage {stage.name:3s}: M={stage.num_tasks:6d}"
             f" t_avg={stage.t_avg:7.2f}s delta_scale={stage.delta_scale:6.2f}s"
         )
 
-    predictor = Predictor(report)
     print("\nPredictions for a 10-slave cluster (and a simulation check):")
     for config in (HYBRID_CONFIGS[0], HYBRID_CONFIGS[3]):
-        cluster = make_paper_cluster(10, config)
+        experiment = Experiment(
+            source, ClusterPlatform.from_config(config), cache=cache
+        )
         for cores in (12, 36):
-            predicted = predictor.predict_runtime(cluster, cores)
-            measured = measure_workload(cluster, cores, workload).total_seconds
-            error = abs(predicted - measured) / measured * 100
+            result = experiment.run(10, cores)
             print(
                 f"  {config.shorthand:5s} P={cores:2d}:"
-                f" model {fmt_duration(predicted):>9s},"
-                f" simulated {fmt_duration(measured):>9s}"
-                f"  (error {error:.1f}%)"
+                f" model {fmt_duration(result.predicted_seconds):>9s},"
+                f" simulated {fmt_duration(result.measured_seconds):>9s}"
+                f"  (error {result.error * 100:.1f}%)"
             )
+
+    print(f"\ncache: {cache.stats_summary()}")
 
 
 if __name__ == "__main__":

@@ -10,13 +10,16 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.analysis.errors import ExpVsModel
 from repro.cloud.disks import make_persistent_disk
 from repro.cluster.cluster import Cluster
 from repro.core.predictor import Predictor
 from repro.workloads.base import WorkloadSpec
-from repro.workloads.runner import measure_workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pipeline.cache import ResultCache
 
 
 @dataclass(frozen=True)
@@ -33,20 +36,32 @@ def sweep_cores(
     predictor: Predictor,
     cluster: Cluster,
     core_counts: Sequence[int],
+    cache: ResultCache | None = None,
 ) -> list[SweepPoint]:
-    """Measure and predict every stage across per-node core counts."""
+    """Measure and predict every stage across per-node core counts.
+
+    Runs through the experiment pipeline: pass a shared ``cache`` and
+    points already simulated — by an earlier sweep, a validation run, or
+    another process via a cache file — are reused bit-identically.
+    """
+    # Imported here: repro.analysis is a pipeline dependency (error
+    # metrics), so the orchestration layer cannot be a module-level one.
+    from repro.pipeline.experiment import Experiment
+    from repro.pipeline.sources import ResolvedSource
+
+    experiment = Experiment(
+        ResolvedSource(workload, predictor.report), cluster, cache=cache
+    )
     points: list[SweepPoint] = []
-    model = predictor.model_for_cluster(cluster)
     for cores in core_counts:
-        measurement = measure_workload(cluster, cores, workload)
-        prediction = model.predict(cluster.num_slaves, cores)
+        result = experiment.run(cluster.num_slaves, cores)
         stage_points = tuple(
             ExpVsModel(
                 label=f"{stage.name}@P={cores}",
-                measured=measurement.stage(stage.name).makespan,
-                predicted=prediction.stage(stage.name).t_stage,
+                measured=stage.measured_seconds,
+                predicted=stage.predicted_seconds,
             )
-            for stage in workload.stages
+            for stage in result.stages
         )
         points.append(
             SweepPoint(
@@ -54,8 +69,8 @@ def sweep_cores(
                 stage_points=stage_points,
                 total=ExpVsModel(
                     label=f"total@P={cores}",
-                    measured=measurement.total_seconds,
-                    predicted=prediction.t_app,
+                    measured=result.measured_seconds,
+                    predicted=result.predicted_seconds,
                 ),
             )
         )

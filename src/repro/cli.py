@@ -10,16 +10,24 @@ Commands
     Run the four-sample-run procedure and print the fitted constants.
 ``predict --workload NAME --slaves N --cores P --hdfs KIND --local KIND``
     Predict an application runtime on a target cluster.
-``simulate WORKLOAD [--slaves N] [--cores P] [--network-gbps G]``
+``simulate WORKLOAD [--slaves N] [--cores P] [--network-gbps G] [--json]``
     Run the discrete-event simulator and print per-stage makespans,
     core/device utilization, and the iostat request-size summary.
+``pipeline --workload NAME [...] [--json] [--cache FILE]``
+    Run the full loop — simulate, profile, predict — and print exp vs
+    model per stage with error rates (one experiment-pipeline run).
 ``optimize --workload NAME [--workers N]``
     Search cloud configurations for the cheapest run (Section VI).
+
+Every command is a thin veneer over :mod:`repro.pipeline`: inputs become
+workload sources and platforms, results are uniform run records, and a
+``--cache`` file lets separate invocations share simulations.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import re
 from collections.abc import Callable, Sequence
 
@@ -29,9 +37,15 @@ from repro.cloud import (
     r1_spark_recommendation,
     r2_cloudera_recommendation,
 )
-from repro.cluster import HybridDiskConfig, make_paper_cluster
 from repro.cluster.network import NetworkModel
-from repro.core import Predictor, Profiler, load_report, save_report
+from repro.core import load_report, save_report
+from repro.pipeline import (
+    ClusterPlatform,
+    Experiment,
+    ReportSource,
+    ResultCache,
+    SpecSource,
+)
 from repro.storage.device import make_hdd, make_ssd
 from repro.storage.fio import run_fio_sweep
 from repro.units import MB, fmt_bytes, fmt_duration
@@ -71,6 +85,31 @@ def _workload(name: str) -> WorkloadSpec:
         ) from None
 
 
+def _cache(args: argparse.Namespace) -> ResultCache:
+    """A result cache, file-backed when ``--cache`` was given."""
+    return ResultCache(getattr(args, "cache", None))
+
+
+def _save_cache(cache: ResultCache) -> None:
+    if cache.path is not None:
+        cache.save()
+
+
+def _cluster_platform(args: argparse.Namespace) -> ClusterPlatform:
+    return ClusterPlatform(hdfs_kind=args.hdfs, local_kind=args.local)
+
+
+def _network(args: argparse.Namespace) -> NetworkModel | None:
+    if getattr(args, "network_gbps", None) is None:
+        return None
+    return NetworkModel.from_gbps(args.network_gbps)
+
+
+def _resource_label(name: str) -> str:
+    """Strip the node prefix: slave3-hdfs-ssd -> hdfs-ssd, w0:nic -> nic."""
+    return re.sub(r"^(slave-?|w)\d+[-:]", "", name)
+
+
 def cmd_list_workloads(_args: argparse.Namespace) -> int:
     rows = []
     for name in sorted(WORKLOADS):
@@ -99,7 +138,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
     workload = _workload(args.workload)
     print(f"profiling {workload.name} on {args.nodes} slaves"
           " (four sample runs)...")
-    report = Profiler(workload, nodes=args.nodes, fit_gc=args.fit_gc).profile()
+    source = SpecSource(workload, profile_nodes=args.nodes, fit_gc=args.fit_gc)
+    report = source.resolve(_cache(args)).report
     if args.output:
         save_report(report, args.output)
         print(f"report saved to {args.output}")
@@ -119,14 +159,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
 def cmd_predict(args: argparse.Namespace) -> int:
     workload = _workload(args.workload)
     if args.report:
-        report = load_report(args.report)
+        source = ReportSource(load_report(args.report))
     else:
-        report = Profiler(workload, nodes=args.profile_nodes).profile()
-    cluster = make_paper_cluster(
-        args.slaves,
-        HybridDiskConfig(0, hdfs_kind=args.hdfs, local_kind=args.local),
-    )
-    prediction = Predictor(report).predict(cluster, args.cores)
+        source = SpecSource(workload, profile_nodes=args.profile_nodes)
+    experiment = Experiment(source, _cluster_platform(args))
+    prediction = experiment.predict(args.slaves, args.cores)
     rows = [
         [stage.stage_name, fmt_duration(stage.t_stage), stage.bottleneck]
         for stage in prediction.stages
@@ -140,17 +177,78 @@ def cmd_predict(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.workloads.runner import measure_workload
-
     workload = _workload(args.workload)
-    network = None
-    if args.network_gbps is not None:
-        network = NetworkModel.from_gbps(args.network_gbps)
-    cluster = make_paper_cluster(
-        args.slaves,
-        HybridDiskConfig(0, hdfs_kind=args.hdfs, local_kind=args.local),
+    network = _network(args)
+    cache = _cache(args)
+    experiment = Experiment(
+        workload, _cluster_platform(args), cache=cache, network=network
     )
-    app = measure_workload(cluster, args.cores, workload, network=network)
+    app = experiment.measure(args.slaves, args.cores)
+    _save_cache(cache)
+
+    # Busy-seconds-weighted utilization per resource direction, averaged
+    # across nodes (slaveN-hdfs-ssd -> hdfs-ssd; slave-N:nic -> nic) and
+    # aggregated over stages.
+    busy: dict[tuple[str, bool], list[float]] = {}
+    for stage in app.stages:
+        per_class: dict[tuple[str, bool], list[float]] = {}
+        for name, is_write, fraction in stage.device_utilizations:
+            per_class.setdefault((_resource_label(name), is_write), []).append(
+                fraction
+            )
+        for key, fractions in per_class.items():
+            mean = sum(fractions) / len(fractions)
+            busy.setdefault(key, []).append(mean * stage.makespan)
+
+    totals: dict[tuple[str, bool], list[float]] = {}
+    for stage in app.stages:
+        for s in stage.iostat_samples:
+            entry = totals.setdefault(
+                (_resource_label(s.device_name), s.is_write), [0.0, 0.0]
+            )
+            entry[0] += s.total_bytes
+            entry[1] += s.num_requests
+
+    if args.json:
+        payload = {
+            "workload": workload.name,
+            "slaves": args.slaves,
+            "cores_per_node": args.cores,
+            "hdfs": args.hdfs,
+            "local": args.local,
+            "network_gbps": args.network_gbps,
+            "total_seconds": app.total_seconds,
+            "stages": [
+                {
+                    "name": stage.name,
+                    "num_tasks": stage.num_tasks,
+                    "makespan_seconds": stage.makespan,
+                    "core_utilization": stage.core_utilization,
+                }
+                for stage in app.stages
+            ],
+            "device_utilizations": [
+                {
+                    "resource": label,
+                    "direction": "write" if is_write else "read",
+                    "busy_fraction": sum(seconds) / app.total_seconds,
+                }
+                for (label, is_write), seconds in sorted(busy.items())
+            ],
+            "iostat": [
+                {
+                    "device": label,
+                    "direction": "write" if is_write else "read",
+                    "requests": requests,
+                    "avg_request_bytes": total_bytes / requests,
+                }
+                for (label, is_write), (total_bytes, requests)
+                in sorted(totals.items())
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
     rows = [
         [stage.name, stage.num_tasks, fmt_duration(stage.makespan),
          f"{stage.core_utilization * 100:.0f}%"]
@@ -164,18 +262,6 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         f" cores (HDFS={args.hdfs}, local={args.local}{wire})",
         ["stage", "tasks", "makespan", "core util"], rows))
 
-    # Busy-seconds-weighted utilization per resource direction, averaged
-    # across nodes (slaveN-hdfs-ssd -> hdfs-ssd; slave-N:nic -> nic) and
-    # aggregated over stages.
-    busy: dict[tuple[str, bool], list[float]] = {}
-    for stage in app.stages:
-        per_class: dict[tuple[str, bool], list[float]] = {}
-        for name, is_write, fraction in stage.device_utilizations:
-            label = re.sub(r"^slave-?\d+[-:]", "", name)
-            per_class.setdefault((label, is_write), []).append(fraction)
-        for key, fractions in per_class.items():
-            mean = sum(fractions) / len(fractions)
-            busy.setdefault(key, []).append(mean * stage.makespan)
     if busy:
         rows = [
             [label, "write" if is_write else "read",
@@ -186,13 +272,6 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             "device utilization (whole application, mean across nodes)",
             ["resource", "dir", "busy"], rows))
 
-    totals: dict[tuple[str, bool], list[float]] = {}
-    for stage in app.stages:
-        for s in stage.iostat_samples:
-            label = re.sub(r"^slave-?\d+[-:]", "", s.device_name)
-            entry = totals.setdefault((label, s.is_write), [0.0, 0.0])
-            entry[0] += s.total_bytes
-            entry[1] += s.num_requests
     if totals:
         rows = []
         for (label, is_write), (total_bytes, requests) in sorted(totals.items()):
@@ -206,20 +285,79 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    workload = _workload(args.workload)
+    cache = _cache(args)
+    if args.report:
+        source = ReportSource(load_report(args.report))
+    else:
+        source = SpecSource(workload, profile_nodes=args.profile_nodes)
+    experiment = Experiment(
+        source, _cluster_platform(args), cache=cache, network=_network(args)
+    )
+    results = experiment.run_repeated(args.slaves, args.cores, runs=args.runs)
+    _save_cache(cache)
+    first = results[0]
+
+    if args.json:
+        payload = {
+            "experiment": experiment.describe(),
+            "cache": cache.stats_summary(),
+            "runs": [result.to_dict() for result in results],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    rows = []
+    for stage in first.stages:
+        measured = [r.stage(stage.name).measured_seconds for r in results]
+        mean = sum(measured) / len(measured)
+        rows.append([
+            stage.name, stage.num_tasks, fmt_duration(mean),
+            fmt_duration(stage.predicted_seconds),
+            f"{abs(mean - stage.predicted_seconds) / mean * 100:.1f}%",
+            stage.bottleneck,
+        ])
+    mean_total = sum(r.measured_seconds for r in results) / len(results)
+    rows.append([
+        "TOTAL", sum(s.num_tasks for s in first.stages),
+        fmt_duration(mean_total), fmt_duration(first.predicted_seconds),
+        f"{abs(mean_total - first.predicted_seconds) / mean_total * 100:.1f}%",
+        "",
+    ])
+    wire = (
+        f", {args.network_gbps:g} Gb/s NIC"
+        if args.network_gbps is not None else ""
+    )
+    print(render_table(
+        f"{experiment.describe()} at N={args.slaves}, P={args.cores}{wire}"
+        f" ({args.runs} runs)",
+        ["stage", "tasks", "exp", "model", "error", "bottleneck"], rows))
+    print(f"cache: {cache.stats_summary()}")
+    return 0
+
+
 def cmd_optimize(args: argparse.Namespace) -> int:
     workload = _workload(args.workload)
     print(f"profiling {workload.name}...")
-    predictor = Predictor(Profiler(workload, nodes=args.profile_nodes).profile())
+    cache = _cache(args)
+    experiment = Experiment(
+        SpecSource(workload, profile_nodes=args.profile_nodes),
+        ClusterPlatform(),
+        cache=cache,
+    )
     hdfs_gb, local_gb = CostOptimizer.capacity_requirements(
         workload, num_workers=args.workers
     )
     optimizer = CostOptimizer(
-        predictor, num_workers=args.workers,
+        experiment.predictor, num_workers=args.workers,
         min_hdfs_gb=hdfs_gb, min_local_gb=local_gb,
+        cache=cache,
     )
     result = optimizer.grid_search(vcpu_grid=(4, 8, 16, 32))
     r1 = optimizer.evaluate(r1_spark_recommendation(num_workers=args.workers))
     r2 = optimizer.evaluate(r2_cloudera_recommendation(num_workers=args.workers))
+    _save_cache(cache)
     rows = [
         ["optimum", result.best.config.label(),
          fmt_duration(result.best.runtime_seconds),
@@ -260,6 +398,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also fit the JVM GC coefficient")
     profile.add_argument("--output", default=None,
                          help="save the fitted report as JSON")
+    profile.add_argument("--cache", default=None,
+                         help="pipeline result-cache file to reuse/update")
 
     predict = sub.add_parser("predict", help="predict a configuration")
     predict.add_argument("--workload", required=True)
@@ -283,11 +423,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--network-gbps", type=float, default=None,
         help="per-node NIC speed; omit for the paper's infinite-wire default",
     )
+    simulate.add_argument("--json", action="store_true",
+                          help="emit the results as JSON instead of tables")
+    simulate.add_argument("--cache", default=None,
+                          help="pipeline result-cache file to reuse/update")
+
+    pipeline = sub.add_parser(
+        "pipeline",
+        help="full loop: simulate, profile, and predict one workload",
+    )
+    pipeline.add_argument("--workload", required=True)
+    pipeline.add_argument("--slaves", type=int, default=10)
+    pipeline.add_argument("--cores", type=int, default=24)
+    pipeline.add_argument("--hdfs", choices=("hdd", "ssd"), default="ssd")
+    pipeline.add_argument("--local", choices=("hdd", "ssd"), default="ssd")
+    pipeline.add_argument("--network-gbps", type=float, default=None)
+    pipeline.add_argument("--runs", type=int, default=1,
+                          help="task-skew realizations to simulate")
+    pipeline.add_argument("--profile-nodes", type=int, default=3)
+    pipeline.add_argument("--report", default=None,
+                          help="drive from a saved profiling report instead"
+                               " of profiling the spec")
+    pipeline.add_argument("--json", action="store_true",
+                          help="emit RunResult records as JSON")
+    pipeline.add_argument("--cache", default=None,
+                          help="pipeline result-cache file to reuse/update")
 
     optimize = sub.add_parser("optimize", help="cloud cost optimization")
     optimize.add_argument("--workload", required=True)
     optimize.add_argument("--workers", type=int, default=10)
     optimize.add_argument("--profile-nodes", type=int, default=3)
+    optimize.add_argument("--cache", default=None,
+                          help="pipeline result-cache file to reuse/update")
 
     return parser
 
@@ -298,6 +465,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "predict": cmd_predict,
     "simulate": cmd_simulate,
+    "pipeline": cmd_pipeline,
     "optimize": cmd_optimize,
 }
 

@@ -18,6 +18,7 @@ capacity feasibility (disks must actually hold the job's data).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.cloud.disks import SPEC_BY_KIND, make_persistent_disk
 from repro.cloud.instance import machine_for_vcpus
@@ -25,6 +26,9 @@ from repro.cloud.pricing import CloudConfiguration
 from repro.core.predictor import Predictor
 from repro.errors import OptimizationError
 from repro.units import GB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pipeline.cache import ResultCache
 
 #: Default provisioned-size grid, in GB (the paper sweeps 20 GB - 4 TB).
 DEFAULT_SIZE_GRID_GB: tuple[float, ...] = (
@@ -80,6 +84,13 @@ class CostOptimizer:
     min_hdfs_gb / min_local_gb:
         Per-node capacity the job needs on each disk; candidates below
         these are infeasible.
+    cache:
+        Optional pipeline :class:`~repro.pipeline.cache.ResultCache`.
+        Candidate predictions are then memoized under the same
+        content-addressed keys the experiment pipeline uses, so repeated
+        searches — a grid refinement, several descent starts, the CLI run
+        after a validation sweep — skip every configuration already
+        scored anywhere in the process (or cache file).
     """
 
     def __init__(
@@ -88,6 +99,7 @@ class CostOptimizer:
         num_workers: int = 10,
         min_hdfs_gb: float = 0.0,
         min_local_gb: float = 0.0,
+        cache: ResultCache | None = None,
     ) -> None:
         if num_workers <= 0:
             raise OptimizationError("worker count must be positive")
@@ -95,6 +107,8 @@ class CostOptimizer:
         self.num_workers = num_workers
         self.min_hdfs_gb = min_hdfs_gb
         self.min_local_gb = min_local_gb
+        self.cache = cache
+        self._report_fp: str | None = None
 
     # -- evaluation -----------------------------------------------------------
 
@@ -107,12 +121,41 @@ class CostOptimizer:
 
     def predict_runtime(self, config: CloudConfiguration) -> float:
         """Model-predicted job runtime on ``config``, in seconds."""
+        if self.cache is None:
+            return self._predict_fresh(config).t_app
+        # Imported here: repro.cloud is a pipeline dependency (platform
+        # construction), so the dependency cannot run the other way at
+        # module level.
+        from repro.pipeline.cache import prediction_key
+        from repro.pipeline.platforms import CloudPlatform
+
+        key = prediction_key(
+            self._report_fingerprint(),
+            CloudPlatform(config).fingerprint(),
+            config.num_workers,
+            config.cores_per_node,
+        )
+        prediction = self.cache.get_prediction(key)
+        if prediction is None:
+            prediction = self._predict_fresh(config)
+            self.cache.put_prediction(key, prediction)
+        return prediction.t_app
+
+    def _predict_fresh(self, config: CloudConfiguration):
         devices = {
             "hdfs": make_persistent_disk(config.hdfs_disk_kind, config.hdfs_disk_gb),
             "local": make_persistent_disk(config.local_disk_kind, config.local_disk_gb),
         }
         model = self.predictor.model_for_devices(devices)
-        return model.runtime(config.num_workers, config.cores_per_node)
+        return model.predict(config.num_workers, config.cores_per_node)
+
+    def _report_fingerprint(self) -> str:
+        if self._report_fp is None:
+            from repro.core.serialization import report_to_dict
+            from repro.pipeline.fingerprint import fingerprint
+
+            self._report_fp = fingerprint(report_to_dict(self.predictor.report))
+        return self._report_fp
 
     def evaluate(self, config: CloudConfiguration) -> EvaluatedConfiguration:
         """Score one configuration (must be feasible)."""

@@ -345,6 +345,11 @@ class Profiler:
             floors[channel.is_write] += channel.total_bytes / (self.nodes * bandwidth)
             totals[channel.is_write] += channel.total_bytes
         dominant_is_write = floors[True] > floors[False]
+        if totals[dominant_is_write] <= 0.0:
+            # The stage moves no bytes on this role; tiny stages can still
+            # clear the floor test below on fill time alone, so bail out
+            # before fitting a delta against a zero-byte channel.
+            return (0.0, 0.0)
         floor = floors[dominant_is_write] + fill_seconds  # limit term + fill
         # Fit a delta only when the I/O floor *clearly* dominates the scale
         # term in the stress run: near the crossover the measurement mixes

@@ -1,0 +1,78 @@
+"""One experiment pipeline for spec-, RDD-, and report-driven runs.
+
+``repro.pipeline`` unifies the library's three workload entry paths
+behind a single loop:
+
+1. wrap the input in a :class:`WorkloadSource` (:func:`as_source`);
+2. pick a :class:`Platform` — a paper-style cluster or a cloud
+   virtual-disk configuration (:func:`as_platform`);
+3. drive an :class:`Experiment` over ``(N, P, run)`` points, getting
+   uniform :class:`RunResult` records;
+4. share a :class:`ResultCache` so identical simulations, predictions,
+   and profiling runs are never repeated.
+
+See ``docs/PIPELINE.md`` for a worked example.
+"""
+
+from repro.pipeline.cache import (
+    CacheStats,
+    ResultCache,
+    prediction_key,
+    run_key,
+)
+from repro.pipeline.experiment import Experiment
+from repro.pipeline.fingerprint import canonicalize, fingerprint
+from repro.pipeline.platforms import (
+    CloudPlatform,
+    ClusterPlatform,
+    Platform,
+    as_platform,
+)
+from repro.pipeline.records import (
+    RunResult,
+    StageRunResult,
+    compose_run_result,
+    measurement_from_dict,
+    measurement_to_dict,
+    prediction_from_dict,
+    prediction_to_dict,
+)
+from repro.pipeline.sources import (
+    RddSource,
+    ReportSource,
+    ResolvedSource,
+    ResolvedWorkload,
+    SpecSource,
+    WorkloadSource,
+    as_source,
+    spec_from_report,
+)
+
+__all__ = [
+    "CacheStats",
+    "CloudPlatform",
+    "ClusterPlatform",
+    "Experiment",
+    "Platform",
+    "RddSource",
+    "ReportSource",
+    "ResolvedSource",
+    "ResolvedWorkload",
+    "ResultCache",
+    "RunResult",
+    "SpecSource",
+    "StageRunResult",
+    "WorkloadSource",
+    "as_platform",
+    "as_source",
+    "canonicalize",
+    "compose_run_result",
+    "fingerprint",
+    "measurement_from_dict",
+    "measurement_to_dict",
+    "prediction_from_dict",
+    "prediction_to_dict",
+    "prediction_key",
+    "run_key",
+    "spec_from_report",
+]

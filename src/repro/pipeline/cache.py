@@ -1,0 +1,206 @@
+"""Content-addressed result cache for the experiment pipeline.
+
+Simulated runs are the expensive half of the paper's loop (a Fig-3 sweep
+simulates every stage at every core count; the optimizer's profiling step
+simulates four whole sample runs).  The cache memoizes three product
+kinds, each addressed purely by content fingerprints so identical work is
+never repeated — across sweep points, across searches, and (with a cache
+file) across processes:
+
+- **measurements** — simulated ``ApplicationMeasurement`` records, keyed
+  by ``(source, platform, N, P, run_index, network)``;
+- **predictions** — Equation-1 ``ApplicationPrediction`` records, keyed by
+  ``(report, platform, N, P, network)``;
+- **reports** — fitted ``ProfilingReport`` constants, keyed by
+  ``(spec, profiling options)``.
+
+Entries are exact-key lookups of deterministic computations, so a cache
+hit returns bit-identical results to a fresh run; hit/miss counters let
+benchmarks report the reuse rate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.app_model import ApplicationPrediction
+from repro.core.profiler import ProfilingReport
+from repro.core.serialization import report_from_dict, report_to_dict
+from repro.pipeline.records import (
+    measurement_from_dict,
+    measurement_to_dict,
+    prediction_from_dict,
+    prediction_to_dict,
+)
+from repro.simulator.run import ApplicationMeasurement
+
+#: Cache-file format marker.
+CACHE_FORMAT_VERSION = 1
+
+
+def run_key(
+    source_fp: str,
+    platform_fp: str,
+    nodes: int,
+    cores_per_node: int,
+    run_index: int = 0,
+    network_fp: str = "none",
+) -> str:
+    """Canonical key of one simulated run."""
+    return (
+        f"{source_fp}/{platform_fp}/N{nodes}/P{cores_per_node}"
+        f"/r{run_index}/net-{network_fp}"
+    )
+
+
+def prediction_key(
+    report_fp: str,
+    platform_fp: str,
+    nodes: int,
+    cores_per_node: int,
+    network_fp: str = "none",
+) -> str:
+    """Canonical key of one model evaluation."""
+    return f"{report_fp}/{platform_fp}/N{nodes}/P{cores_per_node}/net-{network_fp}"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, per product kind."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+
+class ResultCache:
+    """In-memory (optionally file-backed) store of pipeline products.
+
+    Parameters
+    ----------
+    path:
+        Optional JSON file.  When given, existing entries are loaded on
+        construction and :meth:`save` persists the current contents; the
+        in-memory maps always hold live objects, so hits cost no
+        deserialization.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._measurements: dict[str, ApplicationMeasurement] = {}
+        self._predictions: dict[str, ApplicationPrediction] = {}
+        self._reports: dict[str, ProfilingReport] = {}
+        self.measurement_stats = CacheStats()
+        self.prediction_stats = CacheStats()
+        self.report_stats = CacheStats()
+        if self.path is not None and self.path.exists():
+            self._load(self.path)
+
+    # -- measurements --------------------------------------------------------
+
+    def get_measurement(self, key: str) -> ApplicationMeasurement | None:
+        hit = self._measurements.get(key)
+        if hit is None:
+            self.measurement_stats.misses += 1
+        else:
+            self.measurement_stats.hits += 1
+        return hit
+
+    def put_measurement(self, key: str, value: ApplicationMeasurement) -> None:
+        self._measurements[key] = value
+
+    # -- predictions ---------------------------------------------------------
+
+    def get_prediction(self, key: str) -> ApplicationPrediction | None:
+        hit = self._predictions.get(key)
+        if hit is None:
+            self.prediction_stats.misses += 1
+        else:
+            self.prediction_stats.hits += 1
+        return hit
+
+    def put_prediction(self, key: str, value: ApplicationPrediction) -> None:
+        self._predictions[key] = value
+
+    # -- profiling reports ---------------------------------------------------
+
+    def get_report(self, key: str) -> ProfilingReport | None:
+        hit = self._reports.get(key)
+        if hit is None:
+            self.report_stats.misses += 1
+        else:
+            self.report_stats.hits += 1
+        return hit
+
+    def put_report(self, key: str, value: ProfilingReport) -> None:
+        self._reports[key] = value
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._measurements) + len(self._predictions) + len(self._reports)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._measurements.clear()
+        self._predictions.clear()
+        self._reports.clear()
+
+    def stats_summary(self) -> str:
+        """One-line reuse summary for logs and benchmark reports."""
+        parts = []
+        for label, stats in (
+            ("sim", self.measurement_stats),
+            ("model", self.prediction_stats),
+            ("profile", self.report_stats),
+        ):
+            if stats.total:
+                parts.append(
+                    f"{label} {stats.hits}/{stats.total}"
+                    f" ({stats.hit_rate * 100:.0f}% hits)"
+                )
+        return "; ".join(parts) if parts else "cache unused"
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | Path | None = None) -> Path:
+        """Write the cache to JSON; returns the path written."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("no cache path given and none configured")
+        payload = {
+            "format_version": CACHE_FORMAT_VERSION,
+            "measurements": {
+                key: measurement_to_dict(value)
+                for key, value in self._measurements.items()
+            },
+            "predictions": {
+                key: prediction_to_dict(value)
+                for key, value in self._predictions.items()
+            },
+            "reports": {
+                key: report_to_dict(value) for key, value in self._reports.items()
+            },
+        }
+        target.write_text(json.dumps(payload))
+        return target
+
+    def _load(self, path: Path) -> None:
+        data = json.loads(path.read_text())
+        if data.get("format_version") != CACHE_FORMAT_VERSION:
+            return  # stale format: start empty rather than fail
+        for key, value in data.get("measurements", {}).items():
+            self._measurements[key] = measurement_from_dict(value)
+        for key, value in data.get("predictions", {}).items():
+            self._predictions[key] = prediction_from_dict(value)
+        for key, value in data.get("reports", {}).items():
+            self._reports[key] = report_from_dict(value)

@@ -1,0 +1,254 @@
+"""The experiment orchestrator: one loop for every frontend.
+
+An :class:`Experiment` binds a workload source to a platform and drives
+the paper's whole methodology through one API:
+
+- :meth:`measure` — simulate the "exp" side on the platform's cluster;
+- :meth:`predict` — evaluate the Equation-1 "model" side on the same
+  devices;
+- :meth:`run` — both, composed into a uniform
+  :class:`~repro.pipeline.records.RunResult` with per-stage breakdown,
+  error rate, and utilizations;
+- :meth:`run_grid` — the cross product over ``(N, P, run_index)`` that
+  sweeps and validation figures are made of.
+
+Every product is memoized in the experiment's :class:`~repro.pipeline
+.cache.ResultCache` under content-addressed keys, so repeated points —
+within a sweep, across sweeps, or across a whole optimizer search — cost
+a dictionary lookup and return bit-identical records.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.cluster.network import NetworkModel
+from repro.core.app_model import ApplicationPrediction
+from repro.core.predictor import Predictor
+from repro.errors import ConfigurationError
+from repro.pipeline.cache import ResultCache, prediction_key, run_key
+from repro.pipeline.platforms import Platform, as_platform
+from repro.pipeline.records import RunResult, compose_run_result
+from repro.pipeline.sources import ResolvedWorkload, WorkloadSource, as_source
+from repro.simulator.run import ApplicationMeasurement
+from repro.workloads.runner import measure_workload
+
+
+class Experiment:
+    """A workload source bound to a platform, with cached products.
+
+    Parameters
+    ----------
+    source:
+        Anything :func:`~repro.pipeline.sources.as_source` accepts — a
+        spec, a ``DoppioContext`` / profile list, a profiling report, or
+        a report path.
+    platform:
+        Anything :func:`~repro.pipeline.platforms.as_platform` accepts —
+        a cluster, a hybrid disk configuration, or a cloud configuration.
+    cache:
+        Shared :class:`ResultCache`; a private one is created when
+        omitted, so memoization always works within the experiment.
+    network:
+        Optional finite network; ``None`` (the default) keeps the
+        infinite-network behaviour every existing benchmark was tuned
+        against.
+    """
+
+    def __init__(
+        self,
+        source,
+        platform,
+        cache: ResultCache | None = None,
+        network: NetworkModel | None = None,
+    ) -> None:
+        self.source: WorkloadSource = as_source(source)
+        self.platform: Platform = as_platform(platform)
+        self.cache = cache if cache is not None else ResultCache()
+        self.network = network
+        self._platform_fp = self.platform.fingerprint()
+        self._resolved: ResolvedWorkload | None = None
+        self._predictor: Predictor | None = None
+
+    # -- resolution ----------------------------------------------------------
+
+    @property
+    def resolved(self) -> ResolvedWorkload:
+        """The source's canonical (spec, report) pair, resolved once."""
+        if self._resolved is None:
+            self._resolved = self.source.resolve(self.cache)
+        return self._resolved
+
+    @property
+    def predictor(self) -> Predictor:
+        """Equation-1 predictor over the resolved profiling report."""
+        if self._predictor is None:
+            self._predictor = Predictor(self.resolved.report)
+        return self._predictor
+
+    @property
+    def network_gbps(self) -> float | None:
+        """Configured per-link bandwidth in Gb/s (``None`` = infinite)."""
+        if self.network is None:
+            return None
+        return self.network.link_bandwidth * 8.0 / 1e9
+
+    def describe(self) -> str:
+        """``source @ platform`` one-liner."""
+        return f"{self.source.describe()} @ {self.platform.label}"
+
+    # -- the two halves ------------------------------------------------------
+
+    def measure(
+        self,
+        nodes: int | None = None,
+        cores_per_node: int | None = None,
+        run_index: int = 0,
+    ) -> ApplicationMeasurement:
+        """Simulated "exp" measurement at ``(N, P)`` (cached).
+
+        Needs only the spec half of the source, so spec-backed sources
+        are *not* profiled — ``repro simulate`` stays as cheap as the
+        bare runner it replaced.
+        """
+        nodes, cores = self._shape(nodes, cores_per_node)
+        spec, spec_fp = self._spec_and_fingerprint()
+        key = run_key(
+            spec_fp,
+            self._platform_fp,
+            nodes,
+            cores,
+            run_index=run_index,
+            network_fp=self._network_fp(),
+        )
+        measurement = self.cache.get_measurement(key)
+        if measurement is None:
+            measurement = measure_workload(
+                self.platform.cluster(nodes),
+                cores,
+                spec,
+                run_index=run_index,
+                network=self.network,
+            )
+            self.cache.put_measurement(key, measurement)
+        return measurement
+
+    def predict(
+        self,
+        nodes: int | None = None,
+        cores_per_node: int | None = None,
+    ) -> ApplicationPrediction:
+        """Equation-1 "model" prediction at ``(N, P)`` (cached)."""
+        nodes, cores = self._shape(nodes, cores_per_node)
+        key = prediction_key(
+            self.resolved.report_fingerprint,
+            self._platform_fp,
+            nodes,
+            cores,
+            network_fp=self._network_fp(),
+        )
+        prediction = self.cache.get_prediction(key)
+        if prediction is None:
+            bandwidth = (
+                self.network.link_bandwidth if self.network is not None else None
+            )
+            model = self.platform.model(
+                self.predictor, nodes, network_bandwidth=bandwidth
+            )
+            prediction = model.predict(nodes, cores)
+            self.cache.put_prediction(key, prediction)
+        return prediction
+
+    # -- composed runs -------------------------------------------------------
+
+    def run(
+        self,
+        nodes: int | None = None,
+        cores_per_node: int | None = None,
+        run_index: int = 0,
+    ) -> RunResult:
+        """One full exp-vs-model point."""
+        nodes, cores = self._shape(nodes, cores_per_node)
+        return compose_run_result(
+            self.measure(nodes, cores, run_index=run_index),
+            self.predict(nodes, cores),
+            platform_label=self.platform.label,
+            run_index=run_index,
+            network_gbps=self.network_gbps,
+        )
+
+    def run_repeated(
+        self,
+        nodes: int | None = None,
+        cores_per_node: int | None = None,
+        runs: int = 5,
+    ) -> list[RunResult]:
+        """The paper's five-run protocol at one ``(N, P)`` point."""
+        if runs <= 0:
+            raise ConfigurationError("need at least one run")
+        return [
+            self.run(nodes, cores_per_node, run_index=index)
+            for index in range(runs)
+        ]
+
+    def run_grid(
+        self,
+        nodes: Sequence[int] | None = None,
+        cores_per_node: Sequence[int] | None = None,
+        run_indices: Iterable[int] = (0,),
+    ) -> list[RunResult]:
+        """The ``N x P x run`` cross product, row-major in that order."""
+        node_axis = self._axis(nodes, self.platform.default_nodes(), "nodes")
+        core_axis = self._axis(
+            cores_per_node, self.platform.default_cores(), "cores_per_node"
+        )
+        return [
+            self.run(n, p, run_index=r)
+            for n in node_axis
+            for p in core_axis
+            for r in run_indices
+        ]
+
+    # -- internals -----------------------------------------------------------
+
+    def _spec_and_fingerprint(self):
+        if self._resolved is not None:
+            return self._resolved.spec, self._resolved.spec_fingerprint
+        spec_only = getattr(self.source, "spec_only", None)
+        if spec_only is not None:
+            return spec_only()
+        resolved = self.resolved
+        return resolved.spec, resolved.spec_fingerprint
+
+    def _network_fp(self) -> str:
+        if self.network is None:
+            return "none"
+        return repr(self.network.link_bandwidth)
+
+    def _shape(
+        self, nodes: int | None, cores_per_node: int | None
+    ) -> tuple[int, int]:
+        nodes = nodes if nodes is not None else self.platform.default_nodes()
+        cores = (
+            cores_per_node
+            if cores_per_node is not None
+            else self.platform.default_cores()
+        )
+        if nodes is None or cores is None:
+            raise ConfigurationError(
+                f"{self.describe()}: platform has no default shape; pass"
+                " nodes and cores_per_node explicitly"
+            )
+        return nodes, cores
+
+    @staticmethod
+    def _axis(
+        values: Sequence[int] | None, default: int | None, label: str
+    ) -> Sequence[int]:
+        if values is not None:
+            return values
+        if default is not None:
+            return (default,)
+        raise ConfigurationError(
+            f"no {label} axis given and the platform has no default"
+        )

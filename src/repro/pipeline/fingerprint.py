@@ -1,0 +1,72 @@
+"""Content-addressed fingerprints for pipeline cache keys.
+
+A fingerprint is a short, stable hash of an object's *content* — not its
+identity — so two separately constructed but identical workload specs,
+profiling reports, or platform configurations address the same cache
+entries.  The canonical form walks dataclasses, mappings, and sequences
+recursively; floats round-trip through ``repr`` (exact in Python 3), so a
+fingerprint never collapses distinct configurations.
+
+Device models get special treatment: a :class:`~repro.storage.device
+.StorageDevice` is fingerprinted by its kind, capacity, and bandwidth
+anchor curves, deliberately ignoring mutable runtime state
+(``used_bytes``) — the simulation outcome depends only on the curves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+#: Hex digits kept from the sha256 digest; 16 (64 bits) is far beyond any
+#: realistic collision risk for a result cache.
+DIGEST_CHARS = 16
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serializable canonical structure."""
+    # Late imports: fingerprinting is a leaf utility and must not create
+    # import cycles with the domain modules it describes.
+    from repro.core.bandwidth import EffectiveBandwidthTable
+    from repro.storage.device import StorageDevice
+
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return repr(obj)
+    if isinstance(obj, StorageDevice):
+        return {
+            "__device__": obj.kind,
+            "capacity": repr(obj.capacity_bytes),
+            "read": canonicalize(obj.read_table),
+            "write": canonicalize(obj.write_table),
+        }
+    if isinstance(obj, EffectiveBandwidthTable):
+        return {"__bandwidth_table__": canonicalize(obj.anchors)}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__type__": type(obj).__name__,
+            **{
+                field.name: canonicalize(getattr(obj, field.name))
+                for field in dataclasses.fields(obj)
+                if field.init
+            },
+        }
+    if isinstance(obj, dict):
+        return {str(key): canonicalize(value) for key, value in sorted(
+            obj.items(), key=lambda item: str(item[0])
+        )}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(canonicalize(item) for item in obj)
+    # Last resort for exotic parameter values: a stable textual form.
+    return f"{type(obj).__name__}:{obj!r}"
+
+
+def fingerprint(obj: Any) -> str:
+    """Short content hash of ``obj``'s canonical form."""
+    payload = json.dumps(canonicalize(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()[:DIGEST_CHARS]

@@ -1,0 +1,284 @@
+"""Uniform run records and their JSON forms.
+
+Every frontend — CLI, sweeps, benchmarks, the cloud optimizer — consumes
+the same :class:`RunResult`: the simulated "exp" makespan, the Equation-1
+"model" prediction, the per-stage breakdown with bottleneck attribution,
+the error rate between the two, and the core/device utilizations of the
+simulated run.
+
+The module also provides lossless dict round-trips for the simulator's
+:class:`~repro.simulator.run.ApplicationMeasurement` and the model's
+:class:`~repro.core.app_model.ApplicationPrediction`, which is what lets
+the result cache persist them as plain JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.errors import relative_error
+from repro.core.app_model import ApplicationPrediction
+from repro.core.stage_model import StagePrediction
+from repro.simulator.run import ApplicationMeasurement, StageMeasurement
+from repro.storage.iostat import IostatSample
+
+
+@dataclass(frozen=True)
+class StageRunResult:
+    """One stage of a run: exp vs model plus attribution."""
+
+    name: str
+    num_tasks: int
+    measured_seconds: float
+    predicted_seconds: float
+    bottleneck: str
+    core_utilization: float
+
+    @property
+    def error(self) -> float:
+        """Relative error of the model against the simulation."""
+        return relative_error(self.measured_seconds, self.predicted_seconds)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One (source, platform, N, P, run) point through the whole loop."""
+
+    workload: str
+    platform: str
+    nodes: int
+    cores_per_node: int
+    run_index: int
+    measured_seconds: float
+    predicted_seconds: float
+    stages: tuple[StageRunResult, ...]
+    core_utilization: float
+    #: (resource name, is_write, busy fraction) aggregated over the run.
+    device_utilizations: tuple[tuple[str, bool, float], ...] = ()
+    network_gbps: float | None = None
+
+    @property
+    def error(self) -> float:
+        """Application-level relative error (the paper's error rate)."""
+        return relative_error(self.measured_seconds, self.predicted_seconds)
+
+    def stage(self, name: str) -> StageRunResult:
+        """Look up one stage's record."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"{self.workload}: no stage named {name!r}")
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the CLI's ``--json`` payload)."""
+        return {
+            "workload": self.workload,
+            "platform": self.platform,
+            "nodes": self.nodes,
+            "cores_per_node": self.cores_per_node,
+            "run_index": self.run_index,
+            "measured_seconds": self.measured_seconds,
+            "predicted_seconds": self.predicted_seconds,
+            "error": self.error,
+            "core_utilization": self.core_utilization,
+            "network_gbps": self.network_gbps,
+            "stages": [
+                {
+                    "name": stage.name,
+                    "num_tasks": stage.num_tasks,
+                    "measured_seconds": stage.measured_seconds,
+                    "predicted_seconds": stage.predicted_seconds,
+                    "error": stage.error,
+                    "bottleneck": stage.bottleneck,
+                    "core_utilization": stage.core_utilization,
+                }
+                for stage in self.stages
+            ],
+            "device_utilizations": [
+                {"resource": name, "is_write": is_write, "busy_fraction": busy}
+                for name, is_write, busy in self.device_utilizations
+            ],
+        }
+
+
+# -- measurement round-trip ---------------------------------------------------
+
+
+def measurement_to_dict(measurement: ApplicationMeasurement) -> dict:
+    """Serialize a simulated application measurement losslessly."""
+    return {
+        "name": measurement.name,
+        "stages": [
+            {
+                "name": stage.name,
+                "nodes": stage.nodes,
+                "cores_per_node": stage.cores_per_node,
+                "makespan": stage.makespan,
+                "num_tasks": stage.num_tasks,
+                "task_avg_seconds": dict(stage.task_avg_seconds),
+                "task_counts": dict(stage.task_counts),
+                "first_finish_seconds": stage.first_finish_seconds,
+                "read_bytes": stage.read_bytes,
+                "write_bytes": stage.write_bytes,
+                "avg_gc_seconds": stage.avg_gc_seconds,
+                "core_utilization": stage.core_utilization,
+                "iostat_samples": [
+                    {
+                        "device_name": sample.device_name,
+                        "is_write": sample.is_write,
+                        "total_bytes": sample.total_bytes,
+                        "num_requests": sample.num_requests,
+                    }
+                    for sample in stage.iostat_samples
+                ],
+                "device_utilizations": [
+                    [name, is_write, busy]
+                    for name, is_write, busy in stage.device_utilizations
+                ],
+            }
+            for stage in measurement.stages
+        ],
+    }
+
+
+def measurement_from_dict(data: dict) -> ApplicationMeasurement:
+    """Rebuild a measurement from :func:`measurement_to_dict` output."""
+    stages = tuple(
+        StageMeasurement(
+            name=stage["name"],
+            nodes=int(stage["nodes"]),
+            cores_per_node=int(stage["cores_per_node"]),
+            makespan=float(stage["makespan"]),
+            num_tasks=int(stage["num_tasks"]),
+            task_avg_seconds={
+                group: float(value)
+                for group, value in stage["task_avg_seconds"].items()
+            },
+            task_counts={
+                group: int(value) for group, value in stage["task_counts"].items()
+            },
+            first_finish_seconds=float(stage["first_finish_seconds"]),
+            read_bytes=float(stage["read_bytes"]),
+            write_bytes=float(stage["write_bytes"]),
+            avg_gc_seconds=float(stage["avg_gc_seconds"]),
+            core_utilization=float(stage["core_utilization"]),
+            iostat_samples=tuple(
+                IostatSample(
+                    device_name=sample["device_name"],
+                    is_write=bool(sample["is_write"]),
+                    total_bytes=float(sample["total_bytes"]),
+                    num_requests=float(sample["num_requests"]),
+                )
+                for sample in stage["iostat_samples"]
+            ),
+            device_utilizations=tuple(
+                (name, bool(is_write), float(busy))
+                for name, is_write, busy in stage["device_utilizations"]
+            ),
+        )
+        for stage in data["stages"]
+    )
+    return ApplicationMeasurement(name=data["name"], stages=stages)
+
+
+# -- prediction round-trip ----------------------------------------------------
+
+
+def prediction_to_dict(prediction: ApplicationPrediction) -> dict:
+    """Serialize a model prediction losslessly."""
+    return {
+        "app_name": prediction.app_name,
+        "nodes": prediction.nodes,
+        "cores_per_node": prediction.cores_per_node,
+        "stages": [
+            {
+                "stage_name": stage.stage_name,
+                "nodes": stage.nodes,
+                "cores_per_node": stage.cores_per_node,
+                "t_scale": stage.t_scale,
+                "t_read_limit": stage.t_read_limit,
+                "t_write_limit": stage.t_write_limit,
+            }
+            for stage in prediction.stages
+        ],
+    }
+
+
+def prediction_from_dict(data: dict) -> ApplicationPrediction:
+    """Rebuild a prediction from :func:`prediction_to_dict` output."""
+    return ApplicationPrediction(
+        app_name=data["app_name"],
+        nodes=int(data["nodes"]),
+        cores_per_node=int(data["cores_per_node"]),
+        stages=tuple(
+            StagePrediction(
+                stage_name=stage["stage_name"],
+                nodes=int(stage["nodes"]),
+                cores_per_node=int(stage["cores_per_node"]),
+                t_scale=float(stage["t_scale"]),
+                t_read_limit=float(stage["t_read_limit"]),
+                t_write_limit=float(stage["t_write_limit"]),
+            )
+            for stage in data["stages"]
+        ),
+    )
+
+
+def compose_run_result(
+    measurement: ApplicationMeasurement,
+    prediction: ApplicationPrediction,
+    platform_label: str,
+    run_index: int,
+    network_gbps: float | None = None,
+) -> RunResult:
+    """Pair a simulated measurement with a model prediction stage by stage."""
+    stage_results = []
+    busy: dict[tuple[str, bool], float] = {}
+    total = measurement.total_seconds
+    for stage in measurement.stages:
+        predicted = prediction.stage(stage.name)
+        stage_results.append(
+            StageRunResult(
+                name=stage.name,
+                num_tasks=stage.num_tasks,
+                measured_seconds=stage.makespan,
+                predicted_seconds=predicted.t_stage,
+                bottleneck=predicted.bottleneck,
+                core_utilization=stage.core_utilization,
+            )
+        )
+        for name, is_write, fraction in stage.device_utilizations:
+            key = (name, is_write)
+            busy[key] = busy.get(key, 0.0) + fraction * stage.makespan
+    weighted_core = (
+        sum(s.core_utilization * s.makespan for s in measurement.stages) / total
+        if total > 0
+        else 0.0
+    )
+    return RunResult(
+        workload=measurement.name,
+        platform=platform_label,
+        nodes=prediction.nodes,
+        cores_per_node=prediction.cores_per_node,
+        run_index=run_index,
+        measured_seconds=total,
+        predicted_seconds=prediction.t_app,
+        stages=tuple(stage_results),
+        core_utilization=weighted_core,
+        device_utilizations=tuple(
+            (name, is_write, seconds / total if total > 0 else 0.0)
+            for (name, is_write), seconds in sorted(busy.items())
+        ),
+        network_gbps=network_gbps,
+    )
+
+
+__all__ = [
+    "StageRunResult",
+    "RunResult",
+    "measurement_to_dict",
+    "measurement_from_dict",
+    "prediction_to_dict",
+    "prediction_from_dict",
+    "compose_run_result",
+]

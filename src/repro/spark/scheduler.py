@@ -27,6 +27,7 @@ from repro.spark.dag import Stage, build_stages
 from repro.spark.memory import StorageMemoryManager
 from repro.spark.partition import estimate_bytes
 from repro.spark.rdd import DISK_ONLY, MEMORY_ONLY, NONE, RDD, ShuffledRDD
+from repro.spark.shuffle import shuffle_read_request_size
 from repro.spark.stageinfo import StageRuntimeProfile
 
 
@@ -44,6 +45,9 @@ class LocalRuntime:
         self._completed_shuffles: set[int] = set()
         self.stage_profiles: list[StageRuntimeProfile] = []
         self.disk_spill_bytes = 0.0
+        # Shuffle reads of the currently executing stage:
+        # shuffle rdd_id -> [bytes, num_mappers, num_reducers].
+        self._stage_shuffle_reads: dict[int, list] = {}
 
     # -- job driver ----------------------------------------------------------
 
@@ -54,16 +58,17 @@ class LocalRuntime:
             assert stage.shuffle is not None
             self._run_map_stage(stage)
         result_stage = stages[-1]
+        self._stage_shuffle_reads = {}
         partitions = [
             self.partition_of(target, index)
             for index in range(target.num_partitions)
         ]
-        self.stage_profiles.append(
-            StageRuntimeProfile(
-                name=result_stage.name,
-                num_tasks=result_stage.num_tasks,
-            )
+        profile = StageRuntimeProfile(
+            name=result_stage.name,
+            num_tasks=result_stage.num_tasks,
         )
+        self._record_shuffle_reads(profile)
+        self.stage_profiles.append(profile)
         return partitions
 
     # -- partition materialization --------------------------------------------
@@ -127,6 +132,7 @@ class LocalRuntime:
         parent = shuffled.parents[0]
         partitioner = shuffled.partitioner
         write_bytes = 0.0
+        self._stage_shuffle_reads = {}
         for map_index in range(parent.num_partitions):
             rows = self.partition_of(parent, map_index)
             buckets: dict[int, list] = defaultdict(list)
@@ -142,15 +148,15 @@ class LocalRuntime:
             self._shuffle_outputs[(shuffled.rdd_id, map_index)] = dict(buckets)
             write_bytes += estimate_bytes(rows)
         self._completed_shuffles.add(shuffled.rdd_id)
-        self.stage_profiles.append(
-            StageRuntimeProfile(
-                name=stage.name,
-                num_tasks=parent.num_partitions,
-                shuffle_write_bytes=write_bytes,
-                num_mappers=parent.num_partitions,
-                num_reducers=shuffled.num_partitions,
-            )
+        profile = StageRuntimeProfile(
+            name=stage.name,
+            num_tasks=parent.num_partitions,
+            shuffle_write_bytes=write_bytes,
+            num_mappers=parent.num_partitions,
+            num_reducers=shuffled.num_partitions,
         )
+        self._record_shuffle_reads(profile)
+        self.stage_profiles.append(profile)
 
     def shuffle_segments_for(self, shuffled: ShuffledRDD, reduce_index: int) -> list:
         """All map-side segments destined for one reduce partition.
@@ -168,7 +174,39 @@ class LocalRuntime:
         for map_index in range(parent.num_partitions):
             output = self._shuffle_outputs.get((shuffled.rdd_id, map_index), {})
             segments.extend(output.get(reduce_index, []))
+        accum = self._stage_shuffle_reads.setdefault(
+            shuffled.rdd_id,
+            [0.0, parent.num_partitions, shuffled.num_partitions],
+        )
+        accum[0] += estimate_bytes(segments)
         return segments
+
+    def _record_shuffle_reads(self, profile: StageRuntimeProfile) -> None:
+        """Attach the finished stage's accumulated shuffle reads.
+
+        Bytes sum over every shuffle the stage consumed; the request size
+        is the byte-weighted ``(D/R)/M`` segment size of those shuffles,
+        stored as an ``extras`` override so
+        :meth:`StageRuntimeProfile.to_stage_spec` keeps the per-shuffle
+        geometry even when a stage reads several shuffles.
+        """
+        reads = self._stage_shuffle_reads
+        self._stage_shuffle_reads = {}
+        total = sum(bytes_read for bytes_read, _, _ in reads.values())
+        if total <= 0:
+            return
+        profile.shuffle_read_bytes = total
+        profile.extras["shuffle_read_request_size"] = (
+            sum(
+                bytes_read * shuffle_read_request_size(bytes_read, mappers, reducers)
+                for bytes_read, mappers, reducers in reads.values()
+            )
+            / total
+        )
+        if not profile.num_mappers:
+            _, mappers, reducers = max(reads.values(), key=lambda v: v[0])
+            profile.num_mappers = mappers
+            profile.num_reducers = reducers
 
     # -- introspection ------------------------------------------------------------
 

@@ -79,6 +79,7 @@ def measure_workload_repeated(
     cores_per_node: int,
     workload: WorkloadSpec,
     runs: int = 5,
+    network: NetworkModel | None = None,
 ) -> list[ApplicationMeasurement]:
     """The paper's protocol: average of five runs with error bars.
 
@@ -88,6 +89,8 @@ def measure_workload_repeated(
     if runs <= 0:
         raise ValueError("need at least one run")
     return [
-        measure_workload(cluster, cores_per_node, workload, run_index=index)
+        measure_workload(
+            cluster, cores_per_node, workload, run_index=index, network=network
+        )
         for index in range(runs)
     ]

@@ -1,0 +1,229 @@
+"""Integration: functional RDD programs round-trip through the pipeline.
+
+The paper's promise is that profiling a *real* (small) run yields a spec
+that models like a hand-written one.  Here a mini-Terasort and a
+mini-PageRank actually execute on the functional engine; the recorded
+stage profiles are turned into workload specs via :class:`RddSource`
+(``profiles_to_workload``) and driven through the same
+:class:`Experiment` as a hand-written spec of the same job — and the
+derived channel byte totals, shuffle-read request sizes, and resulting
+exp/model numbers must match the hand-written ones exactly.
+"""
+
+import pytest
+
+from repro.cluster import HYBRID_CONFIGS
+from repro.pipeline import Experiment, RddSource, ResultCache, SpecSource
+from repro.spark.context import DoppioContext
+from repro.spark.partition import estimate_bytes
+from repro.spark.shuffle import shuffle_read_request_size
+from repro.workloads.base import ChannelSpec, StageSpec, TaskGroupSpec, WorkloadSpec
+from repro.workloads.generators import generate_edge_list, generate_terasort_records
+
+NODES = 3
+CORES = 8
+
+#: Compute time stamped onto the recorded profiles (the functional engine
+#: measures bytes, not wall time; the paper takes compute from sample runs).
+MAP_COMPUTE = 0.05
+REDUCE_COMPUTE = 0.02
+
+
+def _shuffle_stage_pair(name, map_name, map_tasks, reduce_name, reduce_tasks,
+                        shuffle_bytes, num_mappers, num_reducers):
+    """Hand-written spec of one map/reduce shuffle with known geometry."""
+    return WorkloadSpec(
+        name=name,
+        stages=(
+            StageSpec(
+                name=map_name,
+                groups=(
+                    TaskGroupSpec(
+                        name="tasks",
+                        count=map_tasks,
+                        compute_seconds=MAP_COMPUTE,
+                        write_channels=(
+                            ChannelSpec(
+                                kind="shuffle_write",
+                                bytes_per_task=shuffle_bytes / map_tasks,
+                                request_size=shuffle_bytes / map_tasks,
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+            StageSpec(
+                name=reduce_name,
+                groups=(
+                    TaskGroupSpec(
+                        name="tasks",
+                        count=reduce_tasks,
+                        read_channels=(
+                            ChannelSpec(
+                                kind="shuffle_read",
+                                bytes_per_task=shuffle_bytes / reduce_tasks,
+                                request_size=shuffle_read_request_size(
+                                    shuffle_bytes, num_mappers, num_reducers
+                                ),
+                            ),
+                        ),
+                        compute_seconds=REDUCE_COMPUTE,
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+class TestTerasortRoundTrip:
+    """400 records, 8 mappers, 4 range-partitioned reducers."""
+
+    @pytest.fixture(scope="class")
+    def executed(self):
+        records = generate_terasort_records(400, seed=7)
+        sc = DoppioContext()
+        output = sc.parallelize(records, 8).sort_by_key(4).collect()
+        return records, sc, output
+
+    @pytest.fixture(scope="class")
+    def profiles(self, executed):
+        _, sc, _ = executed
+        # Drop sortByKey's range-sampling pass: it moves no bytes and the
+        # paper's Terasort model is the two shuffle stages.
+        profiles = sc.stage_profiles[1:]
+        assert len(profiles) == 2
+        profiles[0].compute_seconds_per_task = MAP_COMPUTE
+        profiles[1].compute_seconds_per_task = REDUCE_COMPUTE
+        return profiles
+
+    def test_really_sorts(self, executed):
+        records, _, output = executed
+        assert output == sorted(records)
+
+    def test_recorded_geometry(self, executed, profiles):
+        records, _, _ = executed
+        total = estimate_bytes(records)
+        map_stage, reduce_stage = profiles
+        assert map_stage.num_tasks == 8
+        assert map_stage.shuffle_write_bytes == total
+        assert reduce_stage.num_tasks == 4
+        assert reduce_stage.shuffle_read_bytes == total
+        # The (D/R)/M rule, from the engine's own shuffle bookkeeping.
+        assert reduce_stage.extras["shuffle_read_request_size"] == (
+            shuffle_read_request_size(total, 8, 4)
+        )
+
+    def test_derived_spec_matches_hand_written(self, executed, profiles):
+        records, _, _ = executed
+        source = RddSource("mini-terasort", profiles)
+        hand = _shuffle_stage_pair(
+            "mini-terasort",
+            profiles[0].name, 8, profiles[1].name, 4,
+            shuffle_bytes=estimate_bytes(records),
+            num_mappers=8, num_reducers=4,
+        )
+        assert source.spec.stages == hand.stages
+
+    def test_experiment_numbers_match_hand_written(self, executed, profiles):
+        records, _, _ = executed
+        hand = _shuffle_stage_pair(
+            "mini-terasort",
+            profiles[0].name, 8, profiles[1].name, 4,
+            shuffle_bytes=estimate_bytes(records),
+            num_mappers=8, num_reducers=4,
+        )
+        derived_run = Experiment(
+            RddSource("mini-terasort", profiles), HYBRID_CONFIGS[0]
+        ).run(NODES, CORES)
+        hand_run = Experiment(SpecSource(hand), HYBRID_CONFIGS[0]).run(
+            NODES, CORES
+        )
+        assert derived_run.measured_seconds == hand_run.measured_seconds
+        assert derived_run.predicted_seconds == hand_run.predicted_seconds
+        for ours, theirs in zip(derived_run.stages, hand_run.stages):
+            assert ours.measured_seconds == theirs.measured_seconds
+            assert ours.predicted_seconds == theirs.predicted_seconds
+            assert ours.bottleneck == theirs.bottleneck
+
+
+class TestPageRankRoundTrip:
+    """First PageRank iteration: per-vertex rank mass via reduceByKey."""
+
+    @pytest.fixture(scope="class")
+    def executed(self):
+        edges = generate_edge_list(40, 300, seed=3)
+        sc = DoppioContext()
+        ranks = (
+            sc.parallelize(edges, 6)
+            .map(lambda edge: (edge[1], 1.0))
+            .reduce_by_key(lambda a, b: a + b, 4)
+        )
+        return edges, sc, dict(ranks.collect())
+
+    @pytest.fixture(scope="class")
+    def expected_shuffle_bytes(self, executed):
+        # The engine combines on the reduce side, so the shuffle moves one
+        # (vertex, 1.0) contribution per edge — hand-computable.
+        edges, _, _ = executed
+        return estimate_bytes([(dst, 1.0) for _, dst in edges])
+
+    @pytest.fixture(scope="class")
+    def profiles(self, executed):
+        _, sc, _ = executed
+        profiles = sc.stage_profiles
+        assert len(profiles) == 2
+        profiles[0].compute_seconds_per_task = MAP_COMPUTE
+        profiles[1].compute_seconds_per_task = REDUCE_COMPUTE
+        return profiles
+
+    def test_first_iteration_is_the_in_degree(self, executed):
+        edges, _, ranks = executed
+        expected: dict[int, float] = {}
+        for _, dst in edges:
+            expected[dst] = expected.get(dst, 0.0) + 1.0
+        assert ranks == expected
+
+    def test_recorded_geometry(self, profiles, expected_shuffle_bytes):
+        map_stage, reduce_stage = profiles
+        assert map_stage.num_tasks == 6
+        assert map_stage.shuffle_write_bytes == expected_shuffle_bytes
+        assert reduce_stage.num_tasks == 4
+        assert reduce_stage.shuffle_read_bytes == expected_shuffle_bytes
+        assert reduce_stage.extras["shuffle_read_request_size"] == (
+            shuffle_read_request_size(expected_shuffle_bytes, 6, 4)
+        )
+
+    def test_derived_spec_matches_hand_written(
+        self, profiles, expected_shuffle_bytes
+    ):
+        source = RddSource("mini-pagerank", profiles)
+        hand = _shuffle_stage_pair(
+            "mini-pagerank",
+            profiles[0].name, 6, profiles[1].name, 4,
+            shuffle_bytes=expected_shuffle_bytes,
+            num_mappers=6, num_reducers=4,
+        )
+        assert source.spec.stages == hand.stages
+
+    def test_experiment_numbers_match_hand_written(
+        self, profiles, expected_shuffle_bytes
+    ):
+        hand = _shuffle_stage_pair(
+            "mini-pagerank",
+            profiles[0].name, 6, profiles[1].name, 4,
+            shuffle_bytes=expected_shuffle_bytes,
+            num_mappers=6, num_reducers=4,
+        )
+        cache = ResultCache()
+        derived_run = Experiment(
+            RddSource("mini-pagerank", profiles), HYBRID_CONFIGS[3],
+            cache=cache,
+        ).run(NODES, CORES)
+        hand_run = Experiment(
+            SpecSource(hand), HYBRID_CONFIGS[3], cache=cache
+        ).run(NODES, CORES)
+        assert derived_run.measured_seconds == hand_run.measured_seconds
+        assert derived_run.predicted_seconds == hand_run.predicted_seconds
+        # Identical stage content but distinct descriptions: the cache
+        # must treat the two specs as different sources (no collisions).
+        assert cache.measurement_stats.hits == 0

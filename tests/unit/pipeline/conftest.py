@@ -1,0 +1,89 @@
+"""Shared fixtures for the experiment-pipeline unit tests.
+
+The workload here is deliberately tiny (two stages, a handful of tasks)
+so profiling — four simulated sample runs — stays in the millisecond
+range and every test can afford a fresh resolve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.units import KB, MB
+from repro.workloads.base import ChannelSpec, StageSpec, TaskGroupSpec, WorkloadSpec
+
+
+def make_tiny_workload(name: str = "tiny") -> WorkloadSpec:
+    """A two-stage workload exercising HDFS and shuffle channels."""
+    return WorkloadSpec(
+        name=name,
+        stages=(
+            StageSpec(
+                name="ingest",
+                groups=(
+                    TaskGroupSpec(
+                        name="g",
+                        count=12,
+                        read_channels=(
+                            ChannelSpec(
+                                kind="hdfs_read",
+                                bytes_per_task=64 * MB,
+                                request_size=1 * MB,
+                            ),
+                        ),
+                        compute_seconds=1.0,
+                        write_channels=(
+                            ChannelSpec(
+                                kind="shuffle_write",
+                                bytes_per_task=32 * MB,
+                                request_size=1 * MB,
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+            StageSpec(
+                name="reduce",
+                groups=(
+                    TaskGroupSpec(
+                        name="g",
+                        count=8,
+                        read_channels=(
+                            ChannelSpec(
+                                kind="shuffle_read",
+                                bytes_per_task=48 * MB,
+                                request_size=64 * KB,
+                            ),
+                        ),
+                        compute_seconds=0.5,
+                        write_channels=(
+                            ChannelSpec(
+                                kind="hdfs_write",
+                                bytes_per_task=16 * MB,
+                                request_size=1 * MB,
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+@pytest.fixture()
+def tiny_workload():
+    return make_tiny_workload()
+
+
+@pytest.fixture(scope="session")
+def make_tiny():
+    """The factory itself, for tests that need fresh equal copies."""
+    return make_tiny_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    """A profiling report for the tiny workload (shared per module)."""
+    from repro.core import Profiler
+
+    return Profiler(make_tiny_workload(), nodes=3).profile()

@@ -1,0 +1,120 @@
+"""Unit tests for the content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
+from repro.core import Predictor, Profiler
+from repro.core.serialization import report_to_dict
+from repro.pipeline.cache import (
+    CACHE_FORMAT_VERSION,
+    CacheStats,
+    ResultCache,
+    prediction_key,
+    run_key,
+)
+from repro.pipeline.records import measurement_to_dict, prediction_to_dict
+from repro.workloads.runner import measure_workload
+
+
+class TestKeys:
+    def test_run_key_separates_every_axis(self):
+        base = run_key("s", "p", 3, 12)
+        assert run_key("s", "p", 3, 12, run_index=1) != base
+        assert run_key("s", "p", 4, 12) != base
+        assert run_key("s", "p", 3, 24) != base
+        assert run_key("s", "p", 3, 12, network_fp="1e9") != base
+        assert run_key("s2", "p", 3, 12) != base
+
+    def test_prediction_key_has_no_run_index(self):
+        # Model evaluations are jitter-free; all runs share one entry.
+        assert prediction_key("r", "p", 3, 12) == prediction_key("r", "p", 3, 12)
+        assert prediction_key("r", "p", 3, 12) != prediction_key("r", "p", 3, 24)
+
+
+class TestStats:
+    def test_counters(self):
+        cache = ResultCache()
+        assert cache.get_measurement("missing") is None
+        assert cache.measurement_stats.misses == 1
+        cache.put_measurement("k", object())
+        assert cache.get_measurement("k") is not None
+        assert cache.measurement_stats.hits == 1
+        assert cache.measurement_stats.hit_rate == 0.5
+
+    def test_empty_stats(self):
+        stats = CacheStats()
+        assert stats.total == 0
+        assert stats.hit_rate == 0.0
+
+    def test_summary_line(self):
+        cache = ResultCache()
+        assert cache.stats_summary() == "cache unused"
+        cache.get_prediction("nope")
+        assert "model 0/1" in cache.stats_summary()
+
+    def test_len_and_clear(self):
+        cache = ResultCache()
+        cache.put_measurement("a", object())
+        cache.put_prediction("b", object())
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestPersistence:
+    @pytest.fixture(scope="class")
+    def populated(self, tmp_path_factory, make_tiny):
+        """A cache holding one of each product kind, saved to disk."""
+        workload = make_tiny()
+        cluster = make_paper_cluster(2, HYBRID_CONFIGS[0])
+        measurement = measure_workload(cluster, 4, workload)
+        report = Profiler(workload, nodes=2).profile()
+        prediction = Predictor(report).model_for_cluster(cluster).predict(2, 4)
+
+        cache = ResultCache()
+        cache.put_measurement("m", measurement)
+        cache.put_prediction("p", prediction)
+        cache.put_report("r", report)
+        path = tmp_path_factory.mktemp("cache") / "cache.json"
+        cache.save(path)
+        return cache, path
+
+    def test_round_trip_is_bit_identical(self, populated):
+        cache, path = populated
+        loaded = ResultCache(path)
+        assert measurement_to_dict(
+            loaded.get_measurement("m")
+        ) == measurement_to_dict(cache.get_measurement("m"))
+        assert prediction_to_dict(loaded.get_prediction("p")) == prediction_to_dict(
+            cache.get_prediction("p")
+        )
+        assert report_to_dict(loaded.get_report("r")) == report_to_dict(
+            cache.get_report("r")
+        )
+
+    def test_loaded_measurement_totals_match(self, populated):
+        cache, path = populated
+        loaded = ResultCache(path)
+        assert (
+            loaded.get_measurement("m").total_seconds
+            == cache.get_measurement("m").total_seconds
+        )
+
+    def test_stale_format_starts_empty(self, populated, tmp_path):
+        _, path = populated
+        data = json.loads(path.read_text())
+        data["format_version"] = CACHE_FORMAT_VERSION + 1
+        stale = tmp_path / "stale.json"
+        stale.write_text(json.dumps(data))
+        assert len(ResultCache(stale)) == 0
+
+    def test_save_requires_a_path(self):
+        with pytest.raises(ValueError):
+            ResultCache().save()
+
+    def test_missing_file_is_fine(self, tmp_path):
+        cache = ResultCache(tmp_path / "does-not-exist.json")
+        assert len(cache) == 0
+        cache.put_measurement("k", object())

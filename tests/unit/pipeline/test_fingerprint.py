@@ -1,0 +1,55 @@
+"""Unit tests for content-addressed fingerprints."""
+
+from repro.cluster.cluster import HybridDiskConfig
+from repro.pipeline.fingerprint import canonicalize, fingerprint
+from repro.storage.device import make_hdd, make_ssd
+
+
+class TestStability:
+    def test_equal_specs_share_a_fingerprint(self, make_tiny):
+        # Two separately constructed but identical specs must address the
+        # same cache entries — this is the whole point of the scheme.
+        assert fingerprint(make_tiny()) == fingerprint(make_tiny())
+
+    def test_different_specs_differ(self, make_tiny):
+        assert fingerprint(make_tiny("a")) != fingerprint(make_tiny("b"))
+
+    def test_dict_key_order_is_canonical(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_floats_are_exact(self):
+        # repr round-trips floats exactly; 0.1 + 0.2 is not 0.3.
+        assert fingerprint(0.1 + 0.2) != fingerprint(0.3)
+        assert fingerprint(1.0) != fingerprint(1)
+
+
+class TestDevices:
+    def test_name_and_wear_are_ignored(self):
+        # Simulation outcomes depend only on the bandwidth curves, so the
+        # label and mutable fill state must not change the fingerprint.
+        a = make_ssd(name="slave0-hdfs-ssd")
+        b = make_ssd(name="w9-local")
+        b.allocate(1024)
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_kind_changes_the_fingerprint(self):
+        assert fingerprint(make_ssd()) != fingerprint(make_hdd())
+
+    def test_canonical_form_carries_the_curves(self):
+        form = canonicalize(make_ssd())
+        assert form["__device__"] == "ssd"
+        assert "read" in form and "write" in form
+
+
+class TestFallbacks:
+    def test_dataclass_walk(self):
+        config = HybridDiskConfig(0, hdfs_kind="ssd", local_kind="hdd")
+        form = canonicalize(config)
+        assert form["__type__"] == "HybridDiskConfig"
+        assert form["hdfs_kind"] == "ssd"
+
+    def test_sets_are_ordered(self):
+        assert fingerprint({3, 1, 2}) == fingerprint({2, 3, 1})
+
+    def test_exotic_values_get_a_textual_form(self):
+        assert canonicalize(complex(1, 2)) == "complex:(1+2j)"

@@ -1,0 +1,161 @@
+"""Unit tests for workload sources and their coercions."""
+
+import pytest
+
+from repro.core.serialization import report_to_dict, save_report
+from repro.errors import WorkloadError
+from repro.pipeline.cache import ResultCache
+from repro.pipeline.sources import (
+    ReportSource,
+    ResolvedSource,
+    RddSource,
+    SpecSource,
+    WorkloadSource,
+    as_source,
+    spec_from_report,
+)
+from repro.spark.context import DoppioContext
+from repro.spark.stageinfo import StageRuntimeProfile
+
+
+class TestSpecSource:
+    def test_spec_only_does_not_profile(self, tiny_workload):
+        source = SpecSource(tiny_workload)
+        spec, fp = source.spec_only()
+        assert spec is tiny_workload
+        assert len(fp) == 16
+        # Resolution (four simulated sample runs) must not have happened.
+        assert source._resolved is None
+
+    def test_resolve_memoizes(self, tiny_workload):
+        source = SpecSource(tiny_workload)
+        assert source.resolve() is source.resolve()
+
+    def test_resolve_reuses_cached_reports(self, tiny_workload):
+        cache = ResultCache()
+        first = SpecSource(tiny_workload).resolve(cache)
+        second = SpecSource(tiny_workload).resolve(cache)
+        assert cache.report_stats.hits == 1
+        assert report_to_dict(first.report) == report_to_dict(second.report)
+
+    def test_profiling_options_change_the_cache_key(self, tiny_workload):
+        cache = ResultCache()
+        SpecSource(tiny_workload, profile_nodes=2).resolve(cache)
+        SpecSource(tiny_workload, profile_nodes=3).resolve(cache)
+        assert cache.report_stats.hits == 0
+
+    def test_describe(self, tiny_workload):
+        assert SpecSource(tiny_workload).describe() == "spec:tiny"
+
+
+class TestReportSource:
+    def test_report_is_the_model_side(self, tiny_report):
+        resolved = ReportSource(tiny_report).resolve()
+        assert resolved.report is tiny_report
+        assert [s.name for s in resolved.spec.stages] == [
+            s.name for s in tiny_report.stages
+        ]
+
+    def test_loads_from_a_json_path(self, tiny_report, tmp_path):
+        path = tmp_path / "report.json"
+        save_report(tiny_report, path)
+        source = ReportSource(path)
+        assert report_to_dict(source.report) == report_to_dict(tiny_report)
+
+    def test_spec_from_report_replays_channels(self, tiny_workload, tiny_report):
+        spec = spec_from_report(tiny_report)
+        kinds = ("hdfs_read", "hdfs_write", "shuffle_read", "shuffle_write")
+        for original, replayed in zip(tiny_workload.stages, spec.stages):
+            assert replayed.name == original.name
+            assert replayed.num_tasks == original.num_tasks
+            for kind in kinds:
+                assert replayed.total_bytes(kind) == pytest.approx(
+                    original.total_bytes(kind)
+                )
+
+    def test_describe(self, tiny_report):
+        assert ReportSource(tiny_report).describe() == "report:tiny"
+
+
+class TestResolvedSource:
+    def test_resolution_is_free_and_cacheless(self, tiny_workload, tiny_report):
+        cache = ResultCache()
+        source = ResolvedSource(tiny_workload, tiny_report)
+        resolved = source.resolve(cache)
+        assert resolved.spec is tiny_workload
+        assert resolved.report is tiny_report
+        assert cache.report_stats.total == 0  # no cache traffic at all
+
+    def test_fingerprints_match_spec_source(self, tiny_workload, tiny_report):
+        pre = ResolvedSource(tiny_workload, tiny_report)
+        _, spec_fp = SpecSource(tiny_workload).spec_only()
+        assert pre.spec_only()[1] == spec_fp
+
+    def test_describe(self, tiny_workload, tiny_report):
+        source = ResolvedSource(tiny_workload, tiny_report)
+        assert source.describe() == "resolved:tiny"
+
+
+class TestRddSource:
+    def test_from_profiles(self):
+        profiles = [
+            StageRuntimeProfile(
+                name="s", num_tasks=4, hdfs_read_bytes=4096.0,
+                compute_seconds_per_task=0.1,
+            )
+        ]
+        source = RddSource("mini", profiles)
+        assert source.describe() == "rdd:mini"
+        assert source.spec.stages[0].num_tasks == 4
+
+    def test_from_context(self):
+        sc = DoppioContext()
+        sc.parallelize(range(100), 4).map(lambda x: x * 2).collect()
+        for profile in sc.stage_profiles:
+            profile.compute_seconds_per_task = 0.1
+        source = RddSource("doubling", sc)
+        assert len(source.spec.stages) == len(sc.stage_profiles)
+
+    def test_rejects_non_profiles(self):
+        with pytest.raises(WorkloadError):
+            RddSource("bad", [1, 2, 3])
+        with pytest.raises(WorkloadError):
+            RddSource("bad", object())
+
+
+class TestAsSource:
+    def test_passthrough(self, tiny_workload, tiny_report):
+        for source in (
+            SpecSource(tiny_workload),
+            ReportSource(tiny_report),
+            ResolvedSource(tiny_workload, tiny_report),
+        ):
+            assert as_source(source) is source
+
+    def test_spec_coercion(self, tiny_workload):
+        source = as_source(tiny_workload)
+        assert isinstance(source, SpecSource)
+        assert isinstance(source, WorkloadSource)
+
+    def test_report_coercion(self, tiny_report):
+        assert isinstance(as_source(tiny_report), ReportSource)
+
+    def test_path_coercion(self, tiny_report, tmp_path):
+        path = tmp_path / "report.json"
+        save_report(tiny_report, path)
+        assert isinstance(as_source(str(path)), ReportSource)
+
+    def test_profile_list_coercion(self):
+        profiles = [
+            StageRuntimeProfile(
+                name="s", num_tasks=2, hdfs_read_bytes=1024.0,
+                compute_seconds_per_task=0.1,
+            )
+        ]
+        source = as_source(profiles, name="listed")
+        assert isinstance(source, RddSource)
+        assert source.spec.name == "listed"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(WorkloadError):
+            as_source(42)

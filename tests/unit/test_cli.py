@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import WORKLOADS, build_parser, main
@@ -96,3 +98,71 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "1 Gb/s NIC" in out
         assert "nic" in out  # NIC rows in the utilization table
+
+
+class TestJsonOutput:
+    def test_simulate_json(self, capsys):
+        assert main(
+            ["simulate", "svm", "--slaves", "2", "--cores", "4", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "SVM"
+        assert payload["slaves"] == 2
+        assert payload["cores_per_node"] == 4
+        assert payload["total_seconds"] > 0
+        assert all(s["makespan_seconds"] > 0 for s in payload["stages"])
+        assert all(
+            entry["direction"] in ("read", "write")
+            for entry in payload["iostat"] + payload["device_utilizations"]
+        )
+
+    def test_simulate_json_matches_runner(self, capsys):
+        from repro.cli import WORKLOADS
+        from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
+        from repro.workloads.runner import measure_workload
+
+        assert main(
+            ["simulate", "svm", "--slaves", "2", "--cores", "4", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        direct = measure_workload(
+            make_paper_cluster(2, HYBRID_CONFIGS[0]), 4, WORKLOADS["svm"]()
+        )
+        assert payload["total_seconds"] == direct.total_seconds
+
+
+class TestPipelineCommand:
+    def test_table_output(self, capsys):
+        assert main(
+            ["pipeline", "--workload", "svm", "--slaves", "2",
+             "--cores", "4", "--profile-nodes", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "spec:SVM @ cluster[hdfs=ssd,local=ssd]" in out
+        assert "TOTAL" in out
+        assert "bottleneck" in out
+        assert "cache:" in out
+
+    def test_json_runs_and_cross_process_cache(self, capsys, tmp_path):
+        cache = tmp_path / "cache.json"
+        argv = [
+            "pipeline", "--workload", "svm", "--slaves", "2", "--cores", "4",
+            "--runs", "2", "--profile-nodes", "2", "--json",
+            "--cache", str(cache),
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "spec:SVM @ cluster[hdfs=ssd,local=ssd]"
+        assert [run["run_index"] for run in payload["runs"]] == [0, 1]
+        for run in payload["runs"]:
+            assert run["measured_seconds"] > 0
+            assert run["predicted_seconds"] > 0
+            assert run["stages"]
+        assert cache.exists()
+
+        # A second invocation replays everything from the cache file and
+        # must reproduce the records bit for bit.
+        assert main(argv) == 0
+        replayed = json.loads(capsys.readouterr().out)
+        assert "100% hits" in replayed["cache"]
+        assert replayed["runs"] == payload["runs"]

@@ -38,3 +38,35 @@ class TestRepeatedRuns:
         cluster = make_paper_cluster(1, HYBRID_CONFIGS[0])
         with pytest.raises(ValueError):
             measure_workload_repeated(cluster, 2, make_svm_workload(), runs=0)
+
+
+class TestRepeatedRunsNetwork:
+    """Regression: the ``network`` argument used to be silently dropped."""
+
+    def test_network_is_forwarded_to_every_run(self):
+        from repro.cluster.network import NetworkModel
+
+        cluster = make_paper_cluster(3, HYBRID_CONFIGS[0])
+        workload = make_svm_workload()
+        network = NetworkModel.from_gbps(0.25)
+        repeated = measure_workload_repeated(
+            cluster, 12, workload, runs=2, network=network
+        )
+        for index, run in enumerate(repeated):
+            direct = measure_workload(
+                cluster, 12, workload, run_index=index, network=network
+            )
+            assert run.total_seconds == direct.total_seconds
+
+    def test_throttled_network_changes_the_makespan(self):
+        cluster = make_paper_cluster(3, HYBRID_CONFIGS[0])
+        workload = make_svm_workload()
+        from repro.cluster.network import NetworkModel
+
+        infinite = measure_workload_repeated(cluster, 12, workload, runs=2)
+        throttled = measure_workload_repeated(
+            cluster, 12, workload, runs=2,
+            network=NetworkModel.from_gbps(0.25),
+        )
+        for fast, slow in zip(infinite, throttled):
+            assert slow.total_seconds > fast.total_seconds
