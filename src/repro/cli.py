@@ -10,9 +10,12 @@ Commands
     Run the four-sample-run procedure and print the fitted constants.
 ``predict --workload NAME --slaves N --cores P --hdfs KIND --local KIND``
     Predict an application runtime on a target cluster.
-``simulate WORKLOAD [--slaves N] [--cores P] [--network-gbps G] [--json]``
+``simulate WORKLOAD [--slaves N] [--cores P] [--network-gbps G]
+[--fault-plan FILE] [--json]``
     Run the discrete-event simulator and print per-stage makespans,
-    core/device utilization, and the iostat request-size summary.
+    bottlenecks, core/device utilization, and the iostat request-size
+    summary; with ``--fault-plan`` the run is perturbed by the plan and
+    each stage also reports its makespan impact vs. the clean run.
 ``pipeline --workload NAME [...] [--json] [--cache FILE]``
     Run the full loop — simulate, profile, predict — and print exp vs
     model per stage with error rates (one experiment-pipeline run).
@@ -39,6 +42,7 @@ from repro.cloud import (
 )
 from repro.cluster.network import NetworkModel
 from repro.core import load_report, save_report
+from repro.faults import FaultPlan, load_fault_plan
 from repro.pipeline import (
     ClusterPlatform,
     Experiment,
@@ -108,6 +112,30 @@ def _network(args: argparse.Namespace) -> NetworkModel | None:
 def _resource_label(name: str) -> str:
     """Strip the node prefix: slave3-hdfs-ssd -> hdfs-ssd, w0:nic -> nic."""
     return re.sub(r"^(slave-?|w)\d+[-:]", "", name)
+
+
+def _fault_plan(args: argparse.Namespace) -> FaultPlan | None:
+    path = getattr(args, "fault_plan", None)
+    return load_fault_plan(path) if path is not None else None
+
+
+def _stage_bottleneck(stage) -> str:
+    """The busiest resource over a measured stage.
+
+    Compares core occupancy against each device/NIC direction's busy
+    fraction (averaged across nodes) — the measurement-side analogue of
+    the Eq.-1 ``max(t_scale, t_read, t_write)`` argmax.
+    """
+    best_label, best = "cores", stage.core_utilization
+    per_class: dict[tuple[str, bool], list[float]] = {}
+    for name, is_write, fraction in stage.device_utilizations:
+        per_class.setdefault((_resource_label(name), is_write), []).append(fraction)
+    for (label, is_write), fractions in sorted(per_class.items()):
+        mean = sum(fractions) / len(fractions)
+        if mean > best:
+            best_label = f"{label}:{'write' if is_write else 'read'}"
+            best = mean
+    return best_label
 
 
 def cmd_list_workloads(_args: argparse.Namespace) -> int:
@@ -180,11 +208,24 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     workload = _workload(args.workload)
     network = _network(args)
     cache = _cache(args)
+    plan = _fault_plan(args)
     experiment = Experiment(
-        workload, _cluster_platform(args), cache=cache, network=network
+        workload, _cluster_platform(args), cache=cache, network=network,
+        faults=plan,
     )
     app = experiment.measure(args.slaves, args.cores)
+    # Under a fault plan, also measure the clean baseline so the report
+    # can show the per-stage makespan impact.
+    clean = (
+        experiment.measure(args.slaves, args.cores, faults=None)
+        if plan is not None else None
+    )
     _save_cache(cache)
+
+    def impact(stage_index: int) -> float:
+        faulted = app.stages[stage_index].makespan
+        baseline = clean.stages[stage_index].makespan
+        return faulted / baseline - 1.0 if baseline > 0 else 0.0
 
     # Busy-seconds-weighted utilization per resource direction, averaged
     # across nodes (slaveN-hdfs-ssd -> hdfs-ssd; slave-N:nic -> nic) and
@@ -217,6 +258,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             "hdfs": args.hdfs,
             "local": args.local,
             "network_gbps": args.network_gbps,
+            "fault_plan": plan.name if plan is not None else None,
             "total_seconds": app.total_seconds,
             "stages": [
                 {
@@ -224,8 +266,17 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                     "num_tasks": stage.num_tasks,
                     "makespan_seconds": stage.makespan,
                     "core_utilization": stage.core_utilization,
+                    "bottleneck": _stage_bottleneck(stage),
+                    **(
+                        {
+                            "clean_makespan_seconds":
+                                clean.stages[index].makespan,
+                            "impact_fraction": impact(index),
+                        }
+                        if clean is not None else {}
+                    ),
                 }
-                for stage in app.stages
+                for index, stage in enumerate(app.stages)
             ],
             "device_utilizations": [
                 {
@@ -249,18 +300,33 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2))
         return 0
 
-    rows = [
-        [stage.name, stage.num_tasks, fmt_duration(stage.makespan),
-         f"{stage.core_utilization * 100:.0f}%"]
-        for stage in app.stages
-    ]
-    rows.append(["TOTAL", sum(s.num_tasks for s in app.stages),
-                 fmt_duration(app.total_seconds), ""])
+    rows = []
+    for index, stage in enumerate(app.stages):
+        row = [stage.name, stage.num_tasks, fmt_duration(stage.makespan),
+               f"{stage.core_utilization * 100:.0f}%",
+               _stage_bottleneck(stage)]
+        if clean is not None:
+            row += [fmt_duration(clean.stages[index].makespan),
+                    f"{impact(index) * 100:+.0f}%"]
+        rows.append(row)
+    total_row = ["TOTAL", sum(s.num_tasks for s in app.stages),
+                 fmt_duration(app.total_seconds), "", ""]
+    headers = ["stage", "tasks", "makespan", "core util", "bottleneck"]
+    if clean is not None:
+        headers += ["clean", "impact"]
+        total_impact = (
+            app.total_seconds / clean.total_seconds - 1.0
+            if clean.total_seconds > 0 else 0.0
+        )
+        total_row += [fmt_duration(clean.total_seconds),
+                      f"{total_impact * 100:+.0f}%"]
+    rows.append(total_row)
     wire = f", {args.network_gbps:g} Gb/s NIC" if network is not None else ""
+    faulty = f", faults={plan.describe()}" if plan is not None else ""
     print(render_table(
         f"simulated {workload.name} on {args.slaves} slaves x {args.cores}"
-        f" cores (HDFS={args.hdfs}, local={args.local}{wire})",
-        ["stage", "tasks", "makespan", "core util"], rows))
+        f" cores (HDFS={args.hdfs}, local={args.local}{wire}{faulty})",
+        headers, rows))
 
     if busy:
         rows = [
@@ -422,6 +488,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--network-gbps", type=float, default=None,
         help="per-node NIC speed; omit for the paper's infinite-wire default",
+    )
+    simulate.add_argument(
+        "--fault-plan", default=None, metavar="FILE",
+        help="JSON fault plan to superimpose on the run (see docs/TESTING.md);"
+             " the report then shows per-stage impact vs. the clean run",
     )
     simulate.add_argument("--json", action="store_true",
                           help="emit the results as JSON instead of tables")

@@ -90,7 +90,12 @@ class StageModel:
         self._check_operating_point(nodes, cores_per_node)
         v = self.variables
         per_task = v.t_avg + v.gc_coeff * cores_per_node
-        return v.num_tasks / (nodes * cores_per_node) * per_task + v.delta_scale
+        value = v.num_tasks / (nodes * cores_per_node) * per_task + v.delta_scale
+        # A fitted delta_scale can come out negative (two-point calibration
+        # on a noisy pair); extrapolating to large N*P must clamp at zero —
+        # a stage cannot take negative time, and a negative term would also
+        # hand the bottleneck label to the wrong Eq.-1 term.
+        return value if value > 0.0 else 0.0
 
     def t_read_limit(self, nodes: int) -> float:
         """``D_read / (N * BW_read) + fill + delta_read`` (0 when nothing is read)."""
@@ -99,7 +104,8 @@ class StageModel:
         per_node = v.read_limit_seconds_per_node()
         if per_node == 0.0:
             return 0.0
-        return per_node / nodes + v.effective_fill_seconds + v.delta_read
+        value = per_node / nodes + v.effective_fill_seconds + v.delta_read
+        return value if value > 0.0 else 0.0
 
     def t_write_limit(self, nodes: int) -> float:
         """``D_write / (N * BW_write) + fill + delta_write`` (0 when nothing is written)."""
@@ -108,7 +114,8 @@ class StageModel:
         per_node = v.write_limit_seconds_per_node()
         if per_node == 0.0:
             return 0.0
-        return per_node / nodes + v.effective_fill_seconds + v.delta_write
+        value = per_node / nodes + v.effective_fill_seconds + v.delta_write
+        return value if value > 0.0 else 0.0
 
     def predict(self, nodes: int, cores_per_node: int) -> StagePrediction:
         """Evaluate Equation 1 at ``(N, P)`` and return all three terms."""

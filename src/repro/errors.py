@@ -47,3 +47,7 @@ class OptimizationError(DoppioError):
 
 class WorkloadError(DoppioError):
     """A workload specification is malformed (e.g. negative data sizes)."""
+
+
+class FaultError(DoppioError):
+    """A fault plan is malformed or cannot be applied to a deployment."""

@@ -1,0 +1,30 @@
+"""Metamorphic invariant checkers for simulated runs.
+
+See :mod:`repro.invariants.checks` for the catalogue (conservation,
+Eq.-1 dominance, monotonicity, fault dominance, bit-identity) and
+``docs/TESTING.md`` for how the property suite sweeps them.
+"""
+
+from repro.invariants.checks import (
+    DEFAULT_REL_TOL,
+    Violation,
+    check_conservation,
+    check_dominance,
+    check_fault_dominance,
+    check_measurements_identical,
+    check_monotonic,
+    expected_stage_bytes,
+    stage_floor_seconds,
+)
+
+__all__ = [
+    "DEFAULT_REL_TOL",
+    "Violation",
+    "check_conservation",
+    "check_dominance",
+    "check_fault_dominance",
+    "check_measurements_identical",
+    "check_monotonic",
+    "expected_stage_bytes",
+    "stage_floor_seconds",
+]

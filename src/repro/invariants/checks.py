@@ -1,0 +1,257 @@
+"""Metamorphic invariants the simulator/model pipeline must satisfy.
+
+Doppio's credibility rests on the simulator and the Equation-1 model
+agreeing under *every* configuration, not just the figures' defaults.
+These checks encode properties that must hold for any workload spec, any
+``(N, P)`` shape, and any fault plan — the property suite in
+``tests/properties/`` sweeps randomized grids against them:
+
+- **conservation** — a stage moves exactly the bytes its spec declares,
+  faults or not: faults reshape the schedule, never the data.
+- **dominance** — a stage's simulated makespan is bounded below by the
+  Eq.-1 physical floor ``max(t_scale, t_read, t_write)`` evaluated at
+  each term's most optimistic value (uncapped bandwidth at the channel's
+  own request size, zero contention, zero pipeline-fill).  Faults only
+  remove capacity, so the clean floor bounds faulted runs too.
+- **monotonicity** — more nodes or faster disks never increase makespan
+  (checked along axes where it is a theorem for the engine's round-robin
+  placement, e.g. doubling N splits every per-node queue).
+- **fault dominance** — injecting faults never *speeds up* a run.
+
+Checkers return :class:`Violation` lists (empty = invariant holds) so a
+property test can assert emptiness and print every breach at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.simulator.run import ApplicationMeasurement, StageMeasurement
+from repro.workloads.base import StageSpec, WorkloadSpec
+
+#: Default relative tolerance: invariants are exact in real arithmetic,
+#: the slack only absorbs float summation-order drift.
+DEFAULT_REL_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach: which property, where, and the numbers."""
+
+    invariant: str
+    context: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.context}: {self.detail}"
+
+
+# -- conservation -----------------------------------------------------------
+
+
+def expected_stage_bytes(spec: StageSpec) -> tuple[float, float]:
+    """(read, write) bytes one stage must move, straight from its spec."""
+    read = 0.0
+    write = 0.0
+    for group in spec.groups:
+        for channel in group.channels:
+            total = group.count * channel.bytes_per_task * spec.repeat
+            if channel.is_write:
+                write += total
+            else:
+                read += total
+    return read, write
+
+
+def check_conservation(
+    workload: WorkloadSpec,
+    measurement: ApplicationMeasurement,
+    rel_tol: float = DEFAULT_REL_TOL,
+) -> list[Violation]:
+    """Measured per-stage byte totals match the spec, per direction."""
+    violations: list[Violation] = []
+    for spec, stage in zip(workload.stages, measurement.stages):
+        expected_read, expected_write = expected_stage_bytes(spec)
+        for direction, expected, actual in (
+            ("read", expected_read, stage.read_bytes),
+            ("write", expected_write, stage.write_bytes),
+        ):
+            if not _close(actual, expected, rel_tol):
+                violations.append(Violation(
+                    "conservation",
+                    f"{workload.name}/{stage.name}",
+                    f"{direction} bytes {actual!r} != spec total {expected!r}",
+                ))
+    return violations
+
+
+# -- Eq.-1 dominance --------------------------------------------------------
+
+
+def stage_floor_seconds(
+    spec: StageSpec, cluster: Cluster, cores_per_node: int
+) -> float:
+    """The Eq.-1 lower bound on one stage's makespan.
+
+    Mirrors ``max(t_scale, t_read, t_write)`` with every term at its
+    physical optimum, so no schedule — faulted or not — can beat it:
+
+    - per device direction, aggregate bytes over the cluster's summed
+      bandwidth at the most favourable active request size (bandwidth
+      tables are monotone in request size, so this bounds every in-flight
+      profile);
+    - the scale term: total task core-seconds (compute + GC + each
+      channel at ``min(T, BW)``) spread perfectly over ``N * P`` cores.
+
+    Nodes are homogeneous (the library's clusters are built that way), so
+    the first slave's devices stand in for all ``N``.
+    """
+    nodes = cluster.num_slaves
+    node = cluster.slaves[0]
+    # I/O floors, per physical device direction.
+    io_totals: dict[tuple[int, bool], float] = {}
+    io_best_bw: dict[tuple[int, bool], float] = {}
+    task_seconds = 0.0
+    for group in spec.groups:
+        per_task = group.compute_seconds + group.gc_coeff * cores_per_node
+        for channel in group.channels:
+            device = node.device_for(channel.role)
+            bandwidth = device.bandwidth(channel.request_size, channel.is_write)
+            key = (id(device), channel.is_write)
+            io_totals[key] = (
+                io_totals.get(key, 0.0)
+                + group.count * channel.bytes_per_task * spec.repeat
+            )
+            io_best_bw[key] = max(io_best_bw.get(key, 0.0), bandwidth)
+            if bandwidth > 0.0:
+                rate = bandwidth
+                if channel.per_core_throughput is not None:
+                    rate = min(rate, channel.per_core_throughput)
+                per_task += channel.bytes_per_task / rate
+        task_seconds += group.count * per_task * spec.repeat
+    floor = task_seconds / (nodes * cores_per_node)
+    for key, total in io_totals.items():
+        bandwidth = io_best_bw[key]
+        if total > 0.0 and bandwidth > 0.0:
+            floor = max(floor, total / (nodes * bandwidth))
+    return floor
+
+
+def check_dominance(
+    workload: WorkloadSpec,
+    measurement: ApplicationMeasurement,
+    cluster: Cluster,
+    cores_per_node: int,
+    rel_tol: float = DEFAULT_REL_TOL,
+) -> list[Violation]:
+    """Every measured stage makespan is at or above its Eq.-1 floor."""
+    violations: list[Violation] = []
+    for spec, stage in zip(workload.stages, measurement.stages):
+        floor = stage_floor_seconds(spec, cluster, cores_per_node)
+        if stage.makespan < floor * (1.0 - rel_tol):
+            violations.append(Violation(
+                "dominance",
+                f"{workload.name}/{stage.name}",
+                f"makespan {stage.makespan!r} beats the Eq.-1 floor {floor!r}",
+            ))
+    return violations
+
+
+# -- monotonicity -----------------------------------------------------------
+
+
+def check_monotonic(
+    points: Sequence[tuple[float, float]],
+    invariant: str,
+    context: str = "",
+    rel_tol: float = DEFAULT_REL_TOL,
+) -> list[Violation]:
+    """Makespans must not increase along an improving axis.
+
+    ``points`` are ``(axis_value, makespan)`` pairs; for every pair with
+    a larger axis value (more nodes, faster disks, lighter faults) the
+    makespan must be no larger, within tolerance.
+    """
+    violations: list[Violation] = []
+    ordered = sorted(points)
+    for (axis_a, makespan_a), (axis_b, makespan_b) in zip(ordered, ordered[1:]):
+        if axis_b > axis_a and makespan_b > makespan_a * (1.0 + rel_tol):
+            violations.append(Violation(
+                invariant,
+                context,
+                f"makespan rose from {makespan_a!r} (at {axis_a}) to"
+                f" {makespan_b!r} (at {axis_b})",
+            ))
+    return violations
+
+
+def check_fault_dominance(
+    clean: ApplicationMeasurement,
+    faulted: ApplicationMeasurement,
+    rel_tol: float = DEFAULT_REL_TOL,
+) -> list[Violation]:
+    """Faults never make a stage faster than its clean run."""
+    violations: list[Violation] = []
+    for clean_stage, faulted_stage in zip(clean.stages, faulted.stages):
+        if faulted_stage.makespan < clean_stage.makespan * (1.0 - rel_tol):
+            violations.append(Violation(
+                "fault-dominance",
+                f"{clean.name}/{clean_stage.name}",
+                f"faulted makespan {faulted_stage.makespan!r} beats the"
+                f" clean {clean_stage.makespan!r}",
+            ))
+    return violations
+
+
+def check_measurements_identical(
+    first: ApplicationMeasurement,
+    second: ApplicationMeasurement,
+    context: str = "",
+) -> list[Violation]:
+    """Bit-identity of two measurements (determinism / cache replay)."""
+    violations: list[Violation] = []
+    if len(first.stages) != len(second.stages):
+        return [Violation(
+            "bit-identity", context,
+            f"{len(first.stages)} stages vs {len(second.stages)}",
+        )]
+    for stage_a, stage_b in zip(first.stages, second.stages):
+        for label, value_a, value_b in (
+            ("makespan", stage_a.makespan, stage_b.makespan),
+            ("read_bytes", stage_a.read_bytes, stage_b.read_bytes),
+            ("write_bytes", stage_a.write_bytes, stage_b.write_bytes),
+            ("first_finish", stage_a.first_finish_seconds,
+             stage_b.first_finish_seconds),
+            ("core_utilization", stage_a.core_utilization,
+             stage_b.core_utilization),
+        ):
+            if value_a != value_b:
+                violations.append(Violation(
+                    "bit-identity",
+                    f"{context}/{stage_a.name}" if context else stage_a.name,
+                    f"{label} {value_a!r} != {value_b!r}",
+                ))
+    return violations
+
+
+def _close(actual: float, expected: float, rel_tol: float) -> bool:
+    if actual == expected:
+        return True
+    scale = max(abs(actual), abs(expected))
+    return abs(actual - expected) <= rel_tol * scale
+
+
+__all__ = [
+    "DEFAULT_REL_TOL",
+    "StageMeasurement",
+    "Violation",
+    "check_conservation",
+    "check_dominance",
+    "check_fault_dominance",
+    "check_measurements_identical",
+    "check_monotonic",
+    "expected_stage_bytes",
+    "stage_floor_seconds",
+]

@@ -47,12 +47,21 @@ def run_key(
     cores_per_node: int,
     run_index: int = 0,
     network_fp: str = "none",
+    fault_fp: str = "none",
 ) -> str:
-    """Canonical key of one simulated run."""
-    return (
+    """Canonical key of one simulated run.
+
+    ``fault_fp`` is the fingerprint of the run's fault plan; fault-free
+    runs keep the historical key shape, so existing cache files stay
+    valid and a faulted run can never collide with a clean one.
+    """
+    key = (
         f"{source_fp}/{platform_fp}/N{nodes}/P{cores_per_node}"
         f"/r{run_index}/net-{network_fp}"
     )
+    if fault_fp != "none":
+        key += f"/faults-{fault_fp}"
+    return key
 
 
 def prediction_key(

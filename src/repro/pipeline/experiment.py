@@ -24,6 +24,7 @@ from typing import Iterable, Sequence
 
 from repro.cluster.network import NetworkModel
 from repro.core.app_model import ApplicationPrediction
+from repro.faults.plan import FaultPlan
 from repro.core.predictor import Predictor
 from repro.errors import ConfigurationError
 from repro.pipeline.cache import ResultCache, prediction_key, run_key
@@ -32,6 +33,10 @@ from repro.pipeline.records import RunResult, compose_run_result
 from repro.pipeline.sources import ResolvedWorkload, WorkloadSource, as_source
 from repro.simulator.run import ApplicationMeasurement
 from repro.workloads.runner import measure_workload
+
+#: Sentinel for "use the experiment's own fault plan" on per-call
+#: ``faults=`` overrides (``None`` must mean "no faults").
+_DEFAULT_FAULTS = object()
 
 
 class Experiment:
@@ -53,6 +58,12 @@ class Experiment:
         Optional finite network; ``None`` (the default) keeps the
         infinite-network behaviour every existing benchmark was tuned
         against.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` superimposed on
+        every *measurement* (predictions stay fault-blind, so a faulted
+        ``RunResult`` reads as sim-under-faults vs. the clean Eq.-1
+        model).  The plan's fingerprint is folded into measurement cache
+        keys; individual calls may override with their own ``faults=``.
     """
 
     def __init__(
@@ -61,11 +72,13 @@ class Experiment:
         platform,
         cache: ResultCache | None = None,
         network: NetworkModel | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.source: WorkloadSource = as_source(source)
         self.platform: Platform = as_platform(platform)
         self.cache = cache if cache is not None else ResultCache()
         self.network = network
+        self.faults = faults
         self._platform_fp = self.platform.fingerprint()
         self._resolved: ResolvedWorkload | None = None
         self._predictor: Predictor | None = None
@@ -104,14 +117,17 @@ class Experiment:
         nodes: int | None = None,
         cores_per_node: int | None = None,
         run_index: int = 0,
+        faults: FaultPlan | None = _DEFAULT_FAULTS,  # type: ignore[assignment]
     ) -> ApplicationMeasurement:
         """Simulated "exp" measurement at ``(N, P)`` (cached).
 
         Needs only the spec half of the source, so spec-backed sources
         are *not* profiled — ``repro simulate`` stays as cheap as the
-        bare runner it replaced.
+        bare runner it replaced.  ``faults`` overrides the experiment's
+        fault plan for this call (``None`` forces a clean run).
         """
         nodes, cores = self._shape(nodes, cores_per_node)
+        plan = self._resolve_faults(faults)
         spec, spec_fp = self._spec_and_fingerprint()
         key = run_key(
             spec_fp,
@@ -120,6 +136,7 @@ class Experiment:
             cores,
             run_index=run_index,
             network_fp=self._network_fp(),
+            fault_fp=self._fault_fp(plan),
         )
         measurement = self.cache.get_measurement(key)
         if measurement is None:
@@ -129,6 +146,7 @@ class Experiment:
                 spec,
                 run_index=run_index,
                 network=self.network,
+                faults=plan,
             )
             self.cache.put_measurement(key, measurement)
         return measurement
@@ -166,11 +184,12 @@ class Experiment:
         nodes: int | None = None,
         cores_per_node: int | None = None,
         run_index: int = 0,
+        faults: FaultPlan | None = _DEFAULT_FAULTS,  # type: ignore[assignment]
     ) -> RunResult:
         """One full exp-vs-model point."""
         nodes, cores = self._shape(nodes, cores_per_node)
         return compose_run_result(
-            self.measure(nodes, cores, run_index=run_index),
+            self.measure(nodes, cores, run_index=run_index, faults=faults),
             self.predict(nodes, cores),
             platform_label=self.platform.label,
             run_index=run_index,
@@ -182,12 +201,13 @@ class Experiment:
         nodes: int | None = None,
         cores_per_node: int | None = None,
         runs: int = 5,
+        faults: FaultPlan | None = _DEFAULT_FAULTS,  # type: ignore[assignment]
     ) -> list[RunResult]:
         """The paper's five-run protocol at one ``(N, P)`` point."""
         if runs <= 0:
             raise ConfigurationError("need at least one run")
         return [
-            self.run(nodes, cores_per_node, run_index=index)
+            self.run(nodes, cores_per_node, run_index=index, faults=faults)
             for index in range(runs)
         ]
 
@@ -196,6 +216,7 @@ class Experiment:
         nodes: Sequence[int] | None = None,
         cores_per_node: Sequence[int] | None = None,
         run_indices: Iterable[int] = (0,),
+        faults: FaultPlan | None = _DEFAULT_FAULTS,  # type: ignore[assignment]
     ) -> list[RunResult]:
         """The ``N x P x run`` cross product, row-major in that order."""
         node_axis = self._axis(nodes, self.platform.default_nodes(), "nodes")
@@ -203,7 +224,7 @@ class Experiment:
             cores_per_node, self.platform.default_cores(), "cores_per_node"
         )
         return [
-            self.run(n, p, run_index=r)
+            self.run(n, p, run_index=r, faults=faults)
             for n in node_axis
             for p in core_axis
             for r in run_indices
@@ -224,6 +245,15 @@ class Experiment:
         if self.network is None:
             return "none"
         return repr(self.network.link_bandwidth)
+
+    def _resolve_faults(self, faults) -> FaultPlan | None:
+        return self.faults if faults is _DEFAULT_FAULTS else faults
+
+    @staticmethod
+    def _fault_fp(plan: FaultPlan | None) -> str:
+        if plan is None or not plan.faults:
+            return "none"
+        return plan.fingerprint()
 
     def _shape(
         self, nodes: int | None, cores_per_node: int | None

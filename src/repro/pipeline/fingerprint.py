@@ -4,8 +4,12 @@ A fingerprint is a short, stable hash of an object's *content* — not its
 identity — so two separately constructed but identical workload specs,
 profiling reports, or platform configurations address the same cache
 entries.  The canonical form walks dataclasses, mappings, and sequences
-recursively; floats round-trip through ``repr`` (exact in Python 3), so a
-fingerprint never collapses distinct configurations.
+recursively; non-integral floats round-trip through ``repr`` (exact in
+Python 3), so a fingerprint never collapses distinct configurations.
+Integral floats canonicalize to the equal int (``1.0`` and ``1`` compare
+equal in Python and describe the same configuration, so they must address
+the same cache entry — a spec built with ``cores=8`` and one built with
+``cores=8.0`` used to fingerprint differently, splitting the cache).
 
 Device models get special treatment: a :class:`~repro.storage.device
 .StorageDevice` is fingerprinted by its kind, capacity, and bandwidth
@@ -25,6 +29,13 @@ from typing import Any
 DIGEST_CHARS = 16
 
 
+def _canonical_key(key: Any) -> str:
+    """Textual form of a mapping key, merging integral floats with ints."""
+    if isinstance(key, float) and key.is_integer() and abs(key) <= 2.0**53:
+        key = int(key)
+    return str(key)
+
+
 def canonicalize(obj: Any) -> Any:
     """Reduce ``obj`` to a JSON-serializable canonical structure."""
     # Late imports: fingerprinting is a leaf utility and must not create
@@ -35,6 +46,11 @@ def canonicalize(obj: Any) -> Any:
     if obj is None or isinstance(obj, (bool, int, str)):
         return obj
     if isinstance(obj, float):
+        # Integral floats reduce to the equal int so 1.0 and 1 fingerprint
+        # identically; is_integer() is False for nan/inf, and 2**53 bounds
+        # the range where float->int is exact.
+        if obj.is_integer() and abs(obj) <= 2.0**53:
+            return int(obj)
         return repr(obj)
     if isinstance(obj, StorageDevice):
         return {
@@ -55,13 +71,18 @@ def canonicalize(obj: Any) -> Any:
             },
         }
     if isinstance(obj, dict):
-        return {str(key): canonicalize(value) for key, value in sorted(
-            obj.items(), key=lambda item: str(item[0])
+        return {_canonical_key(key): canonicalize(value) for key, value in sorted(
+            obj.items(), key=lambda item: _canonical_key(item[0])
         )}
     if isinstance(obj, (list, tuple)):
         return [canonicalize(item) for item in obj]
     if isinstance(obj, (set, frozenset)):
-        return sorted(canonicalize(item) for item in obj)
+        # Order by each member's serialized form: mixed-type sets (where a
+        # direct sort raises TypeError) still get one canonical order.
+        return sorted(
+            (canonicalize(item) for item in obj),
+            key=lambda form: json.dumps(form, sort_keys=True, separators=(",", ":")),
+        )
     # Last resort for exotic parameter values: a stable textual form.
     return f"{type(obj).__name__}:{obj!r}"
 

@@ -61,6 +61,11 @@ class Resource:
         self.name = name
         self._capacity = capacity
         self._streams: dict[int, SharedStream] = {}
+        #: Multiplier applied to every capacity evaluation — the hook the
+        #: fault injector uses for disk degradation and NIC jitter.  Exactly
+        #: 1.0 outside fault windows, and the multiply is skipped then, so
+        #: fault-free arithmetic is bit-identical to the historical path.
+        self.capacity_scale: float = 1.0
 
     @property
     def streams(self) -> list[SharedStream]:
@@ -74,9 +79,10 @@ class Resource:
 
     def capacity_for(self, streams: list[SharedStream]) -> float:
         """Capacity offered to a hypothetical demand profile."""
-        if callable(self._capacity):
-            return self._capacity(streams)
-        return self._capacity
+        capacity = self._capacity(streams) if callable(self._capacity) else self._capacity
+        if self.capacity_scale != 1.0:
+            capacity = capacity * self.capacity_scale
+        return capacity
 
     def bandwidth_at(self, request_size: float) -> float:
         """``BW``: capacity offered to a single stream at ``request_size``.

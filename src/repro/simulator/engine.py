@@ -46,6 +46,14 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.network import NetworkModel
 from repro.cluster.node import Node
 from repro.errors import SimulationError
+from repro.faults.injector import (
+    FaultAction,
+    FaultInjector,
+    JitterToggle,
+    NodeKill,
+    ScaleToggle,
+)
+from repro.faults.plan import FaultPlan
 from repro.resources import (
     DeviceResource,
     LinkResource,
@@ -66,6 +74,7 @@ _TIME_EPS = 1e-9
 #: Heap entry kinds.
 _EV_STREAM = 0
 _EV_COMPUTE = 1
+_EV_FAULT = 2
 
 
 @dataclass
@@ -98,6 +107,7 @@ class SimulationEngine:
         iostat: IostatCollector | None = None,
         max_events: int = 50_000_000,
         network: NetworkModel | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if cores_per_node <= 0:
             raise SimulationError("cores per node must be positive")
@@ -155,6 +165,13 @@ class SimulationEngine:
         self.device_busy_seconds: dict[tuple[str, bool], float] = {}
         #: Core-seconds occupied by tasks (held during I/O and compute).
         self.core_busy_seconds: float = 0.0
+        # -- fault injection ------------------------------------------------
+        self.faults = faults
+        self._injector: FaultInjector | None = None
+        self._slowdowns: dict[str, float] = {}
+        if faults is not None and faults.faults:
+            self._injector = FaultInjector(faults, cluster, self.registry, network)
+            self._slowdowns = self._injector.slowdowns
         # -- per-run state (reset in :meth:`run`) --------------------------
         self._heap: list[tuple] = []
         self._seq = itertools.count()
@@ -163,6 +180,8 @@ class SimulationEngine:
         self._owner: dict[int, _Running] = {}
         self._stalled: dict[int, SharedStream] = {}
         self._freed_nodes: set[str] = set()
+        self._dead_nodes: set[str] = set()
+        self._active: dict[int, _Running] = {}
 
     # -- resource resolution ----------------------------------------------
 
@@ -204,9 +223,17 @@ class SimulationEngine:
         self._owner = {}
         self._stalled = {}
         self._freed_nodes = set()
+        self._dead_nodes = set()
+        self._active = {}
         self._pending = pending
         self._remaining_tasks = len(tasks)
         self._num_running = 0
+        if self._injector is not None:
+            self._injector.reset()
+            for at_seconds, action in self._injector.initial_actions():
+                heapq.heappush(
+                    self._heap, (at_seconds, next(self._seq), _EV_FAULT, action, 0)
+                )
 
         now = 0.0
         self._launch_waiting(now)
@@ -253,7 +280,9 @@ class SimulationEngine:
         if obj.epoch != epoch:
             # Invalidated by an earlier entry of the same batch.
             return
-        if kind == _EV_COMPUTE:
+        if kind == _EV_FAULT:
+            self._process_fault(obj, now)
+        elif kind == _EV_COMPUTE:
             running = obj
             running.compute_remaining = 0.0
             self._transition(running, now)
@@ -261,6 +290,75 @@ class SimulationEngine:
             stream = obj
             stream.remaining_bytes = 0.0
             self._complete_stream(stream, now)
+
+    def _process_fault(self, action: FaultAction, now: float) -> None:
+        """Execute one timed fault action from the heap."""
+        assert self._injector is not None
+        if isinstance(action, ScaleToggle):
+            for resource in action.resources:
+                self._injector.toggle(resource, action.factor, action.on)
+                self._mark_dirty(resource)
+        elif isinstance(action, JitterToggle):
+            for resource in action.resources:
+                self._injector.toggle(resource, action.factor, action.entering)
+                self._mark_dirty(resource)
+            heapq.heappush(
+                self._heap,
+                (now + action.next_delay, next(self._seq), _EV_FAULT,
+                 action.flipped(), 0),
+            )
+        elif isinstance(action, NodeKill):
+            self._kill_node(action.node_name, now)
+        else:  # pragma: no cover - action union is closed
+            raise SimulationError(f"unknown fault action: {action!r}")
+
+    def _kill_node(self, name: str, now: float) -> None:
+        """Take a node out of service; its tasks re-execute on survivors.
+
+        In-flight tasks lose all progress (their streams are detached and
+        their compute abandoned) and are re-queued from scratch, together
+        with the dead node's pending queue, round-robin across the
+        surviving nodes — Spark's task re-execution on executor loss.
+        """
+        if name in self._dead_nodes:
+            return
+        self._dead_nodes.add(name)
+        survivors = [
+            node for node in self.cluster.slaves if node.name not in self._dead_nodes
+        ]
+        requeue: list[SimTask] = []
+        for running in [r for r in self._active.values() if r.node.name == name]:
+            running.epoch += 1  # drop any scheduled compute entry
+            for stream in running.streams:
+                stream.epoch += 1  # drop any scheduled stream entry
+                self._stalled.pop(stream.stream_id, None)
+                self._owner.pop(stream.stream_id, None)
+                for resource in list(stream.resources):
+                    resource.detach(stream, rebalance=False)
+                    self._mark_dirty(resource)
+            running.streams.clear()
+            running.open_streams = 0
+            del self._active[id(running)]
+            self._num_running -= 1
+            task = running.task
+            task.start_time = -1.0
+            task.finish_time = -1.0
+            requeue.append(task)
+        queue = self._pending[name]
+        requeue.extend(queue)
+        queue.clear()
+        if not survivors:
+            if self._remaining_tasks > 0:
+                raise SimulationError(
+                    f"node {name} died leaving no live nodes with"
+                    f" {self._remaining_tasks} task(s) unfinished"
+                )
+            return
+        requeue.sort(key=lambda t: t.task_id)
+        for index, task in enumerate(requeue):
+            self._pending[survivors[index % len(survivors)].name].append(task)
+        if requeue:
+            self._freed_nodes.update(node.name for node in survivors)
 
     def _complete_stream(self, stream: SharedStream, now: float) -> None:
         stream.epoch += 1  # invalidate any scheduled entry
@@ -279,6 +377,7 @@ class SimulationEngine:
         running.epoch += 1
         running.phase_index += 1
         if not self._enter_phase(running, now):
+            self._active.pop(id(running), None)
             self._cores[running.node.name].release()
             self._num_running -= 1
             self._remaining_tasks -= 1
@@ -286,6 +385,8 @@ class SimulationEngine:
 
     def _launch_waiting(self, now: float) -> None:
         for node in self.cluster.slaves:
+            if node.name in self._dead_nodes:
+                continue
             queue = self._pending[node.name]
             pool = self._cores[node.name]
             while queue and pool.free > 0:
@@ -298,6 +399,8 @@ class SimulationEngine:
                     pool.release()
                     self._num_running -= 1
                     self._remaining_tasks -= 1
+                else:
+                    self._active[id(running)] = running
 
     def _settle(self, now: float) -> None:
         """Launch onto freed slots and re-balance dirty resources, to fixpoint.
@@ -462,7 +565,12 @@ class SimulationEngine:
             phase = task.phases[running.phase_index]
             if isinstance(phase, ComputePhase):
                 if phase.seconds > _TIME_EPS:
-                    running.compute_remaining = phase.seconds
+                    seconds = phase.seconds
+                    if self._slowdowns:
+                        factor = self._slowdowns.get(running.node.name)
+                        if factor is not None:
+                            seconds = seconds * factor
+                    running.compute_remaining = seconds
                     self._schedule_compute(running, now)
                     return True
             elif isinstance(phase, IoPhase):
@@ -496,6 +604,12 @@ class SimulationEngine:
             remote_fraction = self.network.remote_fraction(self.cluster.num_slaves)
         disk = self._resource_for(node, phase.role, phase.is_write)
         cap = phase.per_stream_cap
+        if self._slowdowns and cap is not None:
+            # A straggler's software path (decompression, deserialization)
+            # runs slower too: its per-stream cap T shrinks with it.
+            factor = self._slowdowns.get(node.name)
+            if factor is not None:
+                cap = cap / factor
         splits: list[tuple[float, float | None, list[Resource], str]] = []
         if remote_fraction <= 0.0:
             splits.append((phase.total_bytes, cap, [disk], "local"))

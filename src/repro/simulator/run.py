@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.cluster.cluster import Cluster
 from repro.cluster.network import NetworkModel
 from repro.errors import SimulationError
+from repro.faults.plan import FaultPlan
 from repro.simulator.engine import SimulationEngine
 from repro.simulator.task import SimTask
 from repro.storage.iostat import IostatCollector, IostatSample
@@ -113,14 +114,19 @@ def run_stage(
     tasks: list[SimTask],
     name: str = "stage",
     network: NetworkModel | None = None,
+    faults: FaultPlan | None = None,
 ) -> StageMeasurement:
     """Simulate one stage and collect its measurement record.
 
     ``network`` switches the engine from the paper's infinite-wire default
     to finite NIC links (shuffle reads then contend on the network too).
+    ``faults`` superimposes a :class:`~repro.faults.plan.FaultPlan`; fault
+    times are relative to this stage's start.
     """
     iostat = IostatCollector()
-    engine = SimulationEngine(cluster, cores_per_node, iostat=iostat, network=network)
+    engine = SimulationEngine(
+        cluster, cores_per_node, iostat=iostat, network=network, faults=faults
+    )
     makespan = engine.run(tasks)
 
     durations_by_group: dict[str, list[float]] = defaultdict(list)
@@ -169,10 +175,14 @@ def run_application(
     staged_tasks: list[tuple[str, list[SimTask]]],
     name: str = "app",
     network: NetworkModel | None = None,
+    faults: FaultPlan | None = None,
 ) -> ApplicationMeasurement:
     """Simulate stages sequentially (Spark stages synchronize at shuffles)."""
     measurements = [
-        run_stage(cluster, cores_per_node, tasks, name=stage_name, network=network)
+        run_stage(
+            cluster, cores_per_node, tasks,
+            name=stage_name, network=network, faults=faults,
+        )
         for stage_name, tasks in staged_tasks
     ]
     return ApplicationMeasurement(name=name, stages=tuple(measurements))

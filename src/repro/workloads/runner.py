@@ -13,6 +13,7 @@ import dataclasses
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.network import NetworkModel
+from repro.faults.plan import FaultPlan
 from repro.simulator.run import (
     ApplicationMeasurement,
     StageMeasurement,
@@ -27,6 +28,7 @@ def measure_stage(
     spec: StageSpec,
     run_index: int = 0,
     network: NetworkModel | None = None,
+    faults: FaultPlan | None = None,
 ) -> StageMeasurement:
     """Simulate one stage spec (all repeats) and return its measurement.
 
@@ -42,6 +44,7 @@ def measure_stage(
         ),
         name=spec.name,
         network=network,
+        faults=faults,
     )
     if spec.repeat == 1:
         return single
@@ -63,11 +66,13 @@ def measure_workload(
     workload: WorkloadSpec,
     run_index: int = 0,
     network: NetworkModel | None = None,
+    faults: FaultPlan | None = None,
 ) -> ApplicationMeasurement:
     """Simulate every stage of a workload back to back."""
     measurements = tuple(
         measure_stage(
-            cluster, cores_per_node, spec, run_index=run_index, network=network
+            cluster, cores_per_node, spec,
+            run_index=run_index, network=network, faults=faults,
         )
         for spec in workload.stages
     )
@@ -80,6 +85,7 @@ def measure_workload_repeated(
     workload: WorkloadSpec,
     runs: int = 5,
     network: NetworkModel | None = None,
+    faults: FaultPlan | None = None,
 ) -> list[ApplicationMeasurement]:
     """The paper's protocol: average of five runs with error bars.
 
@@ -90,7 +96,8 @@ def measure_workload_repeated(
         raise ValueError("need at least one run")
     return [
         measure_workload(
-            cluster, cores_per_node, workload, run_index=index, network=network
+            cluster, cores_per_node, workload,
+            run_index=index, network=network, faults=faults,
         )
         for index in range(runs)
     ]

@@ -1,0 +1,131 @@
+"""Schema regression tests for ``repro simulate --json``.
+
+Downstream tooling parses this payload, so the key sets, units, and
+label vocabularies are contracts: the tests assert them *exactly* to
+catch accidental renames or driftingly typed fields.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.base import CHANNEL_KINDS
+
+EXAMPLE_PLAN = (
+    Path(__file__).parents[2] / "examples" / "fault_plans" / "straggler_throttle.json"
+)
+
+TOP_LEVEL_KEYS = {
+    "workload",
+    "slaves",
+    "cores_per_node",
+    "hdfs",
+    "local",
+    "network_gbps",
+    "fault_plan",
+    "total_seconds",
+    "stages",
+    "device_utilizations",
+    "iostat",
+}
+STAGE_KEYS = {
+    "name",
+    "num_tasks",
+    "makespan_seconds",
+    "core_utilization",
+    "bottleneck",
+}
+FAULTED_STAGE_KEYS = STAGE_KEYS | {"clean_makespan_seconds", "impact_fraction"}
+
+#: Every label a stage bottleneck may carry: the core pool, or one
+#: device role with a direction.
+BOTTLENECK_LABELS = {"cores"} | {
+    f"{role}:{direction}"
+    for role in set(CHANNEL_KINDS.values())
+    for direction in ("read", "write")
+}
+
+
+def _simulate_json(*extra):
+    out = io.StringIO()
+    with redirect_stdout(out):
+        code = main(["simulate", "terasort", "--slaves", "2", "--cores", "4",
+                     "--json", *extra])
+    assert code == 0
+    return json.loads(out.getvalue())
+
+
+@pytest.fixture(scope="module")
+def clean_payload():
+    return _simulate_json()
+
+
+@pytest.fixture(scope="module")
+def faulted_payload():
+    return _simulate_json("--fault-plan", str(EXAMPLE_PLAN))
+
+
+class TestCleanSchema:
+    def test_exact_key_sets(self, clean_payload):
+        payload = clean_payload
+        assert set(payload) == TOP_LEVEL_KEYS
+        assert payload["stages"]
+        for stage in payload["stages"]:
+            assert set(stage) == STAGE_KEYS
+
+    def test_units_and_ranges(self, clean_payload):
+        payload = clean_payload
+        assert payload["fault_plan"] is None
+        assert payload["total_seconds"] > 0.0
+        assert payload["total_seconds"] >= max(
+            stage["makespan_seconds"] for stage in payload["stages"]
+        )
+        for stage in payload["stages"]:
+            assert stage["num_tasks"] > 0
+            assert 0.0 <= stage["core_utilization"] <= 1.0
+
+    def test_bottleneck_labels_come_from_the_fixed_vocabulary(self, clean_payload):
+        for stage in clean_payload["stages"]:
+            assert stage["bottleneck"] in BOTTLENECK_LABELS
+
+    def test_device_tables_are_labelled_per_direction(self, clean_payload):
+        payload = clean_payload
+        for entry in payload["device_utilizations"]:
+            assert set(entry) == {"resource", "direction", "busy_fraction"}
+            assert entry["direction"] in ("read", "write")
+            assert 0.0 <= entry["busy_fraction"] <= 1.0
+        for entry in payload["iostat"]:
+            assert set(entry) == {
+                "device", "direction", "requests", "avg_request_bytes",
+            }
+            assert entry["requests"] > 0
+            assert entry["avg_request_bytes"] > 0.0
+
+
+class TestFaultedSchema:
+    def test_documented_example_plan_runs_end_to_end(self, faulted_payload):
+        # The plan shipped under examples/ is the one docs/TESTING.md
+        # walks through — it must keep loading and showing impact.
+        payload = faulted_payload
+        assert payload["fault_plan"] == "straggler-plus-disk-throttle"
+        for stage in payload["stages"]:
+            assert set(stage) == FAULTED_STAGE_KEYS
+            assert stage["makespan_seconds"] >= stage["clean_makespan_seconds"]
+            assert stage["impact_fraction"] >= 0.0
+        # A 2.5x straggler on one of two nodes must visibly hurt.
+        assert any(stage["impact_fraction"] > 0.1 for stage in payload["stages"])
+
+    def test_faulted_totals_dominate_the_clean_run(
+        self, clean_payload, faulted_payload
+    ):
+        clean, faulted = clean_payload, faulted_payload
+        assert faulted["total_seconds"] >= clean["total_seconds"]
+        assert sum(s["clean_makespan_seconds"] for s in faulted["stages"]) == (
+            clean["total_seconds"]
+        )

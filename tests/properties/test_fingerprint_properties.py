@@ -1,0 +1,93 @@
+"""Property tests for cache-key fingerprints.
+
+The result cache's correctness hangs on two facts about
+:func:`repro.pipeline.fingerprint.fingerprint`: logically equal inputs
+share a key (no silent cache splits), and unequal inputs essentially
+never collide.  These sweeps hammer the canonicalization over random
+JSON-ish structures.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.fingerprint import fingerprint
+
+from tests.properties.strategies import PROPERTY_SETTINGS
+
+_SETTINGS = dict(PROPERTY_SETTINGS, max_examples=60)
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(10**9), max_value=10**9)
+    | st.floats(allow_nan=False, allow_infinity=False, width=64)
+    | st.text(max_size=8),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=6), children, max_size=4),
+    max_leaves=12,
+)
+
+
+def _floatify(value):
+    """Replace every exactly-representable int with the equal float."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int) and abs(value) <= 2**53:
+        return float(value)
+    if isinstance(value, list):
+        return [_floatify(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _floatify(item) for key, item in value.items()}
+    return value
+
+
+@given(
+    items=st.lists(
+        st.tuples(st.text(max_size=6), json_values),
+        max_size=5,
+        unique_by=lambda pair: pair[0],
+    )
+)
+@settings(**_SETTINGS)
+def test_dict_key_order_never_changes_the_fingerprint(items):
+    assert fingerprint(dict(items)) == fingerprint(dict(reversed(items)))
+
+
+@given(value=json_values)
+@settings(**_SETTINGS)
+def test_copies_share_a_fingerprint(value):
+    assert fingerprint(copy.deepcopy(value)) == fingerprint(value)
+
+
+@given(value=json_values)
+@settings(**_SETTINGS)
+def test_integral_floats_fingerprint_like_ints_everywhere(value):
+    # Regression sweep for the 1.0-vs-1 cache split: the float form of
+    # any structure must address the same cache entry as the int form.
+    assert fingerprint(_floatify(value)) == fingerprint(value)
+
+
+@given(number=st.integers(min_value=-(2**53), max_value=2**53))
+@settings(**_SETTINGS)
+def test_every_representable_int_matches_its_float(number):
+    assert fingerprint(float(number)) == fingerprint(number)
+
+
+@given(
+    members=st.sets(
+        st.one_of(
+            st.integers(min_value=-100, max_value=100),
+            st.floats(allow_nan=False, allow_infinity=False, width=64),
+            st.text(max_size=6),
+        ),
+        max_size=6,
+    )
+)
+@settings(**_SETTINGS)
+def test_mixed_type_sets_fingerprint_order_free(members):
+    ordered = sorted(members, key=repr)
+    assert fingerprint(set(ordered)) == fingerprint(set(reversed(ordered)))

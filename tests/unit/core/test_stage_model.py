@@ -49,6 +49,27 @@ class TestTerms:
         model = StageModel(make_variables(channels=(), delta_read=0.0))
         assert model.t_read_limit(10) == 0.0
 
+    def test_negative_fitted_deltas_clamp_to_zero(self):
+        # Regression: two-point calibration can fit delta_scale < 0; at
+        # large N*P the extrapolated term went negative — a negative
+        # predicted time that also stole the bottleneck label.
+        model = StageModel(
+            make_variables(num_tasks=4, t_avg=0.01, delta_scale=-5.0,
+                           channels=(), delta_read=0.0)
+        )
+        assert model.t_scale(10, 24) == 0.0
+        prediction = model.predict(10, 24)
+        assert prediction.t_stage == 0.0
+        assert prediction.bottleneck == "scale"
+
+    def test_negative_delta_read_clamps_to_zero(self):
+        model = StageModel(make_variables(delta_read=-1e9))
+        assert model.t_read_limit(10) == 0.0
+
+    def test_positive_terms_are_untouched_by_the_clamp(self):
+        model = StageModel(make_variables())
+        assert model.t_scale(10, 12) == 12000 / 120 * 9 + 5
+
     def test_invalid_operating_point(self):
         model = StageModel(make_variables())
         with pytest.raises(ModelError):

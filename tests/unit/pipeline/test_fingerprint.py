@@ -20,7 +20,22 @@ class TestStability:
     def test_floats_are_exact(self):
         # repr round-trips floats exactly; 0.1 + 0.2 is not 0.3.
         assert fingerprint(0.1 + 0.2) != fingerprint(0.3)
-        assert fingerprint(1.0) != fingerprint(1)
+
+    def test_integral_floats_match_ints(self):
+        # Regression: 1.0 == 1 describes the same configuration, but the
+        # old float branch canonicalized 1.0 to "1.0", splitting the cache
+        # between specs built with int and float literals.
+        assert fingerprint(1.0) == fingerprint(1)
+        assert fingerprint({"cores": 8.0}) == fingerprint({"cores": 8})
+        assert fingerprint({1.0: "a"}) == fingerprint({1: "a"})
+        # Non-integral floats and mere near-misses still stay distinct.
+        assert fingerprint(1.5) != fingerprint(1)
+        assert fingerprint(True) != fingerprint(1.0)
+
+    def test_mixed_type_sets_are_ordered(self):
+        # Regression: sorting canonical forms directly raises TypeError on
+        # mixed-type members; ordering by serialized form is total.
+        assert fingerprint({"a", 1, 2.5}) == fingerprint({2.5, "a", 1})
 
 
 class TestDevices:
