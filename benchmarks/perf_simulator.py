@@ -11,6 +11,9 @@ the performance trajectory is tracked across PRs:
   cold and then warm through a shared pipeline result cache.
 - ``optimizer_search`` — the Fig. 13/15 grid search (8/16/32 vCPU, both
   disk kinds) cold and warm through the same cache.
+- ``resilience`` — the MD stage under a 2.5x straggler, unmitigated vs
+  speculation + blacklisting, plus the armed-but-idle overhead on a
+  clean run (guarded below 5%).
 
 Run with::
 
@@ -38,9 +41,18 @@ from repro.analysis.sweep import sweep_cores
 from repro.cloud.optimizer import CostOptimizer
 from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
 from repro.core import Predictor, Profiler
+from repro.faults import FaultPlan, StragglerFault
 from repro.pipeline import ResultCache
+from repro.resilience import (
+    BlacklistPolicy,
+    ResiliencePolicy,
+    SpeculationPolicy,
+    merge_summaries,
+)
 from repro.simulator.engine import SimulationEngine
 from repro.workloads import make_gatk4_workload
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.runner import measure_workload
 
 NUM_SLAVES = 10
 CORES_PER_NODE = 24
@@ -66,6 +78,12 @@ WALL_TOLERANCE = 4.0
 
 #: Minimum cold/warm speedup the result cache must deliver.
 MIN_CACHE_SPEEDUP = 2.0
+
+#: The resilience scenario's straggler severity (matches the shipped
+#: example plan family) and the ceiling on what an armed-but-idle
+#: speculation policy may cost a clean run.
+STRAGGLER_SLOWDOWN = 2.5
+MAX_CLEAN_SPECULATION_OVERHEAD = 0.05
 
 
 def run_once() -> tuple[float, float]:
@@ -168,10 +186,76 @@ def bench_optimizer_search() -> dict:
     }
 
 
+def bench_resilience() -> dict:
+    """Speculation + blacklisting vs a 2.5x straggler on the MD stage.
+
+    Four deterministic measurements of the same single-stage workload:
+    clean, clean with speculation armed (the overhead probe), faulted
+    without mitigations, and faulted with speculation + blacklisting.
+    The simulated makespans are exact-match checked against the
+    baseline; the mitigation win and the clean-overhead ceiling are
+    asserted fresh on every run.
+    """
+    stage = make_gatk4_workload().stages[0]
+    workload = WorkloadSpec(name="md-stage", stages=(stage,))
+    plan = FaultPlan(
+        name="bench-straggler",
+        faults=(StragglerFault(node=1, slowdown=STRAGGLER_SLOWDOWN),),
+    )
+    policy = ResiliencePolicy(
+        speculation=SpeculationPolicy(),
+        blacklist=BlacklistPolicy(max_node_strikes=2),
+    )
+    speculation_only = ResiliencePolicy(speculation=SpeculationPolicy())
+
+    def measure(faults=None, resilience=None):
+        cluster = make_paper_cluster(NUM_SLAVES, HYBRID_CONFIGS[0])
+        start = time.perf_counter()
+        result = measure_workload(
+            cluster, CORES_PER_NODE, workload,
+            faults=faults, resilience=resilience,
+        )
+        return time.perf_counter() - start, result
+
+    wall = 0.0
+    elapsed, clean = measure()
+    wall += elapsed
+    elapsed, clean_armed = measure(resilience=speculation_only)
+    wall += elapsed
+    elapsed, unmitigated = measure(faults=plan)
+    wall += elapsed
+    elapsed, mitigated = measure(faults=plan, resilience=policy)
+    wall += elapsed
+
+    overhead = (
+        clean_armed.total_seconds / clean.total_seconds - 1.0
+    )
+    summary = merge_summaries(s.resilience for s in mitigated.stages)
+    return {
+        "benchmark": "resilience-straggler",
+        "num_slaves": NUM_SLAVES,
+        "cores_per_node": CORES_PER_NODE,
+        "straggler_slowdown": STRAGGLER_SLOWDOWN,
+        "clean_seconds": clean.total_seconds,
+        "clean_speculation_seconds": clean_armed.total_seconds,
+        "clean_speculation_overhead_fraction": round(overhead, 6),
+        "unmitigated_seconds": unmitigated.total_seconds,
+        "mitigated_seconds": mitigated.total_seconds,
+        "recovered_fraction": round(
+            1.0 - mitigated.total_seconds / unmitigated.total_seconds, 4
+        ),
+        "speculative_launched": summary.speculative_launched,
+        "speculative_wins": summary.speculative_wins,
+        "blacklisted": list(summary.blacklisted),
+        "wall_seconds": round(wall, 4),
+    }
+
+
 def collect(rounds: int) -> dict:
     result = bench_md_stage(rounds)
     result["core_sweep"] = bench_core_sweep()
     result["optimizer_search"] = bench_optimizer_search()
+    result["resilience"] = bench_resilience()
     return result
 
 
@@ -234,6 +318,34 @@ def check(fresh: dict, baseline: dict) -> list[str]:
                 f"{section}: cache speedup {fresh_s['cache_speedup']}x is"
                 f" below the required {MIN_CACHE_SPEEDUP}x"
             )
+
+    resil = fresh["resilience"]
+    # Fresh guards — these hold on every run, baseline or not.
+    if resil["mitigated_seconds"] >= resil["unmitigated_seconds"]:
+        failures.append(
+            "resilience: mitigation no longer beats the straggler:"
+            f" mitigated {resil['mitigated_seconds']}s vs unmitigated"
+            f" {resil['unmitigated_seconds']}s"
+        )
+    if resil[
+        "clean_speculation_overhead_fraction"
+    ] > MAX_CLEAN_SPECULATION_OVERHEAD:
+        failures.append(
+            "resilience: armed speculation costs a clean run"
+            f" {resil['clean_speculation_overhead_fraction'] * 100:.2f}%,"
+            f" above the {MAX_CLEAN_SPECULATION_OVERHEAD * 100:.0f}% ceiling"
+        )
+    base_r = baseline.get("resilience")
+    if base_r is not None:
+        for field in (
+            "clean_seconds", "clean_speculation_seconds",
+            "unmitigated_seconds", "mitigated_seconds",
+        ):
+            if not close(resil[field], base_r[field]):
+                failures.append(
+                    f"resilience: {field} changed:"
+                    f" {resil[field]!r} vs baseline {base_r[field]!r}"
+                )
     return failures
 
 

@@ -11,11 +11,20 @@ Commands
 ``predict --workload NAME --slaves N --cores P --hdfs KIND --local KIND``
     Predict an application runtime on a target cluster.
 ``simulate WORKLOAD [--slaves N] [--cores P] [--network-gbps G]
-[--fault-plan FILE] [--json]``
+[--fault-plan FILE] [--speculation] [--max-task-attempts K]
+[--blacklist] [--json]``
     Run the discrete-event simulator and print per-stage makespans,
     bottlenecks, core/device utilization, and the iostat request-size
     summary; with ``--fault-plan`` the run is perturbed by the plan and
-    each stage also reports its makespan impact vs. the clean run.
+    each stage also reports its makespan impact vs. the clean run.  The
+    resilience flags arm the simulated Spark recovery mechanisms
+    (speculative execution, retry with backoff, executor blacklisting);
+    combined with a fault plan the report compares the mitigated run
+    against both the unmitigated and the clean baselines.
+
+Exit codes: 0 on success, 2 for configuration errors, 3 for simulation
+or model errors (including resilience-budget exhaustion), 4 for
+malformed fault plans; 1 stays reserved for unexpected crashes.
 ``pipeline --workload NAME [...] [--json] [--cache FILE]``
     Run the full loop — simulate, profile, predict — and print exp vs
     model per stage with error rates (one experiment-pipeline run).
@@ -32,6 +41,7 @@ from __future__ import annotations
 import argparse
 import json
 import re
+import sys
 from collections.abc import Callable, Sequence
 
 from repro.analysis.report import render_table
@@ -42,6 +52,7 @@ from repro.cloud import (
 )
 from repro.cluster.network import NetworkModel
 from repro.core import load_report, save_report
+from repro.errors import ConfigurationError, DoppioError, exit_code_for
 from repro.faults import FaultPlan, load_fault_plan
 from repro.pipeline import (
     ClusterPlatform,
@@ -49,6 +60,13 @@ from repro.pipeline import (
     ReportSource,
     ResultCache,
     SpecSource,
+)
+from repro.resilience import (
+    BlacklistPolicy,
+    ResiliencePolicy,
+    RetryPolicy,
+    SpeculationPolicy,
+    merge_summaries,
 )
 from repro.storage.device import make_hdd, make_ssd
 from repro.storage.fio import run_fio_sweep
@@ -84,7 +102,7 @@ def _workload(name: str) -> WorkloadSpec:
     try:
         return WORKLOADS[name]()
     except KeyError:
-        raise SystemExit(
+        raise ConfigurationError(
             f"unknown workload {name!r}; available: {', '.join(sorted(WORKLOADS))}"
         ) from None
 
@@ -117,6 +135,27 @@ def _resource_label(name: str) -> str:
 def _fault_plan(args: argparse.Namespace) -> FaultPlan | None:
     path = getattr(args, "fault_plan", None)
     return load_fault_plan(path) if path is not None else None
+
+
+def _resilience(args: argparse.Namespace) -> ResiliencePolicy | None:
+    """A mitigation policy composed from the resilience flags (or None).
+
+    ``None`` — no flag given — keeps the historical unmitigated engine,
+    which is bit-identical to the pre-resilience simulator.
+    """
+    speculation = getattr(args, "speculation", False)
+    attempts = getattr(args, "max_task_attempts", None)
+    blacklist = getattr(args, "blacklist", False)
+    if not speculation and attempts is None and not blacklist:
+        return None
+    retry = RetryPolicy() if attempts is None else RetryPolicy(
+        max_task_attempts=attempts
+    )
+    return ResiliencePolicy(
+        speculation=SpeculationPolicy() if speculation else None,
+        retry=retry,
+        blacklist=BlacklistPolicy() if blacklist else None,
+    )
 
 
 def _stage_bottleneck(stage) -> str:
@@ -209,18 +248,29 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     network = _network(args)
     cache = _cache(args)
     plan = _fault_plan(args)
+    policy = _resilience(args)
     experiment = Experiment(
         workload, _cluster_platform(args), cache=cache, network=network,
-        faults=plan,
+        faults=plan, resilience=policy,
     )
     app = experiment.measure(args.slaves, args.cores)
     # Under a fault plan, also measure the clean baseline so the report
     # can show the per-stage makespan impact.
     clean = (
-        experiment.measure(args.slaves, args.cores, faults=None)
+        experiment.measure(args.slaves, args.cores, faults=None, resilience=None)
         if plan is not None else None
     )
+    # With mitigations armed on a faulted run, the unmitigated faulted
+    # run is the second baseline: it shows what the policy recovered.
+    unmitigated = (
+        experiment.measure(args.slaves, args.cores, resilience=None)
+        if plan is not None and policy is not None else None
+    )
     _save_cache(cache)
+    summary = (
+        merge_summaries(stage.resilience for stage in app.stages)
+        if policy is not None else None
+    )
 
     def impact(stage_index: int) -> float:
         faulted = app.stages[stage_index].makespan
@@ -259,7 +309,18 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             "local": args.local,
             "network_gbps": args.network_gbps,
             "fault_plan": plan.name if plan is not None else None,
+            "resilience_policy": (
+                policy.to_dict() if policy is not None else None
+            ),
             "total_seconds": app.total_seconds,
+            **(
+                {"unmitigated_total_seconds": unmitigated.total_seconds}
+                if unmitigated is not None else {}
+            ),
+            **(
+                {"resilience_summary": summary.to_dict()}
+                if summary is not None else {}
+            ),
             "stages": [
                 {
                     "name": stage.name,
@@ -274,6 +335,22 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                             "impact_fraction": impact(index),
                         }
                         if clean is not None else {}
+                    ),
+                    **(
+                        {
+                            "unmitigated_makespan_seconds":
+                                unmitigated.stages[index].makespan,
+                        }
+                        if unmitigated is not None else {}
+                    ),
+                    **(
+                        {
+                            "resilience": (
+                                stage.resilience.to_dict()
+                                if stage.resilience is not None else None
+                            ),
+                        }
+                        if policy is not None else {}
                     ),
                 }
                 for index, stage in enumerate(app.stages)
@@ -308,6 +385,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         if clean is not None:
             row += [fmt_duration(clean.stages[index].makespan),
                     f"{impact(index) * 100:+.0f}%"]
+        if policy is not None:
+            row.append(
+                stage.resilience.describe()
+                if stage.resilience is not None else ""
+            )
         rows.append(row)
     total_row = ["TOTAL", sum(s.num_tasks for s in app.stages),
                  fmt_duration(app.total_seconds), "", ""]
@@ -320,13 +402,39 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         )
         total_row += [fmt_duration(clean.total_seconds),
                       f"{total_impact * 100:+.0f}%"]
+    if policy is not None:
+        headers.append("resilience")
+        total_row.append(summary.describe() if summary.mitigated else "")
     rows.append(total_row)
     wire = f", {args.network_gbps:g} Gb/s NIC" if network is not None else ""
     faulty = f", faults={plan.describe()}" if plan is not None else ""
+    mitigations = (
+        f", resilience={policy.describe()}" if policy is not None else ""
+    )
     print(render_table(
         f"simulated {workload.name} on {args.slaves} slaves x {args.cores}"
-        f" cores (HDFS={args.hdfs}, local={args.local}{wire}{faulty})",
+        f" cores (HDFS={args.hdfs}, local={args.local}{wire}{faulty}"
+        f"{mitigations})",
         headers, rows))
+
+    if unmitigated is not None and clean is not None:
+        # The recovery headline: how much of the fault-induced slowdown
+        # did the mitigations claw back?
+        recovered = (
+            unmitigated.total_seconds / app.total_seconds - 1.0
+            if app.total_seconds > 0 else 0.0
+        )
+        overhead = (
+            app.total_seconds / clean.total_seconds - 1.0
+            if clean.total_seconds > 0 else 0.0
+        )
+        print(
+            f"recovery: mitigated {fmt_duration(app.total_seconds)}"
+            f" vs unmitigated {fmt_duration(unmitigated.total_seconds)}"
+            f" ({recovered * 100:+.0f}% speedup)"
+            f" vs clean {fmt_duration(clean.total_seconds)}"
+            f" ({overhead * 100:+.0f}% residual impact)"
+        )
 
     if busy:
         rows = [
@@ -358,8 +466,10 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         source = ReportSource(load_report(args.report))
     else:
         source = SpecSource(workload, profile_nodes=args.profile_nodes)
+    policy = _resilience(args)
     experiment = Experiment(
-        source, _cluster_platform(args), cache=cache, network=_network(args)
+        source, _cluster_platform(args), cache=cache, network=_network(args),
+        faults=_fault_plan(args), resilience=policy,
     )
     results = experiment.run_repeated(args.slaves, args.cores, runs=args.runs)
     _save_cache(cache)
@@ -368,6 +478,9 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     if args.json:
         payload = {
             "experiment": experiment.describe(),
+            "resilience_policy": (
+                policy.to_dict() if policy is not None else None
+            ),
             "cache": cache.stats_summary(),
             "runs": [result.to_dict() for result in results],
         }
@@ -395,9 +508,12 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         f", {args.network_gbps:g} Gb/s NIC"
         if args.network_gbps is not None else ""
     )
+    mitigations = (
+        f", resilience={policy.describe()}" if policy is not None else ""
+    )
     print(render_table(
         f"{experiment.describe()} at N={args.slaves}, P={args.cores}{wire}"
-        f" ({args.runs} runs)",
+        f"{mitigations} ({args.runs} runs)",
         ["stage", "tasks", "exp", "model", "error", "bottleneck"], rows))
     print(f"cache: {cache.stats_summary()}")
     return 0
@@ -440,6 +556,25 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     print(f"savings: {result.savings_versus(r1) * 100:.0f}% vs R1,"
           f" {result.savings_versus(r2) * 100:.0f}% vs R2")
     return 0
+
+
+def _add_resilience_flags(sub: argparse.ArgumentParser) -> None:
+    """The mitigation flags shared by ``simulate`` and ``pipeline``."""
+    sub.add_argument(
+        "--speculation", action="store_true",
+        help="speculatively re-launch straggler tasks on other nodes"
+             " (spark.speculation)",
+    )
+    sub.add_argument(
+        "--max-task-attempts", type=int, default=None, metavar="K",
+        help="retry failed tasks with backoff, up to K attempts per stage"
+             " re-attempt (spark.task.maxFailures)",
+    )
+    sub.add_argument(
+        "--blacklist", action="store_true",
+        help="exclude repeatedly failing or straggling executors from"
+             " scheduling (spark.blacklist)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -494,6 +629,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON fault plan to superimpose on the run (see docs/TESTING.md);"
              " the report then shows per-stage impact vs. the clean run",
     )
+    _add_resilience_flags(simulate)
     simulate.add_argument("--json", action="store_true",
                           help="emit the results as JSON instead of tables")
     simulate.add_argument("--cache", default=None,
@@ -515,6 +651,11 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument("--report", default=None,
                           help="drive from a saved profiling report instead"
                                " of profiling the spec")
+    pipeline.add_argument(
+        "--fault-plan", default=None, metavar="FILE",
+        help="JSON fault plan superimposed on every measurement",
+    )
+    _add_resilience_flags(pipeline)
     pipeline.add_argument("--json", action="store_true",
                           help="emit RunResult records as JSON")
     pipeline.add_argument("--cache", default=None,
@@ -542,6 +683,17 @@ _COMMANDS = {
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library errors become one structured line on stderr and a stable
+    exit code (:func:`repro.errors.exit_code_for`): 2 for configuration
+    mistakes, 4 for unusable fault plans, 3 for everything the simulator
+    or model could not survive.  Exit 1 stays reserved for genuine
+    crashes, which keep their tracebacks.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except DoppioError as error:
+        print(f"error[{type(error).__name__}]: {error}", file=sys.stderr)
+        return exit_code_for(error)

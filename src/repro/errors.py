@@ -29,6 +29,35 @@ class SimulationError(DoppioError):
     """The discrete-event simulator reached an inconsistent state."""
 
 
+class StageFailedError(SimulationError):
+    """A simulated stage exhausted its re-attempt budget and aborted.
+
+    Raised by the engine when a task fails ``max_task_attempts`` times
+    and the stage has already used ``max_stage_attempts`` re-attempts —
+    the structured analogue of Spark's job abort on repeated stage
+    failure.  Carries the failing stage/task and attempt counts so
+    callers can report the abort without parsing the message.
+    """
+
+    def __init__(
+        self,
+        stage: str,
+        task_id: int,
+        attempts: int,
+        stage_attempts: int,
+        reason: str,
+    ) -> None:
+        self.stage = stage
+        self.task_id = task_id
+        self.attempts = attempts
+        self.stage_attempts = stage_attempts
+        self.reason = reason
+        super().__init__(
+            f"stage {stage!r} aborted after {stage_attempts} attempt(s):"
+            f" task {task_id} failed {attempts} time(s) ({reason})"
+        )
+
+
 class SchedulerError(DoppioError):
     """The DAG or task scheduler could not plan the requested computation."""
 
@@ -51,3 +80,28 @@ class WorkloadError(DoppioError):
 
 class FaultError(DoppioError):
     """A fault plan is malformed or cannot be applied to a deployment."""
+
+
+# -- CLI exit-code mapping ----------------------------------------------------
+
+#: Process exit codes the CLI maps :class:`DoppioError` subclasses onto.
+#: 1 stays reserved for unexpected (non-Doppio) crashes, so scripts can
+#: distinguish "you configured it wrong" (2) from "the simulation or
+#: model broke" (3) from "the fault plan is unusable" (4).
+EXIT_OK = 0
+EXIT_CONFIG_ERROR = 2
+EXIT_SIMULATION_ERROR = 3
+EXIT_FAULT_ERROR = 4
+
+
+def exit_code_for(error: DoppioError) -> int:
+    """The CLI exit code one library error maps to.
+
+    Ordering matters only in that more specific classes are checked
+    before their bases (``FaultError`` before the generic fallthrough).
+    """
+    if isinstance(error, (ConfigurationError, WorkloadError)):
+        return EXIT_CONFIG_ERROR
+    if isinstance(error, FaultError):
+        return EXIT_FAULT_ERROR
+    return EXIT_SIMULATION_ERROR

@@ -44,6 +44,11 @@ class DiskFault:
     (``"hdfs"``/``"local"``) and ``direction`` (``"read"``/``"write"``)
     narrow the blast radius; ``None`` means every node / both roles /
     both directions.
+
+    ``factor=0.0`` models a dead disk: streams on it make no progress
+    for the window.  Without a resilience policy the engine treats a
+    task stuck at zero rate across consecutive settles as a hard error;
+    with one, the stall becomes a task failure that retries elsewhere.
     """
 
     factor: float
@@ -54,7 +59,7 @@ class DiskFault:
     direction: str | None = None
 
     def __post_init__(self) -> None:
-        _check(0.0 < self.factor <= 1.0, f"disk fault factor must be in (0, 1]: {self.factor}")
+        _check(0.0 <= self.factor <= 1.0, f"disk fault factor must be in [0, 1]: {self.factor}")
         _check(self.start >= 0.0, f"disk fault start must be >= 0: {self.start}")
         _check(
             self.end is None or self.end > self.start,

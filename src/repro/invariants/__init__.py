@@ -7,11 +7,13 @@ Eq.-1 dominance, monotonicity, fault dominance, bit-identity) and
 
 from repro.invariants.checks import (
     DEFAULT_REL_TOL,
+    MITIGATION_REL_TOL,
     Violation,
     check_conservation,
     check_dominance,
     check_fault_dominance,
     check_measurements_identical,
+    check_mitigation_dominance,
     check_monotonic,
     expected_stage_bytes,
     stage_floor_seconds,
@@ -19,11 +21,13 @@ from repro.invariants.checks import (
 
 __all__ = [
     "DEFAULT_REL_TOL",
+    "MITIGATION_REL_TOL",
     "Violation",
     "check_conservation",
     "check_dominance",
     "check_fault_dominance",
     "check_measurements_identical",
+    "check_mitigation_dominance",
     "check_monotonic",
     "expected_stage_bytes",
     "stage_floor_seconds",

@@ -17,6 +17,11 @@ These checks encode properties that must hold for any workload spec, any
   (checked along axes where it is a theorem for the engine's round-robin
   placement, e.g. doubling N splits every per-node queue).
 - **fault dominance** — injecting faults never *speeds up* a run.
+- **mitigation dominance** — under one fault plan, arming resilience
+  mitigations never makes the run slower than the unmitigated run plus
+  the mitigation costs it recorded (duplicated attempts, blacklisted
+  capacity, backoff and stall-detection delay), and never faster than
+  the clean run.
 
 Checkers return :class:`Violation` lists (empty = invariant holds) so a
 property test can assert emptiness and print every breach at once.
@@ -28,6 +33,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.cluster.cluster import Cluster
+from repro.resilience import ResiliencePolicy, merge_summaries
 from repro.simulator.run import ApplicationMeasurement, StageMeasurement
 from repro.workloads.base import StageSpec, WorkloadSpec
 
@@ -205,6 +211,75 @@ def check_fault_dominance(
     return violations
 
 
+#: Multiplicative tolerance for the mitigation bounds.  Mitigations are
+#: heuristics layered on a greedy scheduler, so unlike the exact
+#: invariants above they admit bounded Graham-style list-scheduling
+#: anomalies; 5% absorbs those while still catching a broken mechanism
+#: (which overshoots by whole task durations, not percents).
+MITIGATION_REL_TOL = 0.05
+
+
+def check_mitigation_dominance(
+    clean: ApplicationMeasurement,
+    unmitigated: ApplicationMeasurement,
+    mitigated: ApplicationMeasurement,
+    policy: ResiliencePolicy,
+    rel_tol: float = MITIGATION_REL_TOL,
+) -> list[Violation]:
+    """Mitigations bounded on both sides: no free lunch, no net harm.
+
+    All three measurements share one spec and shape; ``unmitigated`` and
+    ``mitigated`` share one fault plan.  Two application-level bounds:
+
+    - **Lower** — mitigation cannot beat the clean run: faults only
+      remove capacity and mitigations only reshuffle attempts onto what
+      remains, so ``mitigated >= clean * (1 - rel_tol)``.
+    - **Upper** — mitigation's cost is accounted for.  Relative to the
+      unmitigated faulted run it may add (a) duplicated work, bounded by
+      the attempt-inflation factor ``attempts / tasks``; (b) capacity
+      surrendered to the blacklist, bounded by ``N / (N - excluded)``;
+      (c) serial detection-and-wait time, bounded by the recorded
+      backoff plus one stall timeout per failure-driven resubmission.
+      Anything beyond ``unmitigated * inflation * degradation *
+      (1 + rel_tol) + detection`` means a mechanism is hurting the run
+      it was meant to save.
+    """
+    summary = merge_summaries(stage.resilience for stage in mitigated.stages)
+    context = mitigated.name
+    violations: list[Violation] = []
+
+    floor = clean.total_seconds * (1.0 - rel_tol)
+    if mitigated.total_seconds < floor:
+        violations.append(Violation(
+            "mitigation-dominance", context,
+            f"mitigated makespan {mitigated.total_seconds!r} beats the"
+            f" clean run {clean.total_seconds!r}",
+        ))
+
+    tasks = sum(stage.num_tasks for stage in mitigated.stages)
+    inflation = max(1.0, summary.attempts / tasks) if tasks else 1.0
+    nodes = mitigated.stages[0].nodes if mitigated.stages else 1
+    remaining = nodes - len(summary.blacklisted)
+    degradation = nodes / remaining if remaining > 0 else float("inf")
+    detection = summary.backoff_seconds + (
+        (summary.task_retries + summary.stage_reattempts)
+        * policy.retry.stall_timeout_seconds
+    )
+    ceiling = (
+        unmitigated.total_seconds * inflation * degradation * (1.0 + rel_tol)
+        + detection
+    )
+    if mitigated.total_seconds > ceiling:
+        violations.append(Violation(
+            "mitigation-dominance", context,
+            f"mitigated makespan {mitigated.total_seconds!r} exceeds the"
+            f" accounted bound {ceiling!r} (unmitigated"
+            f" {unmitigated.total_seconds!r}, inflation {inflation:.3f},"
+            f" degradation {degradation:.3f}, detection {detection!r})",
+        ))
+    return violations
+
+
 def check_measurements_identical(
     first: ApplicationMeasurement,
     second: ApplicationMeasurement,
@@ -245,12 +320,14 @@ def _close(actual: float, expected: float, rel_tol: float) -> bool:
 
 __all__ = [
     "DEFAULT_REL_TOL",
+    "MITIGATION_REL_TOL",
     "StageMeasurement",
     "Violation",
     "check_conservation",
     "check_dominance",
     "check_fault_dominance",
     "check_measurements_identical",
+    "check_mitigation_dominance",
     "check_monotonic",
     "expected_stage_bytes",
     "stage_floor_seconds",

@@ -22,6 +22,8 @@ benchmarks report the reuse rate.
 from __future__ import annotations
 
 import json
+import os
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -48,12 +50,14 @@ def run_key(
     run_index: int = 0,
     network_fp: str = "none",
     fault_fp: str = "none",
+    resilience_fp: str = "none",
 ) -> str:
     """Canonical key of one simulated run.
 
-    ``fault_fp`` is the fingerprint of the run's fault plan; fault-free
-    runs keep the historical key shape, so existing cache files stay
-    valid and a faulted run can never collide with a clean one.
+    ``fault_fp`` is the fingerprint of the run's fault plan and
+    ``resilience_fp`` of its mitigation policy; clean unmitigated runs
+    keep the historical key shape, so existing cache files stay valid
+    and a faulted or mitigated run can never collide with a clean one.
     """
     key = (
         f"{source_fp}/{platform_fp}/N{nodes}/P{cores_per_node}"
@@ -61,6 +65,8 @@ def run_key(
     )
     if fault_fp != "none":
         key += f"/faults-{fault_fp}"
+    if resilience_fp != "none":
+        key += f"/resil-{resilience_fp}"
     return key
 
 
@@ -182,7 +188,15 @@ class ResultCache:
     # -- persistence ---------------------------------------------------------
 
     def save(self, path: str | Path | None = None) -> Path:
-        """Write the cache to JSON; returns the path written."""
+        """Write the cache to JSON; returns the path written.
+
+        The write is atomic (temp file in the same directory, then
+        ``os.replace``): a crash mid-save — exactly the moment a killed
+        sweep is most likely to die — leaves the previous file intact
+        instead of a truncated one, which is what makes
+        :meth:`~repro.pipeline.experiment.Experiment.run_grid` safely
+        resumable.
+        """
         target = Path(path) if path is not None else self.path
         if target is None:
             raise ValueError("no cache path given and none configured")
@@ -200,16 +214,55 @@ class ResultCache:
                 key: report_to_dict(value) for key, value in self._reports.items()
             },
         }
-        target.write_text(json.dumps(payload))
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, target)
         return target
 
     def _load(self, path: Path) -> None:
-        data = json.loads(path.read_text())
+        """Load a cache file, skipping (with a warning) whatever is broken.
+
+        A truncated or hand-damaged file must never abort a sweep — the
+        cache is an accelerator, so the worst acceptable outcome of
+        corruption is recomputing: unreadable JSON drops the whole file,
+        a malformed individual entry drops just that entry.
+        """
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            warnings.warn(
+                f"result cache {path} is unreadable ({exc}); starting empty",
+                stacklevel=2,
+            )
+            return
+        if not isinstance(data, dict):
+            warnings.warn(
+                f"result cache {path} is not a JSON object; starting empty",
+                stacklevel=2,
+            )
+            return
         if data.get("format_version") != CACHE_FORMAT_VERSION:
             return  # stale format: start empty rather than fail
-        for key, value in data.get("measurements", {}).items():
-            self._measurements[key] = measurement_from_dict(value)
-        for key, value in data.get("predictions", {}).items():
-            self._predictions[key] = prediction_from_dict(value)
-        for key, value in data.get("reports", {}).items():
-            self._reports[key] = report_from_dict(value)
+        loaders = (
+            ("measurements", self._measurements, measurement_from_dict),
+            ("predictions", self._predictions, prediction_from_dict),
+            ("reports", self._reports, report_from_dict),
+        )
+        for section, store, loader in loaders:
+            entries = data.get(section, {})
+            if not isinstance(entries, dict):
+                warnings.warn(
+                    f"result cache {path}: section {section!r} is malformed;"
+                    " skipping it",
+                    stacklevel=2,
+                )
+                continue
+            for key, value in entries.items():
+                try:
+                    store[key] = loader(value)
+                except Exception as exc:  # noqa: BLE001 - any bad entry is skippable
+                    warnings.warn(
+                        f"result cache {path}: skipping corrupt {section}"
+                        f" entry {key!r} ({type(exc).__name__}: {exc})",
+                        stacklevel=2,
+                    )

@@ -31,12 +31,16 @@ from repro.pipeline.cache import ResultCache, prediction_key, run_key
 from repro.pipeline.platforms import Platform, as_platform
 from repro.pipeline.records import RunResult, compose_run_result
 from repro.pipeline.sources import ResolvedWorkload, WorkloadSource, as_source
+from repro.resilience import ResiliencePolicy
 from repro.simulator.run import ApplicationMeasurement
 from repro.workloads.runner import measure_workload
 
 #: Sentinel for "use the experiment's own fault plan" on per-call
 #: ``faults=`` overrides (``None`` must mean "no faults").
 _DEFAULT_FAULTS = object()
+
+#: Same trick for per-call ``resilience=`` overrides.
+_DEFAULT_RESILIENCE = object()
 
 
 class Experiment:
@@ -64,6 +68,12 @@ class Experiment:
         ``RunResult`` reads as sim-under-faults vs. the clean Eq.-1
         model).  The plan's fingerprint is folded into measurement cache
         keys; individual calls may override with their own ``faults=``.
+    resilience:
+        Optional :class:`~repro.resilience.ResiliencePolicy` arming the
+        simulator's recovery mechanisms on every measurement.  Like
+        faults, its fingerprint is folded into measurement cache keys
+        (mitigated runs never collide with unmitigated ones) and
+        individual calls may override with ``resilience=``.
     """
 
     def __init__(
@@ -73,12 +83,14 @@ class Experiment:
         cache: ResultCache | None = None,
         network: NetworkModel | None = None,
         faults: FaultPlan | None = None,
+        resilience: ResiliencePolicy | None = None,
     ) -> None:
         self.source: WorkloadSource = as_source(source)
         self.platform: Platform = as_platform(platform)
         self.cache = cache if cache is not None else ResultCache()
         self.network = network
         self.faults = faults
+        self.resilience = resilience
         self._platform_fp = self.platform.fingerprint()
         self._resolved: ResolvedWorkload | None = None
         self._predictor: Predictor | None = None
@@ -118,16 +130,20 @@ class Experiment:
         cores_per_node: int | None = None,
         run_index: int = 0,
         faults: FaultPlan | None = _DEFAULT_FAULTS,  # type: ignore[assignment]
+        resilience: ResiliencePolicy | None = _DEFAULT_RESILIENCE,  # type: ignore[assignment]
     ) -> ApplicationMeasurement:
         """Simulated "exp" measurement at ``(N, P)`` (cached).
 
         Needs only the spec half of the source, so spec-backed sources
         are *not* profiled — ``repro simulate`` stays as cheap as the
         bare runner it replaced.  ``faults`` overrides the experiment's
-        fault plan for this call (``None`` forces a clean run).
+        fault plan for this call (``None`` forces a clean run);
+        ``resilience`` likewise overrides the mitigation policy
+        (``None`` forces an unmitigated run).
         """
         nodes, cores = self._shape(nodes, cores_per_node)
         plan = self._resolve_faults(faults)
+        policy = self._resolve_resilience(resilience)
         spec, spec_fp = self._spec_and_fingerprint()
         key = run_key(
             spec_fp,
@@ -137,6 +153,7 @@ class Experiment:
             run_index=run_index,
             network_fp=self._network_fp(),
             fault_fp=self._fault_fp(plan),
+            resilience_fp=self._resilience_fp(policy),
         )
         measurement = self.cache.get_measurement(key)
         if measurement is None:
@@ -147,6 +164,7 @@ class Experiment:
                 run_index=run_index,
                 network=self.network,
                 faults=plan,
+                resilience=policy,
             )
             self.cache.put_measurement(key, measurement)
         return measurement
@@ -185,11 +203,15 @@ class Experiment:
         cores_per_node: int | None = None,
         run_index: int = 0,
         faults: FaultPlan | None = _DEFAULT_FAULTS,  # type: ignore[assignment]
+        resilience: ResiliencePolicy | None = _DEFAULT_RESILIENCE,  # type: ignore[assignment]
     ) -> RunResult:
         """One full exp-vs-model point."""
         nodes, cores = self._shape(nodes, cores_per_node)
         return compose_run_result(
-            self.measure(nodes, cores, run_index=run_index, faults=faults),
+            self.measure(
+                nodes, cores, run_index=run_index, faults=faults,
+                resilience=resilience,
+            ),
             self.predict(nodes, cores),
             platform_label=self.platform.label,
             run_index=run_index,
@@ -202,14 +224,23 @@ class Experiment:
         cores_per_node: int | None = None,
         runs: int = 5,
         faults: FaultPlan | None = _DEFAULT_FAULTS,  # type: ignore[assignment]
+        resilience: ResiliencePolicy | None = _DEFAULT_RESILIENCE,  # type: ignore[assignment]
     ) -> list[RunResult]:
-        """The paper's five-run protocol at one ``(N, P)`` point."""
+        """The paper's five-run protocol at one ``(N, P)`` point.
+
+        Checkpointed like :meth:`run_grid`: with a file-backed cache,
+        each freshly computed run is persisted as it completes.
+        """
         if runs <= 0:
             raise ConfigurationError("need at least one run")
-        return [
-            self.run(nodes, cores_per_node, run_index=index, faults=faults)
-            for index in range(runs)
-        ]
+        results = []
+        for index in range(runs):
+            results.append(
+                self._checkpointed_run(
+                    nodes, cores_per_node, index, faults, resilience
+                )
+            )
+        return results
 
     def run_grid(
         self,
@@ -217,18 +248,47 @@ class Experiment:
         cores_per_node: Sequence[int] | None = None,
         run_indices: Iterable[int] = (0,),
         faults: FaultPlan | None = _DEFAULT_FAULTS,  # type: ignore[assignment]
+        resilience: ResiliencePolicy | None = _DEFAULT_RESILIENCE,  # type: ignore[assignment]
     ) -> list[RunResult]:
-        """The ``N x P x run`` cross product, row-major in that order."""
+        """The ``N x P x run`` cross product, row-major in that order.
+
+        When the experiment's cache is file-backed, the grid is
+        *crash-safe*: every cell that required fresh computation is
+        checkpointed (atomically) to the cache file as soon as it
+        completes, so a killed sweep rerun with the same arguments
+        resumes from the last finished cell — completed cells come back
+        as cache hits, bit-identical to the interrupted run's.
+        """
         node_axis = self._axis(nodes, self.platform.default_nodes(), "nodes")
         core_axis = self._axis(
             cores_per_node, self.platform.default_cores(), "cores_per_node"
         )
         return [
-            self.run(n, p, run_index=r, faults=faults)
+            self._checkpointed_run(n, p, r, faults, resilience)
             for n in node_axis
             for p in core_axis
             for r in run_indices
         ]
+
+    def _checkpointed_run(self, nodes, cores, run_index, faults, resilience):
+        """One grid cell, persisted to a file-backed cache when fresh."""
+        misses_before = (
+            self.cache.measurement_stats.misses
+            + self.cache.prediction_stats.misses
+            + self.cache.report_stats.misses
+        )
+        result = self.run(
+            nodes, cores, run_index=run_index, faults=faults,
+            resilience=resilience,
+        )
+        misses_after = (
+            self.cache.measurement_stats.misses
+            + self.cache.prediction_stats.misses
+            + self.cache.report_stats.misses
+        )
+        if self.cache.path is not None and misses_after > misses_before:
+            self.cache.save()
+        return result
 
     # -- internals -----------------------------------------------------------
 
@@ -249,11 +309,20 @@ class Experiment:
     def _resolve_faults(self, faults) -> FaultPlan | None:
         return self.faults if faults is _DEFAULT_FAULTS else faults
 
+    def _resolve_resilience(self, resilience) -> ResiliencePolicy | None:
+        return self.resilience if resilience is _DEFAULT_RESILIENCE else resilience
+
     @staticmethod
     def _fault_fp(plan: FaultPlan | None) -> str:
         if plan is None or not plan.faults:
             return "none"
         return plan.fingerprint()
+
+    @staticmethod
+    def _resilience_fp(policy: ResiliencePolicy | None) -> str:
+        if policy is None:
+            return "none"
+        return policy.fingerprint()
 
     def _shape(
         self, nodes: int | None, cores_per_node: int | None

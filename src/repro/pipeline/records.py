@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.analysis.errors import relative_error
 from repro.core.app_model import ApplicationPrediction
 from repro.core.stage_model import StagePrediction
+from repro.resilience import StageResilience
 from repro.simulator.run import ApplicationMeasurement, StageMeasurement
 from repro.storage.iostat import IostatSample
 
@@ -135,6 +136,10 @@ def measurement_to_dict(measurement: ApplicationMeasurement) -> dict:
                     [name, is_write, busy]
                     for name, is_write, busy in stage.device_utilizations
                 ],
+                "resilience": (
+                    stage.resilience.to_dict()
+                    if stage.resilience is not None else None
+                ),
             }
             for stage in measurement.stages
         ],
@@ -174,6 +179,12 @@ def measurement_from_dict(data: dict) -> ApplicationMeasurement:
             device_utilizations=tuple(
                 (name, bool(is_write), float(busy))
                 for name, is_write, busy in stage["device_utilizations"]
+            ),
+            # .get(): caches written before the resilience layer have no
+            # such key; those runs carried no policy.
+            resilience=(
+                StageResilience.from_dict(stage["resilience"])
+                if stage.get("resilience") is not None else None
             ),
         )
         for stage in data["stages"]

@@ -1,0 +1,42 @@
+"""Recovery mechanisms for simulated runs: Spark's answer to faults.
+
+The fault layer (:mod:`repro.faults`) breaks things; this package models
+how the runtime survives them, mirroring the three mechanisms real Spark
+leans on for shuffle-heavy jobs:
+
+- **speculative execution** — duplicate attempts for straggling tasks,
+  first finisher wins (:class:`SpeculationPolicy`);
+- **retry with exponential backoff** — failed tasks resubmit with a
+  modeled delay, escalating to stage re-attempts and finally a
+  structured :class:`~repro.errors.StageFailedError`
+  (:class:`RetryPolicy`);
+- **blacklisting** — nodes accumulating failures or straggler strikes
+  are excluded from scheduling, and the run degrades gracefully onto the
+  survivors (:class:`BlacklistPolicy`).
+
+Pass a :class:`ResiliencePolicy` as ``resilience=`` to the engine, the
+workload runner, or :class:`~repro.pipeline.Experiment` (it folds into
+cache keys), or use ``python -m repro simulate --speculation
+--blacklist``.  What the mitigations did is reported per stage as a
+:class:`StageResilience` record.  ``resilience=None`` (the default)
+keeps every path bit-identical to the pre-resilience engine.
+"""
+
+from repro.resilience.policy import (
+    BlacklistPolicy,
+    ResiliencePolicy,
+    RetryPolicy,
+    SpeculationPolicy,
+    default_mitigations,
+)
+from repro.resilience.summary import StageResilience, merge_summaries
+
+__all__ = [
+    "BlacklistPolicy",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "SpeculationPolicy",
+    "StageResilience",
+    "default_mitigations",
+    "merge_summaries",
+]

@@ -1,0 +1,218 @@
+"""Declarative recovery policies: how a run fights back against faults.
+
+A :class:`ResiliencePolicy` is the mitigation mirror of a
+:class:`~repro.faults.plan.FaultPlan`: where the plan says what breaks,
+the policy says how the simulated Spark runtime responds.  Three
+mechanisms, each individually optional and each mirroring a real Spark
+knob family:
+
+- :class:`SpeculationPolicy` — ``spark.speculation.*``: once a quantile
+  of a stage's tasks has finished, tasks running longer than
+  ``multiplier`` times the median finished duration get a duplicate
+  attempt on another node; the first attempt to finish wins.
+- :class:`RetryPolicy` — ``spark.task.maxFailures`` plus a modeled
+  exponential backoff before a failed task is resubmitted; a task that
+  exhausts its attempts escalates to a stage re-attempt
+  (``spark.stage.maxConsecutiveAttempts``), and exhausting those raises
+  :class:`~repro.errors.StageFailedError`.
+- :class:`BlacklistPolicy` — ``spark.blacklist.*``: executors that
+  accumulate failures or straggler strikes are excluded from further
+  scheduling; the run degrades gracefully onto the remaining nodes.
+
+Policies are pure data (frozen dataclasses), JSON round-trippable, and
+fingerprint through the pipeline's content-addressing scheme, so
+mitigated runs can never collide with unmitigated ones in the result
+cache.  A ``resilience=None`` run is bit-identical to the pre-resilience
+engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+@dataclass(frozen=True)
+class SpeculationPolicy:
+    """Speculative execution, mirroring ``spark.speculation.*``.
+
+    Attributes
+    ----------
+    quantile:
+        Fraction of a stage's tasks that must have finished before
+        speculation is considered (``spark.speculation.quantile``).
+    multiplier:
+        A running task is speculatable once its elapsed time exceeds
+        ``multiplier`` x the median finished-task duration
+        (``spark.speculation.multiplier``).
+    min_finished:
+        Never speculate before this many tasks have finished — the
+        median of one sample is noise.
+    """
+
+    quantile: float = 0.75
+    multiplier: float = 1.5
+    min_finished: int = 2
+
+    def __post_init__(self) -> None:
+        _check(0.0 < self.quantile <= 1.0,
+               f"speculation quantile must be in (0, 1]: {self.quantile}")
+        _check(self.multiplier >= 1.0,
+               f"speculation multiplier must be >= 1: {self.multiplier}")
+        _check(self.min_finished >= 1,
+               f"speculation min_finished must be >= 1: {self.min_finished}")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Task retry with exponential backoff and stage re-attempts.
+
+    Attributes
+    ----------
+    max_task_attempts:
+        ``spark.task.maxFailures``: a task may fail this many times
+        before its stage is re-attempted.
+    backoff_seconds / backoff_factor / max_backoff_seconds:
+        The modeled resubmission delay after the k-th failure is
+        ``min(backoff_seconds * backoff_factor**(k-1), max_backoff_seconds)``.
+    max_stage_attempts:
+        ``spark.stage.maxConsecutiveAttempts``: stage re-attempts before
+        the run aborts with :class:`~repro.errors.StageFailedError`.
+    stall_timeout_seconds:
+        How long an I/O stream may sit at rate zero before its attempt
+        is declared failed (the analogue of ``spark.network.timeout``
+        fetch-failure detection) — this is what turns a dead-disk
+        (``factor=0``) throttle window into a retriable task failure.
+    """
+
+    max_task_attempts: int = 4
+    backoff_seconds: float = 0.5
+    backoff_factor: float = 2.0
+    max_backoff_seconds: float = 30.0
+    max_stage_attempts: int = 4
+    stall_timeout_seconds: float = 10.0
+
+    def __post_init__(self) -> None:
+        _check(self.max_task_attempts >= 1,
+               f"max_task_attempts must be >= 1: {self.max_task_attempts}")
+        _check(self.backoff_seconds >= 0.0,
+               f"backoff_seconds must be >= 0: {self.backoff_seconds}")
+        _check(self.backoff_factor >= 1.0,
+               f"backoff_factor must be >= 1: {self.backoff_factor}")
+        _check(self.max_backoff_seconds >= self.backoff_seconds,
+               "max_backoff_seconds must be >= backoff_seconds:"
+               f" {self.max_backoff_seconds} < {self.backoff_seconds}")
+        _check(self.max_stage_attempts >= 1,
+               f"max_stage_attempts must be >= 1: {self.max_stage_attempts}")
+        _check(self.stall_timeout_seconds > 0.0,
+               f"stall_timeout_seconds must be > 0: {self.stall_timeout_seconds}")
+
+    def backoff_for(self, failure_count: int) -> float:
+        """Modeled delay before the retry that follows failure ``k`` (1-based)."""
+        _check(failure_count >= 1, f"failure count must be >= 1: {failure_count}")
+        delay = self.backoff_seconds * self.backoff_factor ** (failure_count - 1)
+        return min(delay, self.max_backoff_seconds)
+
+
+@dataclass(frozen=True)
+class BlacklistPolicy:
+    """Executor exclusion, mirroring ``spark.blacklist.*``.
+
+    A node collects one *strike* per failed task attempt and one per
+    speculation decision against it (hosting an attempt slow enough to
+    duplicate).  At ``max_node_strikes`` the node is excluded from
+    further scheduling — unless it is the last live node, which is never
+    blacklisted (graceful degradation beats a dead cluster).
+    """
+
+    max_node_strikes: int = 2
+
+    def __post_init__(self) -> None:
+        _check(self.max_node_strikes >= 1,
+               f"max_node_strikes must be >= 1: {self.max_node_strikes}")
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """The full mitigation configuration of one run.
+
+    ``speculation`` and ``blacklist`` default to ``None`` (off);
+    ``retry`` is always present because task failures must go *somewhere*
+    — with no policy at all (``resilience=None`` on the engine) failures
+    fall back to the historical infinite-immediate-retry semantics.
+    """
+
+    speculation: SpeculationPolicy | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    blacklist: BlacklistPolicy | None = None
+
+    def fingerprint(self) -> str:
+        """Content hash folded into cache keys of mitigated runs."""
+        # Late import mirrors FaultPlan.fingerprint: the pipeline imports
+        # the simulator which imports this package.
+        from repro.pipeline.fingerprint import fingerprint
+
+        return fingerprint(self)
+
+    def describe(self) -> str:
+        """Short human-readable summary for run banners."""
+        parts = [f"retry<={self.retry.max_task_attempts}"]
+        if self.speculation is not None:
+            parts.append(
+                f"speculation(q={self.speculation.quantile:g},"
+                f" x{self.speculation.multiplier:g})"
+            )
+        if self.blacklist is not None:
+            parts.append(f"blacklist@{self.blacklist.max_node_strikes}")
+        return ", ".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (see ``docs/RESILIENCE.md``)."""
+        return {
+            "speculation": (
+                asdict(self.speculation) if self.speculation is not None else None
+            ),
+            "retry": asdict(self.retry),
+            "blacklist": (
+                asdict(self.blacklist) if self.blacklist is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> ResiliencePolicy:
+        """Parse the :meth:`to_dict` form, validating every field."""
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"resilience policy must be a JSON object, got {type(data).__name__}"
+            )
+        try:
+            speculation = (
+                SpeculationPolicy(**data["speculation"])
+                if data.get("speculation") is not None else None
+            )
+            retry = (
+                RetryPolicy(**data["retry"])
+                if data.get("retry") is not None else RetryPolicy()
+            )
+            blacklist = (
+                BlacklistPolicy(**data["blacklist"])
+                if data.get("blacklist") is not None else None
+            )
+        except TypeError as exc:
+            raise ConfigurationError(f"bad resilience policy fields: {exc}") from None
+        return cls(speculation=speculation, retry=retry, blacklist=blacklist)
+
+
+def default_mitigations() -> ResiliencePolicy:
+    """The everything-on policy the CLI flags compose: Spark-like defaults."""
+    return ResiliencePolicy(
+        speculation=SpeculationPolicy(),
+        retry=RetryPolicy(),
+        blacklist=BlacklistPolicy(),
+    )

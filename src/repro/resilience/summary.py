@@ -1,0 +1,126 @@
+"""Per-stage resilience accounting: what the mitigations actually did.
+
+The engine fills one :class:`StageResilience` per mitigated stage run —
+attempt counts, speculative launches and wins, failure-driven retries
+with their total modeled backoff, stage re-attempts, and the nodes the
+blacklist excluded.  The record rides on
+:class:`~repro.simulator.run.StageMeasurement`, serializes losslessly
+through the result cache, and aggregates across stages for whole-run
+reporting (:func:`merge_summaries`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class StageResilience:
+    """Mitigation activity observed over one simulated stage.
+
+    Attributes
+    ----------
+    attempts:
+        Task attempts launched (originals + retries + speculative
+        duplicates); equals the task count when nothing went wrong.
+    speculative_launched / speculative_wins:
+        Duplicate attempts started, and how many finished before their
+        original (first-finisher-wins).
+    task_retries:
+        Failure-driven resubmissions (node death, dead-disk stalls).
+    stage_reattempts:
+        Times a task exhausted its attempt budget and the stage granted
+        it a fresh one.
+    backoff_seconds:
+        Total modeled retry backoff delay inserted into the schedule.
+    blacklisted:
+        Names of nodes excluded from scheduling during the stage.
+    """
+
+    attempts: int = 0
+    speculative_launched: int = 0
+    speculative_wins: int = 0
+    task_retries: int = 0
+    stage_reattempts: int = 0
+    backoff_seconds: float = 0.0
+    blacklisted: tuple[str, ...] = field(default=())
+
+    @property
+    def mitigated(self) -> bool:
+        """Whether any mitigation actually fired during the stage."""
+        return bool(
+            self.speculative_launched
+            or self.task_retries
+            or self.stage_reattempts
+            or self.blacklisted
+        )
+
+    def describe(self) -> str:
+        """Compact ``attempts/spec/wins`` cell for report tables."""
+        parts = [f"{self.attempts} att"]
+        if self.speculative_launched:
+            parts.append(
+                f"{self.speculative_launched} spec ({self.speculative_wins} won)"
+            )
+        if self.task_retries:
+            parts.append(f"{self.task_retries} retry")
+        if self.blacklisted:
+            parts.append(f"bl:{','.join(self.blacklisted)}")
+        return ", ".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (cache persistence and ``--json`` payloads)."""
+        return {
+            "attempts": self.attempts,
+            "speculative_launched": self.speculative_launched,
+            "speculative_wins": self.speculative_wins,
+            "task_retries": self.task_retries,
+            "stage_reattempts": self.stage_reattempts,
+            "backoff_seconds": self.backoff_seconds,
+            "blacklisted": list(self.blacklisted),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> StageResilience:
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            attempts=int(data["attempts"]),
+            speculative_launched=int(data["speculative_launched"]),
+            speculative_wins=int(data["speculative_wins"]),
+            task_retries=int(data["task_retries"]),
+            stage_reattempts=int(data["stage_reattempts"]),
+            backoff_seconds=float(data["backoff_seconds"]),
+            blacklisted=tuple(data["blacklisted"]),
+        )
+
+
+def merge_summaries(summaries: Iterable[StageResilience | None]) -> StageResilience:
+    """Aggregate per-stage records into one application-level summary.
+
+    ``None`` entries (stages run without a policy) contribute nothing;
+    blacklisted node names are unioned in first-seen order.
+    """
+    attempts = launched = wins = retries = reattempts = 0
+    backoff = 0.0
+    blacklisted: dict[str, None] = {}
+    for summary in summaries:
+        if summary is None:
+            continue
+        attempts += summary.attempts
+        launched += summary.speculative_launched
+        wins += summary.speculative_wins
+        retries += summary.task_retries
+        reattempts += summary.stage_reattempts
+        backoff += summary.backoff_seconds
+        for name in summary.blacklisted:
+            blacklisted[name] = None
+    return StageResilience(
+        attempts=attempts,
+        speculative_launched=launched,
+        speculative_wins=wins,
+        task_retries=retries,
+        stage_reattempts=reattempts,
+        backoff_seconds=backoff,
+        blacklisted=tuple(blacklisted),
+    )

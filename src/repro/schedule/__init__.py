@@ -12,6 +12,7 @@ oracle (true-runtime) ordering as an upper bound.
 """
 
 from repro.schedule.scheduler import (
+    ExecutorBlacklist,
     Job,
     ScheduledJob,
     ScheduleResult,
@@ -21,6 +22,7 @@ from repro.schedule.scheduler import (
 )
 
 __all__ = [
+    "ExecutorBlacklist",
     "Job",
     "ScheduledJob",
     "ScheduleResult",

@@ -99,6 +99,67 @@ class ScheduleResult:
         return max(s.finish_time for s in self.scheduled)
 
 
+class ExecutorBlacklist:
+    """Strike-based executor exclusion (``spark.blacklist.*`` semantics).
+
+    Tracks per-executor *strikes* — failed task attempts and straggler
+    evidence (an attempt slow enough that speculation duplicated it).
+    An executor whose count reaches ``max_strikes`` is excluded from
+    further scheduling, except that the last remaining candidate is
+    never excluded: a degraded cluster beats an empty one.
+
+    The class is deliberately engine-agnostic (plain names in, booleans
+    out) so both the task-level simulator and the job-level queue above
+    can consult the same exclusion state.
+    """
+
+    def __init__(self, max_strikes: int, names: Sequence[str]) -> None:
+        if max_strikes < 1:
+            raise SchedulingError(f"max_strikes must be >= 1: {max_strikes}")
+        if not names:
+            raise SchedulingError("a blacklist needs at least one executor name")
+        self.max_strikes = max_strikes
+        self._names = list(dict.fromkeys(names))
+        self._strikes: dict[str, int] = {}
+        #: Insertion-ordered set of excluded executor names.
+        self._excluded: dict[str, None] = {}
+
+    @property
+    def excluded(self) -> tuple[str, ...]:
+        """Names excluded so far, in exclusion order."""
+        return tuple(self._excluded)
+
+    def strikes(self, name: str) -> int:
+        """Strike count against one executor."""
+        return self._strikes.get(name, 0)
+
+    def is_excluded(self, name: str) -> bool:
+        """Whether an executor is currently excluded from scheduling."""
+        return name in self._excluded
+
+    def eligible(self, names: Sequence[str]) -> list[str]:
+        """Filter ``names`` down to the non-excluded ones, order kept."""
+        return [name for name in names if name not in self._excluded]
+
+    def strike(self, name: str, *, survivors: Sequence[str]) -> bool:
+        """Record one strike; returns True when this crosses the threshold.
+
+        ``survivors`` are the executors that would remain schedulable if
+        ``name`` were excluded now; when empty the exclusion is skipped
+        (never blacklist the last executor) but the strike still counts.
+        """
+        if name not in self._names:
+            self._names.append(name)
+        count = self._strikes.get(name, 0) + 1
+        self._strikes[name] = count
+        if name in self._excluded or count < self.max_strikes:
+            return False
+        if not [s for s in survivors if s != name and s not in self._excluded]:
+            return False
+        self._excluded[name] = None
+        return True
+
+
 #: A policy orders the *pending* jobs (those that have arrived and not
 #: run); the scheduler picks the first.
 Policy = Callable[[Sequence[Job]], Sequence[Job]]

@@ -39,13 +39,14 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.network import NetworkModel
 from repro.cluster.node import Node
-from repro.errors import SimulationError
+from repro.errors import SimulationError, StageFailedError
 from repro.faults.injector import (
     FaultAction,
     FaultInjector,
@@ -54,6 +55,7 @@ from repro.faults.injector import (
     ScaleToggle,
 )
 from repro.faults.plan import FaultPlan
+from repro.resilience import ResiliencePolicy, StageResilience
 from repro.resources import (
     DeviceResource,
     LinkResource,
@@ -63,6 +65,7 @@ from repro.resources import (
     SlotPool,
     rebalance_coupled,
 )
+from repro.schedule.scheduler import ExecutorBlacklist
 from repro.simulator.task import ComputePhase, IoPhase, SimTask
 from repro.storage.array import DiskArray
 from repro.storage.iostat import IostatCollector
@@ -75,11 +78,14 @@ _TIME_EPS = 1e-9
 _EV_STREAM = 0
 _EV_COMPUTE = 1
 _EV_FAULT = 2
+_EV_RETRY = 3
+_EV_SPEC = 4
+_EV_STALL = 5
 
 
 @dataclass
 class _Running:
-    """Book-keeping for one in-flight task."""
+    """Book-keeping for one in-flight task attempt."""
 
     task: SimTask
     node: Node
@@ -91,10 +97,41 @@ class _Running:
     #: Bumped at every phase transition; stale heap entries are dropped.
     epoch: int = 0
     streams: list[SharedStream] = field(default_factory=list)
+    # -- resilience-only fields (inert without a policy) -------------------
+    #: When this attempt started (== ``task.start_time`` without a policy;
+    #: retries and speculative duplicates start later than the task).
+    attempt_start: float = 0.0
+    speculative: bool = False
+    record: _TaskRecord | None = None
 
     @property
     def in_io(self) -> bool:
         return self.open_streams > 0
+
+
+@dataclass
+class _TaskRecord:
+    """Resilience book-keeping for one logical task across its attempts.
+
+    Retry and speculation heap events carry the record itself and are
+    re-validated when they fire, so ``epoch`` stays 0 forever (the heap's
+    epoch check is satisfied trivially).
+    """
+
+    task: SimTask
+    completed: bool = False
+    #: Consecutive failures in the current attempt budget (reset when a
+    #: stage re-attempt grants a fresh one).
+    failures: int = 0
+    stage_reattempts: int = 0
+    #: A speculative duplicate has been decided for this task (at most
+    #: one per task, like Spark's single speculatable copy).
+    spec_scheduled: bool = False
+    #: An _EV_SPEC re-check is already in the heap.
+    spec_event_pending: bool = False
+    running: list[_Running] = field(default_factory=list)
+    failed_nodes: set[str] = field(default_factory=set)
+    epoch: int = 0
 
 
 class SimulationEngine:
@@ -108,6 +145,8 @@ class SimulationEngine:
         max_events: int = 50_000_000,
         network: NetworkModel | None = None,
         faults: FaultPlan | None = None,
+        resilience: ResiliencePolicy | None = None,
+        stage_name: str = "stage",
     ) -> None:
         if cores_per_node <= 0:
             raise SimulationError("cores per node must be positive")
@@ -172,6 +211,12 @@ class SimulationEngine:
         if faults is not None and faults.faults:
             self._injector = FaultInjector(faults, cluster, self.registry, network)
             self._slowdowns = self._injector.slowdowns
+        # -- resilience -----------------------------------------------------
+        #: ``None`` keeps every code path bit-identical to the
+        #: pre-resilience engine; every mitigation below is gated on it.
+        self.resilience = resilience
+        self._rpolicy = resilience
+        self.stage_name = stage_name
         # -- per-run state (reset in :meth:`run`) --------------------------
         self._heap: list[tuple] = []
         self._seq = itertools.count()
@@ -182,6 +227,19 @@ class SimulationEngine:
         self._freed_nodes: set[str] = set()
         self._dead_nodes: set[str] = set()
         self._active: dict[int, _Running] = {}
+        self._records: dict[int, _TaskRecord] = {}
+        self._records_order: list[_TaskRecord] = []
+        self._finished_durations: list[float] = []
+        self._total_tasks = 0
+        self._spec_candidates: list[_TaskRecord] = []
+        self._stall_failed: list[_Running] = []
+        self._blacklist: ExecutorBlacklist | None = None
+        self._res_attempts = 0
+        self._res_spec_launched = 0
+        self._res_spec_wins = 0
+        self._res_retries = 0
+        self._res_reattempts = 0
+        self._res_backoff = 0.0
 
     # -- resource resolution ----------------------------------------------
 
@@ -228,6 +286,29 @@ class SimulationEngine:
         self._pending = pending
         self._remaining_tasks = len(tasks)
         self._num_running = 0
+        if self._rpolicy is not None:
+            self._records = {}
+            self._records_order = []
+            for task in tasks:
+                record = _TaskRecord(task=task)
+                self._records[task.task_id] = record
+                self._records_order.append(record)
+            self._finished_durations = []
+            self._total_tasks = len(tasks)
+            self._spec_candidates = []
+            self._stall_failed = []
+            self._res_attempts = 0
+            self._res_spec_launched = 0
+            self._res_spec_wins = 0
+            self._res_retries = 0
+            self._res_reattempts = 0
+            self._res_backoff = 0.0
+            self._blacklist = None
+            if self._rpolicy.blacklist is not None:
+                self._blacklist = ExecutorBlacklist(
+                    self._rpolicy.blacklist.max_node_strikes,
+                    [node.name for node in self.cluster.slaves],
+                )
         if self._injector is not None:
             self._injector.reset()
             for at_seconds, action in self._injector.initial_actions():
@@ -247,6 +328,12 @@ class SimulationEngine:
                 )
             batch = self._pop_batch()
             if not batch:
+                # With a retry policy, stalled-at-zero attempts become
+                # task failures instead of a dead end: fail them and let
+                # the retries repopulate the heap.
+                if self._rescue_stalled(now):
+                    self._settle(now)
+                    continue
                 self._raise_stuck()
             dt = batch[0][0] - now
             self._account_busy_time(dt)
@@ -286,6 +373,12 @@ class SimulationEngine:
             running = obj
             running.compute_remaining = 0.0
             self._transition(running, now)
+        elif kind == _EV_RETRY:
+            self._process_retry(obj, now)
+        elif kind == _EV_SPEC:
+            self._process_spec(obj, now)
+        elif kind == _EV_STALL:
+            self._process_stall(obj, now)
         else:
             stream = obj
             stream.remaining_bytes = 0.0
@@ -319,6 +412,12 @@ class SimulationEngine:
         their compute abandoned) and are re-queued from scratch, together
         with the dead node's pending queue, round-robin across the
         surviving nodes — Spark's task re-execution on executor loss.
+
+        With a resilience policy, in-flight attempts instead *fail*: each
+        is charged against its task's attempt budget and resubmitted
+        after the modeled backoff (never to the dead node), escalating to
+        stage re-attempts and :class:`~repro.errors.StageFailedError`.
+        Pending tasks never started, so they move without a charge.
         """
         if name in self._dead_nodes:
             return
@@ -326,6 +425,28 @@ class SimulationEngine:
         survivors = [
             node for node in self.cluster.slaves if node.name not in self._dead_nodes
         ]
+        if self._rpolicy is not None:
+            if not survivors and self._remaining_tasks > 0:
+                raise SimulationError(
+                    f"node {name} died leaving no live nodes with"
+                    f" {self._remaining_tasks} task(s) unfinished"
+                )
+            doomed = [r for r in self._active.values() if r.node.name == name]
+            doomed.sort(key=lambda r: (r.task.task_id, r.speculative))
+            for running in doomed:
+                self._fail_attempt(
+                    running, now, f"node {name} died", release_slot=False
+                )
+            queue = self._pending[name]
+            moved = sorted(queue, key=lambda t: t.task_id)
+            queue.clear()
+            if moved:
+                targets = [node for node in self._eligible_nodes()
+                           if node.name != name]
+                for index, task in enumerate(moved):
+                    self._pending[targets[index % len(targets)].name].append(task)
+                self._freed_nodes.update(node.name for node in targets)
+            return
         requeue: list[SimTask] = []
         for running in [r for r in self._active.values() if r.node.name == name]:
             running.epoch += 1  # drop any scheduled compute entry
@@ -380,7 +501,10 @@ class SimulationEngine:
             self._active.pop(id(running), None)
             self._cores[running.node.name].release()
             self._num_running -= 1
-            self._remaining_tasks -= 1
+            if self._rpolicy is None:
+                self._remaining_tasks -= 1
+            else:
+                self._finish_task(running, now)
             self._freed_nodes.add(running.node.name)
 
     def _launch_waiting(self, now: float) -> None:
@@ -394,13 +518,27 @@ class SimulationEngine:
                 pool.acquire()
                 self._num_running += 1
                 task.start_time = now
-                running = _Running(task=task, node=node)
+                if self._rpolicy is None:
+                    running = _Running(task=task, node=node)
+                else:
+                    record = self._records[task.task_id]
+                    running = _Running(
+                        task=task, node=node, attempt_start=now, record=record
+                    )
+                    record.running.append(running)
+                    self._res_attempts += 1
                 if not self._enter_phase(running, now):
                     pool.release()
                     self._num_running -= 1
-                    self._remaining_tasks -= 1
+                    if self._rpolicy is None:
+                        self._remaining_tasks -= 1
+                    else:
+                        self._finish_task(running, now)
+                        self._freed_nodes.add(node.name)
                 else:
                     self._active[id(running)] = running
+                    if self._rpolicy is not None:
+                        self._arm_spec_check(running, now)
 
     def _settle(self, now: float) -> None:
         """Launch onto freed slots and re-balance dirty resources, to fixpoint.
@@ -410,10 +548,24 @@ class SimulationEngine:
         dirties more resources — hence the loop.
         """
         while True:
+            if self._rpolicy is not None and self._stall_failed:
+                failed = self._stall_failed
+                self._stall_failed = []
+                for running in failed:
+                    if id(running) in self._active:
+                        self._fail_attempt(
+                            running, now, "stream stalled at zero rate"
+                        )
             if self._freed_nodes:
                 self._freed_nodes.clear()
                 self._launch_waiting(now)
+            if self._rpolicy is not None and self._spec_candidates:
+                self._launch_speculative(now)
             if not self._dirty_resources:
+                if self._rpolicy is not None and (
+                    self._stall_failed or self._freed_nodes
+                ):
+                    continue
                 return
             dirty = self._dirty_resources
             self._dirty_resources = {}
@@ -464,9 +616,13 @@ class SimulationEngine:
         else:
             rebalance_coupled(component)
         for stream, old_rate in before.values():
+            if self._rpolicy is not None and stream.stream_id not in self._owner:
+                # Cancelled mid-loop: a first-finisher win earlier in this
+                # iteration tore down its losing twin's streams.
+                continue
             if stream.rate == old_rate:
                 if stream.rate <= 0.0 and not stream.done:
-                    self._note_stall(stream)
+                    self._note_stall(stream, now)
                 continue
             self._materialize(stream, old_rate, now)
             if stream.done:
@@ -495,21 +651,46 @@ class SimulationEngine:
                 (finish, next(self._seq), _EV_STREAM, stream, stream.epoch),
             )
             return
-        self._note_stall(stream)
+        self._note_stall(stream, now)
 
-    def _note_stall(self, stream: SharedStream) -> None:
+    def _note_stall(self, stream: SharedStream, now: float) -> None:
         """Zero rate with work remaining: one strike, then a hard error.
 
         A second consecutive zero-rate allocation can never finish — fail
         loudly naming the culprit instead of hanging until ``max_events``.
+        With a retry policy the stall becomes a *task failure* instead:
+        the second strike defers the owning attempt to :meth:`_settle`
+        (this runs mid-rebalance, so streams cannot be detached here),
+        and a quiet stall that never gets a second look is bounded by an
+        _EV_STALL deadline ``stall_timeout_seconds`` out — stale if the
+        stream recovers (epoch bump), fatal to the attempt if not.
         """
         if stream.stalled:
+            if self._rpolicy is not None:
+                owner = self._owner.get(stream.stream_id)
+                if owner is not None:
+                    self._stall_failed.append(owner)
+                return
             raise SimulationError(
                 f"stream stalled at rate 0 across consecutive events:"
                 f" {stream.describe()}"
             )
         stream.stalled = True
         self._stalled[stream.stream_id] = stream
+        if self._rpolicy is not None:
+            deadline = now + self._rpolicy.retry.stall_timeout_seconds
+            heapq.heappush(
+                self._heap,
+                (deadline, next(self._seq), _EV_STALL, stream, stream.epoch),
+            )
+
+    def _process_stall(self, stream: SharedStream, now: float) -> None:
+        """A stall deadline expired with the stream still at rate zero."""
+        if stream.done or not stream.stalled:
+            return
+        owner = self._owner.get(stream.stream_id)
+        if owner is not None and id(owner) in self._active:
+            self._fail_attempt(owner, now, "stream stalled at zero rate")
 
     def _schedule_compute(self, running: _Running, now: float) -> None:
         finish = now + running.compute_remaining
@@ -524,6 +705,326 @@ class SimulationEngine:
             raise SimulationError(f"all remaining streams are stalled at rate 0: {stuck}")
         raise SimulationError(
             "no active tasks but work remains; scheduler invariant broken"
+        )
+
+    # -- resilience: speculation, retry, blacklisting ----------------------
+
+    def _eligible_nodes(self) -> list[Node]:
+        """Alive, non-blacklisted nodes — falling back to all alive nodes
+        when the blacklist would otherwise leave nowhere to schedule."""
+        alive = [
+            node for node in self.cluster.slaves
+            if node.name not in self._dead_nodes
+        ]
+        if self._blacklist is None:
+            return alive
+        ok = [node for node in alive if not self._blacklist.is_excluded(node.name)]
+        return ok or alive
+
+    def _strike(self, name: str) -> None:
+        """Charge one blacklist strike; on exclusion, drain the node's queue."""
+        if self._blacklist is None:
+            return
+        alive = [
+            node.name for node in self.cluster.slaves
+            if node.name not in self._dead_nodes
+        ]
+        if not self._blacklist.strike(name, survivors=alive):
+            return
+        queue = self._pending.get(name)
+        if not queue:
+            return
+        moved = sorted(queue, key=lambda t: t.task_id)
+        queue.clear()
+        targets = [node for node in self._eligible_nodes() if node.name != name]
+        if not targets:  # pragma: no cover - exclusion guarantees a survivor
+            targets = [
+                node for node in self.cluster.slaves
+                if node.name not in self._dead_nodes and node.name != name
+            ]
+        for index, task in enumerate(moved):
+            self._pending[targets[index % len(targets)].name].append(task)
+        self._freed_nodes.update(node.name for node in targets)
+
+    def _cancel_attempt(self, running: _Running, release_slot: bool = True) -> None:
+        """Tear one attempt down: streams detached, heap entries voided."""
+        running.epoch += 1
+        for stream in running.streams:
+            stream.epoch += 1
+            self._stalled.pop(stream.stream_id, None)
+            self._owner.pop(stream.stream_id, None)
+            for resource in list(stream.resources):
+                resource.detach(stream, rebalance=False)
+                self._mark_dirty(resource)
+        running.streams.clear()
+        running.open_streams = 0
+        self._active.pop(id(running), None)
+        self._num_running -= 1
+        if release_slot:
+            self._cores[running.node.name].release()
+            self._freed_nodes.add(running.node.name)
+
+    def _fail_attempt(
+        self,
+        running: _Running,
+        now: float,
+        reason: str,
+        release_slot: bool = True,
+    ) -> None:
+        """One attempt died; charge it and schedule recovery.
+
+        If a twin attempt (speculative duplicate) is still running the
+        task survives on it and only the blacklist is charged.  Otherwise
+        the failure counts against the task's attempt budget, escalating
+        through stage re-attempts to :class:`StageFailedError`; the retry
+        is delayed by the policy's exponential backoff and lands on the
+        most-free eligible node when it fires.
+        """
+        record = running.record
+        assert record is not None and self._rpolicy is not None
+        self._cancel_attempt(running, release_slot=release_slot)
+        if running in record.running:
+            record.running.remove(running)
+        record.failed_nodes.add(running.node.name)
+        self._strike(running.node.name)
+        if record.completed or record.running:
+            return
+        retry = self._rpolicy.retry
+        record.failures += 1
+        failures = record.failures
+        if failures >= retry.max_task_attempts:
+            record.stage_reattempts += 1
+            self._res_reattempts += 1
+            if record.stage_reattempts >= retry.max_stage_attempts:
+                raise StageFailedError(
+                    self.stage_name,
+                    record.task.task_id,
+                    failures,
+                    record.stage_reattempts,
+                    reason,
+                )
+            record.failures = 0
+        delay = retry.backoff_for(failures)
+        self._res_retries += 1
+        self._res_backoff += delay
+        heapq.heappush(
+            self._heap, (now + delay, next(self._seq), _EV_RETRY, record, 0)
+        )
+
+    def _process_retry(self, record: _TaskRecord, now: float) -> None:
+        """A backoff expired: resubmit the task onto an eligible node."""
+        if record.completed or record.running:
+            return
+        target = self._retry_target(record)
+        self._pending[target.name].append(record.task)
+        self._freed_nodes.add(target.name)
+
+    def _retry_target(self, record: _TaskRecord) -> Node:
+        """Deterministic retry placement: prefer nodes the task has not
+        failed on, then the most free slots, then cluster order."""
+        nodes = self._eligible_nodes()
+        preferred = [
+            node for node in nodes if node.name not in record.failed_nodes
+        ]
+        best: Node | None = None
+        for node in preferred or nodes:
+            if best is None or (
+                self._cores[node.name].free > self._cores[best.name].free
+            ):
+                best = node
+        assert best is not None  # blacklist/kill paths guarantee a survivor
+        return best
+
+    def _rescue_stalled(self, now: float) -> bool:
+        """Heap empty but streams stalled: with a retry policy, convert
+        the stalls into attempt failures so retries can repopulate it."""
+        if self._rpolicy is None or not self._stalled:
+            return False
+        owners: list[_Running] = []
+        seen: set[int] = set()
+        for stream in self._stalled.values():
+            running = self._owner.get(stream.stream_id)
+            if running is not None and id(running) not in seen:
+                seen.add(id(running))
+                owners.append(running)
+        owners.sort(key=lambda r: (r.task.task_id, r.speculative))
+        failed = False
+        for running in owners:
+            if id(running) in self._active:
+                self._fail_attempt(running, now, "stream stalled at zero rate")
+                failed = True
+        return failed
+
+    def _finish_task(self, running: _Running, now: float) -> None:
+        """First finisher wins: complete the task, cancel the losers."""
+        record = running.record
+        assert record is not None
+        if running in record.running:
+            record.running.remove(running)
+        record.completed = True
+        task = running.task
+        task.start_time = running.attempt_start
+        if running.speculative:
+            self._res_spec_wins += 1
+        for loser in list(record.running):
+            self._cancel_attempt(loser)
+        record.running.clear()
+        self._remaining_tasks -= 1
+        if self._rpolicy is not None and self._rpolicy.speculation is not None:
+            self._finished_durations.append(now - running.attempt_start)
+            self._update_speculation(now)
+
+    def _arm_spec_check(self, running: _Running, now: float) -> None:
+        """Schedule the straggler check for a freshly launched attempt.
+
+        Needed for attempts that start *after* the quantile gate opened:
+        no finish event will re-examine them until it may be too late.
+        """
+        record = running.record
+        if (
+            record is None
+            or record.spec_scheduled
+            or record.spec_event_pending
+        ):
+            return
+        threshold = self._spec_threshold()
+        if threshold is None:
+            return
+        record.spec_event_pending = True
+        heapq.heappush(
+            self._heap,
+            (running.attempt_start + threshold, next(self._seq),
+             _EV_SPEC, record, 0),
+        )
+
+    def _spec_threshold(self) -> float | None:
+        """Elapsed time beyond which a lone running attempt is a straggler
+        (``multiplier`` x the median finished duration), or ``None`` while
+        too few tasks have finished for the quantile gate."""
+        spec = self._rpolicy.speculation if self._rpolicy else None
+        if spec is None:
+            return None
+        durations = self._finished_durations
+        needed = max(spec.min_finished, math.ceil(spec.quantile * self._total_tasks))
+        if len(durations) < needed:
+            return None
+        ordered = sorted(durations)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            median = ordered[mid]
+        else:
+            median = 0.5 * (ordered[mid - 1] + ordered[mid])
+        return spec.multiplier * median
+
+    def _update_speculation(self, now: float) -> None:
+        """Re-examine running tasks against the (possibly new) threshold.
+
+        Tasks already past it queue a duplicate; the rest get an _EV_SPEC
+        re-check at the moment they would cross it (re-validated when it
+        fires, since more finishes may have moved the median).
+        """
+        threshold = self._spec_threshold()
+        if threshold is None:
+            return
+        for record in self._records_order:
+            if record.completed or record.spec_scheduled:
+                continue
+            if len(record.running) != 1:
+                continue
+            attempt = record.running[0]
+            elapsed = now - attempt.attempt_start
+            if elapsed + _TIME_EPS >= threshold:
+                record.spec_scheduled = True
+                self._spec_candidates.append(record)
+                self._strike(attempt.node.name)
+            elif not record.spec_event_pending:
+                record.spec_event_pending = True
+                heapq.heappush(
+                    self._heap,
+                    (attempt.attempt_start + threshold, next(self._seq),
+                     _EV_SPEC, record, 0),
+                )
+
+    def _process_spec(self, record: _TaskRecord, now: float) -> None:
+        """An _EV_SPEC re-check fired; decide or re-arm against the
+        current threshold (the median may have moved since scheduling)."""
+        record.spec_event_pending = False
+        if record.completed or record.spec_scheduled or len(record.running) != 1:
+            return
+        threshold = self._spec_threshold()
+        if threshold is None:
+            return
+        attempt = record.running[0]
+        elapsed = now - attempt.attempt_start
+        if elapsed + _TIME_EPS >= threshold:
+            record.spec_scheduled = True
+            self._spec_candidates.append(record)
+            self._strike(attempt.node.name)
+        else:
+            record.spec_event_pending = True
+            heapq.heappush(
+                self._heap,
+                (attempt.attempt_start + threshold, next(self._seq),
+                 _EV_SPEC, record, 0),
+            )
+
+    def _launch_speculative(self, now: float) -> None:
+        """Start queued duplicates on free slots of eligible nodes that do
+        not already host an attempt; unlaunchable candidates stay queued."""
+        still: list[_TaskRecord] = []
+        for record in self._spec_candidates:
+            if record.completed or not record.running:
+                # Finished, or failed into the retry path meanwhile.
+                continue
+            hosts = {r.node.name for r in record.running}
+            target: Node | None = None
+            for node in self._eligible_nodes():
+                if node.name in hosts or self._cores[node.name].free <= 0:
+                    continue
+                if target is None or (
+                    self._cores[node.name].free > self._cores[target.name].free
+                ):
+                    target = node
+            if target is None:
+                still.append(record)
+                continue
+            pool = self._cores[target.name]
+            pool.acquire()
+            self._num_running += 1
+            self._res_attempts += 1
+            self._res_spec_launched += 1
+            running = _Running(
+                task=record.task,
+                node=target,
+                attempt_start=now,
+                record=record,
+                speculative=True,
+            )
+            record.running.append(running)
+            if not self._enter_phase(running, now):
+                pool.release()
+                self._num_running -= 1
+                self._finish_task(running, now)
+                self._freed_nodes.add(target.name)
+            else:
+                self._active[id(running)] = running
+        self._spec_candidates = still
+
+    def resilience_summary(self) -> StageResilience | None:
+        """What the mitigations did over the last :meth:`run`, or ``None``
+        when the engine has no policy (the bit-identical default)."""
+        if self._rpolicy is None:
+            return None
+        return StageResilience(
+            attempts=self._res_attempts,
+            speculative_launched=self._res_spec_launched,
+            speculative_wins=self._res_spec_wins,
+            task_retries=self._res_retries,
+            stage_reattempts=self._res_reattempts,
+            backoff_seconds=self._res_backoff,
+            blacklisted=(
+                self._blacklist.excluded if self._blacklist is not None else ()
+            ),
         )
 
     # -- reporting ---------------------------------------------------------

@@ -15,6 +15,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.network import NetworkModel
 from repro.errors import SimulationError
 from repro.faults.plan import FaultPlan
+from repro.resilience import ResiliencePolicy, StageResilience
 from repro.simulator.engine import SimulationEngine
 from repro.simulator.task import SimTask
 from repro.storage.iostat import IostatCollector, IostatSample
@@ -65,6 +66,9 @@ class StageMeasurement:
     #: (resource name, is_write, busy fraction) per contended resource
     #: direction — devices and, when a network is configured, NICs.
     device_utilizations: tuple[tuple[str, bool, float], ...] = ()
+    #: What the mitigations did, when the stage ran under a
+    #: :class:`~repro.resilience.ResiliencePolicy` (``None`` otherwise).
+    resilience: StageResilience | None = None
 
     @property
     def t_avg(self) -> float:
@@ -115,17 +119,21 @@ def run_stage(
     name: str = "stage",
     network: NetworkModel | None = None,
     faults: FaultPlan | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> StageMeasurement:
     """Simulate one stage and collect its measurement record.
 
     ``network`` switches the engine from the paper's infinite-wire default
     to finite NIC links (shuffle reads then contend on the network too).
     ``faults`` superimposes a :class:`~repro.faults.plan.FaultPlan`; fault
-    times are relative to this stage's start.
+    times are relative to this stage's start.  ``resilience`` arms the
+    recovery mechanisms (speculation, retry/backoff, blacklisting) and
+    fills the measurement's ``resilience`` record.
     """
     iostat = IostatCollector()
     engine = SimulationEngine(
-        cluster, cores_per_node, iostat=iostat, network=network, faults=faults
+        cluster, cores_per_node, iostat=iostat, network=network, faults=faults,
+        resilience=resilience, stage_name=name,
     )
     makespan = engine.run(tasks)
 
@@ -166,6 +174,7 @@ def run_stage(
             )
             if makespan > 0
         ),
+        resilience=engine.resilience_summary(),
     )
 
 
@@ -176,12 +185,14 @@ def run_application(
     name: str = "app",
     network: NetworkModel | None = None,
     faults: FaultPlan | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> ApplicationMeasurement:
     """Simulate stages sequentially (Spark stages synchronize at shuffles)."""
     measurements = [
         run_stage(
             cluster, cores_per_node, tasks,
             name=stage_name, network=network, faults=faults,
+            resilience=resilience,
         )
         for stage_name, tasks in staged_tasks
     ]

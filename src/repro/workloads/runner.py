@@ -14,6 +14,7 @@ import dataclasses
 from repro.cluster.cluster import Cluster
 from repro.cluster.network import NetworkModel
 from repro.faults.plan import FaultPlan
+from repro.resilience import ResiliencePolicy
 from repro.simulator.run import (
     ApplicationMeasurement,
     StageMeasurement,
@@ -29,6 +30,7 @@ def measure_stage(
     run_index: int = 0,
     network: NetworkModel | None = None,
     faults: FaultPlan | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> StageMeasurement:
     """Simulate one stage spec (all repeats) and return its measurement.
 
@@ -45,6 +47,7 @@ def measure_stage(
         name=spec.name,
         network=network,
         faults=faults,
+        resilience=resilience,
     )
     if spec.repeat == 1:
         return single
@@ -67,12 +70,14 @@ def measure_workload(
     run_index: int = 0,
     network: NetworkModel | None = None,
     faults: FaultPlan | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> ApplicationMeasurement:
     """Simulate every stage of a workload back to back."""
     measurements = tuple(
         measure_stage(
             cluster, cores_per_node, spec,
             run_index=run_index, network=network, faults=faults,
+            resilience=resilience,
         )
         for spec in workload.stages
     )
@@ -86,6 +91,7 @@ def measure_workload_repeated(
     runs: int = 5,
     network: NetworkModel | None = None,
     faults: FaultPlan | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> list[ApplicationMeasurement]:
     """The paper's protocol: average of five runs with error bars.
 
@@ -98,6 +104,7 @@ def measure_workload_repeated(
         measure_workload(
             cluster, cores_per_node, workload,
             run_index=index, network=network, faults=faults,
+            resilience=resilience,
         )
         for index in range(runs)
     ]

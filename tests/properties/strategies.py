@@ -28,6 +28,12 @@ from repro.faults.plan import (
     NodeFailureFault,
     StragglerFault,
 )
+from repro.resilience import (
+    BlacklistPolicy,
+    ResiliencePolicy,
+    RetryPolicy,
+    SpeculationPolicy,
+)
 from repro.units import KB, MB
 from repro.workloads.base import ChannelSpec, StageSpec, TaskGroupSpec, WorkloadSpec
 
@@ -152,6 +158,36 @@ def fault_plans(draw, allow_failures: bool = True) -> FaultPlan:
         kinds.append(node_failure_faults)
     faults = draw(st.lists(st.one_of(*kinds), max_size=3))
     return FaultPlan(name="hypo-plan", faults=tuple(faults))
+
+
+@st.composite
+def resilience_policies(draw, require_speculation: bool = False) -> ResiliencePolicy:
+    """A random mitigation mix: each mechanism independently on or off.
+
+    Bounded to values that keep examples fast — short backoffs and stall
+    timeouts so failure recovery happens inside a tiny run's horizon.
+    """
+    speculation = st.builds(
+        SpeculationPolicy,
+        quantile=st.sampled_from((0.5, 0.75)),
+        multiplier=st.sampled_from((1.2, 1.5, 2.0)),
+        min_finished=st.just(2),
+    )
+    return ResiliencePolicy(
+        speculation=draw(
+            speculation if require_speculation
+            else st.one_of(st.none(), speculation)
+        ),
+        retry=RetryPolicy(
+            max_task_attempts=draw(st.sampled_from((2, 4))),
+            backoff_seconds=draw(st.sampled_from((0.0, 0.25, 0.5))),
+            stall_timeout_seconds=draw(st.sampled_from((5.0, 10.0))),
+        ),
+        blacklist=draw(st.one_of(
+            st.none(),
+            st.builds(BlacklistPolicy, max_node_strikes=st.sampled_from((2, 3))),
+        )),
+    )
 
 
 @st.composite

@@ -29,6 +29,7 @@ TOP_LEVEL_KEYS = {
     "local",
     "network_gbps",
     "fault_plan",
+    "resilience_policy",
     "total_seconds",
     "stages",
     "device_utilizations",
@@ -42,6 +43,24 @@ STAGE_KEYS = {
     "bottleneck",
 }
 FAULTED_STAGE_KEYS = STAGE_KEYS | {"clean_makespan_seconds", "impact_fraction"}
+#: With mitigations armed on a faulted run, both baselines appear.
+MITIGATED_TOP_LEVEL_KEYS = TOP_LEVEL_KEYS | {
+    "unmitigated_total_seconds",
+    "resilience_summary",
+}
+MITIGATED_STAGE_KEYS = FAULTED_STAGE_KEYS | {
+    "unmitigated_makespan_seconds",
+    "resilience",
+}
+RESILIENCE_SUMMARY_KEYS = {
+    "attempts",
+    "speculative_launched",
+    "speculative_wins",
+    "task_retries",
+    "stage_reattempts",
+    "backoff_seconds",
+    "blacklisted",
+}
 
 #: Every label a stage bottleneck may carry: the core pool, or one
 #: device role with a direction.
@@ -69,6 +88,13 @@ def clean_payload():
 @pytest.fixture(scope="module")
 def faulted_payload():
     return _simulate_json("--fault-plan", str(EXAMPLE_PLAN))
+
+
+@pytest.fixture(scope="module")
+def mitigated_payload():
+    return _simulate_json(
+        "--fault-plan", str(EXAMPLE_PLAN), "--speculation", "--blacklist"
+    )
 
 
 class TestCleanSchema:
@@ -129,3 +155,32 @@ class TestFaultedSchema:
         assert sum(s["clean_makespan_seconds"] for s in faulted["stages"]) == (
             clean["total_seconds"]
         )
+
+
+class TestMitigatedSchema:
+    def test_exact_key_sets(self, mitigated_payload):
+        payload = mitigated_payload
+        assert set(payload) == MITIGATED_TOP_LEVEL_KEYS
+        assert set(payload["resilience_summary"]) == RESILIENCE_SUMMARY_KEYS
+        for stage in payload["stages"]:
+            assert set(stage) == MITIGATED_STAGE_KEYS
+            assert set(stage["resilience"]) == RESILIENCE_SUMMARY_KEYS
+
+    def test_policy_echoes_the_flags(self, mitigated_payload):
+        policy = mitigated_payload["resilience_policy"]
+        assert policy["speculation"] is not None
+        assert policy["blacklist"] is not None
+        assert policy["retry"]["max_task_attempts"] >= 1
+
+    def test_mitigation_recovers_makespan(
+        self, clean_payload, mitigated_payload
+    ):
+        # The shipped straggler plan is the acceptance scenario: armed
+        # speculation + blacklisting must beat the unmitigated run while
+        # staying no faster than the clean one.
+        payload = mitigated_payload
+        assert payload["total_seconds"] < payload["unmitigated_total_seconds"]
+        assert payload["total_seconds"] >= clean_payload["total_seconds"]
+        summary = payload["resilience_summary"]
+        assert summary["attempts"] > 0
+        assert summary["speculative_wins"] <= summary["speculative_launched"]

@@ -26,6 +26,7 @@ from repro.faults import (
 from repro.pipeline.cache import ResultCache
 from repro.pipeline.experiment import Experiment
 from repro.pipeline.platforms import ClusterPlatform
+from repro.resilience import default_mitigations
 from repro.units import MB
 from repro.workloads.base import ChannelSpec, StageSpec, TaskGroupSpec, WorkloadSpec
 from repro.workloads.runner import measure_workload
@@ -59,9 +60,12 @@ def _measure(spec, nodes=2, cores=2, faults=None):
 class TestPlanValidation:
     def test_bad_factor_rejected(self):
         with pytest.raises(FaultError):
-            DiskFault(factor=0.0)
+            DiskFault(factor=-0.1)
         with pytest.raises(FaultError):
             DiskFault(factor=1.5)
+
+    def test_zero_factor_models_a_dead_disk(self):
+        DiskFault(factor=0.0, start=1.0, end=5.0)  # legal since resilience
 
     def test_bad_window_rejected(self):
         with pytest.raises(FaultError):
@@ -150,6 +154,44 @@ class TestInjectionSemantics:
         # measurement: byte accounting follows the spec, not the retries.
         assert faulted.stages[0].read_bytes == clean.stages[0].read_bytes
         assert faulted.stages[0].write_bytes == clean.stages[0].write_bytes
+
+    @given(
+        at_fraction=st.floats(min_value=0.05, max_value=0.95),
+        count=st.integers(min_value=2, max_value=4),
+        mitigate=st.booleans(),
+    )
+    @settings(max_examples=50, **PROPERTY_SETTINGS)
+    def test_node_death_after_the_last_task_started_terminates(
+        self, at_fraction, count, mitigate
+    ):
+        # The edge this pins: with <= one wave of tasks, every task has
+        # already started when the node dies — nothing is left in any
+        # pending queue, so recovery must re-inject the lost attempts
+        # (not just reshuffle queues) or the run would hang.  Both the
+        # legacy instant-retry path and the resilience retry path must
+        # terminate and conserve the spec's bytes.
+        spec = _spec(count=count)  # count <= 2 nodes x 2 cores = one wave
+        clean = _measure(spec)
+        plan = FaultPlan(
+            name="late-kill",
+            faults=(
+                NodeFailureFault(
+                    node=1, at_seconds=clean.total_seconds * at_fraction
+                ),
+            ),
+        )
+        policy = default_mitigations() if mitigate else None
+        faulted = measure_workload(
+            make_paper_cluster(2, HYBRID_CONFIGS[0]), 2, spec,
+            faults=plan, resilience=policy,
+        )
+        assert faulted.total_seconds >= clean.total_seconds
+        assert faulted.stages[0].read_bytes == clean.stages[0].read_bytes
+        assert faulted.stages[0].write_bytes == clean.stages[0].write_bytes
+        if mitigate:
+            summary = faulted.stages[0].resilience
+            assert summary is not None
+            assert summary.attempts >= count
 
     def test_killing_every_node_raises(self):
         plan = FaultPlan(

@@ -63,24 +63,25 @@ class TestStats:
         assert len(cache) == 0
 
 
+@pytest.fixture(scope="module")
+def populated(tmp_path_factory, make_tiny):
+    """A cache holding one of each product kind, saved to disk."""
+    workload = make_tiny()
+    cluster = make_paper_cluster(2, HYBRID_CONFIGS[0])
+    measurement = measure_workload(cluster, 4, workload)
+    report = Profiler(workload, nodes=2).profile()
+    prediction = Predictor(report).model_for_cluster(cluster).predict(2, 4)
+
+    cache = ResultCache()
+    cache.put_measurement("m", measurement)
+    cache.put_prediction("p", prediction)
+    cache.put_report("r", report)
+    path = tmp_path_factory.mktemp("cache") / "cache.json"
+    cache.save(path)
+    return cache, path
+
+
 class TestPersistence:
-    @pytest.fixture(scope="class")
-    def populated(self, tmp_path_factory, make_tiny):
-        """A cache holding one of each product kind, saved to disk."""
-        workload = make_tiny()
-        cluster = make_paper_cluster(2, HYBRID_CONFIGS[0])
-        measurement = measure_workload(cluster, 4, workload)
-        report = Profiler(workload, nodes=2).profile()
-        prediction = Predictor(report).model_for_cluster(cluster).predict(2, 4)
-
-        cache = ResultCache()
-        cache.put_measurement("m", measurement)
-        cache.put_prediction("p", prediction)
-        cache.put_report("r", report)
-        path = tmp_path_factory.mktemp("cache") / "cache.json"
-        cache.save(path)
-        return cache, path
-
     def test_round_trip_is_bit_identical(self, populated):
         cache, path = populated
         loaded = ResultCache(path)
@@ -118,3 +119,71 @@ class TestPersistence:
         cache = ResultCache(tmp_path / "does-not-exist.json")
         assert len(cache) == 0
         cache.put_measurement("k", object())
+
+    def test_save_leaves_no_temp_file(self, populated, tmp_path):
+        cache, _ = populated
+        target = tmp_path / "clean.json"
+        cache.save(target)
+        assert [p.name for p in tmp_path.iterdir()] == ["clean.json"]
+
+
+class TestCorruption:
+    """A damaged cache file degrades to recomputation, never to a crash."""
+
+    def test_truncated_file_warns_and_starts_empty(self, populated, tmp_path):
+        # The regression this guards: a non-atomic writer killed mid-save
+        # used to leave half a JSON file that crashed the next sweep.
+        _, path = populated
+        text = path.read_text()
+        broken = tmp_path / "truncated.json"
+        broken.write_text(text[: len(text) // 2])
+        with pytest.warns(UserWarning, match="unreadable"):
+            cache = ResultCache(broken)
+        assert len(cache) == 0
+
+    def test_non_object_file_warns_and_starts_empty(self, tmp_path):
+        broken = tmp_path / "list.json"
+        broken.write_text("[1, 2, 3]")
+        with pytest.warns(UserWarning, match="not a JSON object"):
+            assert len(ResultCache(broken)) == 0
+
+    def test_corrupt_entry_is_skipped_but_the_rest_load(self, populated, tmp_path):
+        _, path = populated
+        data = json.loads(path.read_text())
+        data["measurements"]["m"] = {"stages": "not-a-list"}
+        damaged = tmp_path / "damaged.json"
+        damaged.write_text(json.dumps(data))
+        with pytest.warns(UserWarning, match="skipping corrupt measurements"):
+            cache = ResultCache(damaged)
+        assert cache.get_measurement("m") is None
+        assert cache.get_prediction("p") is not None
+        assert cache.get_report("r") is not None
+
+    def test_malformed_section_is_skipped(self, populated, tmp_path):
+        _, path = populated
+        data = json.loads(path.read_text())
+        data["predictions"] = 42
+        damaged = tmp_path / "section.json"
+        damaged.write_text(json.dumps(data))
+        with pytest.warns(UserWarning, match="'predictions' is malformed"):
+            cache = ResultCache(damaged)
+        assert cache.get_prediction("p") is None
+        assert cache.get_measurement("m") is not None
+
+    def test_failed_replace_leaves_the_previous_file_intact(
+        self, populated, tmp_path, monkeypatch
+    ):
+        import repro.pipeline.cache as cache_module
+
+        cache, _ = populated
+        target = tmp_path / "atomic.json"
+        cache.save(target)
+        before = target.read_text()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash mid-save")
+
+        monkeypatch.setattr(cache_module.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            cache.save(target)
+        assert target.read_text() == before

@@ -238,3 +238,80 @@ class TestSharedCaches:
             NODES, CORES
         )
         assert cache.measurement_stats.hits == 0
+
+
+class TestCrashSafety:
+    """Killed sweeps resume from the file-backed checkpoint (ISSUE PR 4)."""
+
+    GRID = dict(nodes=(2, 3), cores_per_node=(2,), run_indices=(0, 1))
+
+    def test_killed_grid_resumes_bit_identically_with_fewer_misses(
+        self, tmp_path, make_tiny, monkeypatch
+    ):
+        import repro.pipeline.experiment as experiment_module
+
+        spec = make_tiny()
+        path = tmp_path / "sweep.json"
+
+        # Uninterrupted reference sweep on a private in-memory cache.
+        reference = Experiment(spec, HYBRID_CONFIGS[0]).run_grid(**self.GRID)
+
+        # "Kill" a file-backed sweep after two fresh cells: the third
+        # simulation dies the way SIGKILL mid-grid would.
+        calls = {"n": 0}
+        real_measure = experiment_module.measure_workload
+
+        def dying_measure(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > 2:
+                raise KeyboardInterrupt
+            return real_measure(*args, **kwargs)
+
+        monkeypatch.setattr(
+            experiment_module, "measure_workload", dying_measure
+        )
+        with pytest.raises(KeyboardInterrupt):
+            Experiment(
+                spec, HYBRID_CONFIGS[0], cache=ResultCache(path)
+            ).run_grid(**self.GRID)
+        monkeypatch.setattr(experiment_module, "measure_workload", real_measure)
+
+        # The checkpoint holds exactly the two completed cells.
+        assert path.exists()
+        checkpoint = ResultCache(path)
+        assert len(checkpoint._measurements) == 2
+
+        # A fresh process resumes: same grid, bit-identical records,
+        # strictly fewer fresh simulations than the full sweep.
+        resumed_cache = ResultCache(path)
+        resumed = Experiment(
+            spec, HYBRID_CONFIGS[0], cache=resumed_cache
+        ).run_grid(**self.GRID)
+        assert [r.to_dict() for r in resumed] == [
+            r.to_dict() for r in reference
+        ]
+        assert resumed_cache.measurement_stats.hits == 2
+        assert resumed_cache.measurement_stats.misses == 2  # < the 4 cells
+
+    def test_completed_grid_reruns_entirely_from_cache(
+        self, tmp_path, make_tiny
+    ):
+        spec = make_tiny()
+        path = tmp_path / "done.json"
+        first = Experiment(
+            spec, HYBRID_CONFIGS[0], cache=ResultCache(path)
+        ).run_grid(**self.GRID)
+        rerun_cache = ResultCache(path)
+        rerun = Experiment(
+            spec, HYBRID_CONFIGS[0], cache=rerun_cache
+        ).run_grid(**self.GRID)
+        assert [r.to_dict() for r in rerun] == [r.to_dict() for r in first]
+        assert rerun_cache.measurement_stats.misses == 0
+        assert rerun_cache.prediction_stats.misses == 0
+
+    def test_run_repeated_checkpoints_like_the_grid(self, tmp_path, make_tiny):
+        spec = make_tiny()
+        path = tmp_path / "repeated.json"
+        experiment = Experiment(spec, HYBRID_CONFIGS[0], cache=ResultCache(path))
+        experiment.run_repeated(NODES, CORES, runs=2)
+        assert len(ResultCache(path)._measurements) == 2

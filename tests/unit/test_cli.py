@@ -44,6 +44,13 @@ class TestParser:
         args = build_parser().parse_args(["simulate", "svm"])
         assert args.network_gbps is None
 
+    def test_resilience_flags_default_off(self):
+        for command in (["simulate", "svm"], ["pipeline", "--workload", "svm"]):
+            args = build_parser().parse_args(command)
+            assert args.speculation is False
+            assert args.max_task_attempts is None
+            assert args.blacklist is False
+
 
 class TestCommands:
     def test_list_workloads(self, capsys):
@@ -62,9 +69,23 @@ class TestCommands:
         assert main(["fio", "--device", "ssd", "--write"]) == 0
         assert "write" in capsys.readouterr().out
 
-    def test_unknown_workload_exits(self):
-        with pytest.raises(SystemExit):
-            main(["profile", "--workload", "nope"])
+    def test_unknown_workload_maps_to_config_exit_code(self, capsys):
+        assert main(["profile", "--workload", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error[ConfigurationError]:")
+        assert "nope" in err
+
+    def test_unreadable_fault_plan_maps_to_fault_exit_code(self, capsys, tmp_path):
+        missing = tmp_path / "no-such-plan.json"
+        assert main(["simulate", "svm", "--fault-plan", str(missing)]) == 4
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error[FaultError]:")
+        assert "\n" not in captured.err.strip()  # one structured line
+        assert "Traceback" not in captured.err
+
+    def test_bad_resilience_knob_maps_to_config_exit_code(self, capsys):
+        assert main(["simulate", "svm", "--max-task-attempts", "0"]) == 2
+        assert capsys.readouterr().err.startswith("error[ConfigurationError]:")
 
     def test_profile_small_workload(self, capsys):
         # SVM is the fastest built-in to profile.

@@ -36,3 +36,41 @@ class TestHierarchy:
             raise errors.ModelError("bandwidth must be positive")
         except errors.DoppioError as caught:
             assert "bandwidth" in str(caught)
+
+    def test_stage_failed_is_a_simulation_error_with_structure(self):
+        error = errors.StageFailedError(
+            stage="s0", task_id=3, attempts=4, stage_attempts=2,
+            reason="stream stalled",
+        )
+        assert isinstance(error, errors.SimulationError)
+        assert error.stage == "s0" and error.task_id == 3
+        assert "aborted" in str(error) and "stalled" in str(error)
+
+
+class TestExitCodes:
+    def test_config_class_maps_to_2(self):
+        assert errors.exit_code_for(errors.ConfigurationError("x")) == 2
+        assert errors.exit_code_for(errors.WorkloadError("x")) == 2
+
+    def test_fault_class_maps_to_4(self):
+        assert errors.exit_code_for(errors.FaultError("x")) == 4
+
+    def test_everything_else_maps_to_3(self):
+        for cls in (
+            errors.SimulationError,
+            errors.StorageError,
+            errors.ModelError,
+            errors.ProfilingError,
+            errors.OptimizationError,
+        ):
+            assert errors.exit_code_for(cls("x")) == 3
+        stage_failed = errors.StageFailedError("s", 0, 1, 1, "r")
+        assert errors.exit_code_for(stage_failed) == 3
+
+    def test_constants_are_distinct(self):
+        codes = {
+            errors.EXIT_OK, errors.EXIT_CONFIG_ERROR,
+            errors.EXIT_SIMULATION_ERROR, errors.EXIT_FAULT_ERROR,
+        }
+        assert len(codes) == 4
+        assert 1 not in codes  # reserved for unexpected crashes
