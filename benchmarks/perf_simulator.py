@@ -14,6 +14,14 @@ the performance trajectory is tracked across PRs:
 - ``resilience`` — the MD stage under a 2.5x straggler, unmitigated vs
   speculation + blacklisting, plus the armed-but-idle overhead on a
   clean run (guarded below 5%).
+- ``parallel`` — the PR-5 accelerators: the Fig. 13/15 grid searched
+  exhaustively vs bound-pruned (identical best required, speedup
+  guarded ≥3x), and a cold Fig.-3-shaped grid swept serially vs with
+  two worker processes (records bit-identical required; the ≥1.5x
+  wall-clock guard applies only on hosts with 2+ usable CPUs — on one
+  CPU the walls are still recorded, with the CPU count, for the
+  trajectory).  The warm replay through the parallel run's merged cache
+  also times the hoisted-fingerprint composition path.
 
 Run with::
 
@@ -84,6 +92,19 @@ MIN_CACHE_SPEEDUP = 2.0
 #: speculation policy may cost a clean run.
 STRAGGLER_SLOWDOWN = 2.5
 MAX_CLEAN_SPECULATION_OVERHEAD = 0.05
+
+#: Minimum cold-search speedup branch-and-bound pruning must deliver on
+#: the Fig. 13/15 grid (the ISSUE-5 target is 3x; measured ~6-7x).
+MIN_PRUNE_SPEEDUP = 3.0
+
+#: Minimum parallel-vs-serial wall-clock speedup with two workers —
+#: enforced only on hosts where two workers can actually run at once.
+MIN_PARALLEL_SPEEDUP = 1.5
+PARALLEL_WORKERS = 2
+
+#: The parallel grid: Fig.-3-shaped cold sweep, four cells so two
+#: workers can balance it.
+PARALLEL_GRID_CORES = (8, 12, 24, 36)
 
 
 def run_once() -> tuple[float, float]:
@@ -251,11 +272,119 @@ def bench_resilience() -> dict:
     }
 
 
+def bench_parallel(rounds: int) -> dict:
+    """PR-5 accelerators: bound-pruned search and process-parallel grids.
+
+    Correctness (identical best, bit-identical records) is asserted on
+    every run; the wall-clock guards live in :func:`check`.
+    """
+    import json as json_module
+
+    from repro.parallel import available_cpus
+    from repro.pipeline.experiment import Experiment
+    from repro.pipeline.sources import ResolvedSource
+
+    workload = make_gatk4_workload()
+    predictor = Predictor(Profiler(workload, nodes=3).profile())
+    hdfs_gb, local_gb = CostOptimizer.capacity_requirements(
+        workload, num_workers=10
+    )
+
+    def cold_search(**kwargs):
+        # A fresh optimizer per round: no cache, so the search is cold.
+        optimizer = CostOptimizer(
+            predictor, num_workers=10,
+            min_hdfs_gb=hdfs_gb, min_local_gb=local_gb,
+        )
+        start = time.perf_counter()
+        result = optimizer.grid_search(vcpu_grid=SEARCH_VCPUS, **kwargs)
+        return time.perf_counter() - start, result
+
+    exhaustive_walls, pruned_walls = [], []
+    exhaustive = pruned = None
+    for _ in range(max(1, rounds)):
+        wall, exhaustive = cold_search()
+        exhaustive_walls.append(wall)
+        wall, pruned = cold_search(prune=True)
+        pruned_walls.append(wall)
+    assert pruned.best.config == exhaustive.best.config, (
+        "pruned search must return the exhaustive optimum"
+    )
+    assert pruned.best.cost_dollars == exhaustive.best.cost_dollars
+
+    # Cold Fig.-3-shaped sweep, serial vs two worker processes, fresh
+    # caches on both sides so every cell really simulates.
+    def cold_grid(workers):
+        experiment = Experiment(
+            ResolvedSource(workload, predictor.report),
+            make_paper_cluster(SWEEP_SLAVES, HYBRID_CONFIGS[0]),
+        )
+        start = time.perf_counter()
+        results = experiment.run_grid(
+            nodes=(SWEEP_SLAVES,),
+            cores_per_node=PARALLEL_GRID_CORES,
+            workers=workers,
+        )
+        wall = time.perf_counter() - start
+        dump = json_module.dumps(
+            [r.to_dict() for r in results], sort_keys=True
+        )
+        return wall, dump, experiment
+
+    serial_wall, serial_dump, _ = cold_grid(None)
+    parallel_wall, parallel_dump, parallel_experiment = cold_grid(
+        PARALLEL_WORKERS
+    )
+    assert parallel_dump == serial_dump, (
+        "parallel grid records must be bit-identical to serial"
+    )
+
+    # Warm replay from the merged shards: times the hoisted-fingerprint
+    # composition path and proves the parallel run fully warmed its cache.
+    start = time.perf_counter()
+    replay = parallel_experiment.run_grid(
+        nodes=(SWEEP_SLAVES,), cores_per_node=PARALLEL_GRID_CORES
+    )
+    warm_wall = time.perf_counter() - start
+    assert json_module.dumps(
+        [r.to_dict() for r in replay], sort_keys=True
+    ) == serial_dump
+
+    return {
+        "benchmark": "pr5-parallel-and-pruning",
+        "search": {
+            "vcpu_grid": list(SEARCH_VCPUS),
+            "num_candidates": exhaustive.num_evaluated,
+            "best_config": pruned.best.config.label(),
+            "best_cost_dollars": round(pruned.best.cost_dollars, 4),
+            "exhaustive_wall_seconds": round(min(exhaustive_walls), 4),
+            "pruned_wall_seconds": round(min(pruned_walls), 4),
+            "pruned_evaluated": pruned.num_evaluated,
+            "pruned_skipped": pruned.num_pruned,
+            "prune_speedup": round(
+                min(exhaustive_walls) / min(pruned_walls), 2
+            ),
+        },
+        "grid": {
+            "num_slaves": SWEEP_SLAVES,
+            "core_counts": list(PARALLEL_GRID_CORES),
+            "workers": PARALLEL_WORKERS,
+            "usable_cpus": available_cpus(),
+            "serial_wall_seconds": round(serial_wall, 4),
+            "parallel_wall_seconds": round(parallel_wall, 4),
+            "parallel_speedup": round(serial_wall / parallel_wall, 2),
+            "warm_wall_seconds": round(warm_wall, 4),
+            "records_bit_identical": True,
+        },
+    }
+
+
 def collect(rounds: int) -> dict:
     result = bench_md_stage(rounds)
     result["core_sweep"] = bench_core_sweep()
     result["optimizer_search"] = bench_optimizer_search()
     result["resilience"] = bench_resilience()
+    result["parallel"] = bench_parallel(rounds)
     return result
 
 
@@ -346,6 +475,66 @@ def check(fresh: dict, baseline: dict) -> list[str]:
                     f"resilience: {field} changed:"
                     f" {resil[field]!r} vs baseline {base_r[field]!r}"
                 )
+
+    par = fresh["parallel"]
+    search, grid = par["search"], par["grid"]
+    # Fresh guards: pruning must pay for itself; parallelism must pay
+    # for itself wherever two workers can actually run at once.  (The
+    # identical-best and bit-identity guards are asserted inside
+    # bench_parallel on every run, --check or not.)
+    if search["prune_speedup"] < MIN_PRUNE_SPEEDUP:
+        failures.append(
+            f"parallel: bound-pruned search speedup {search['prune_speedup']}x"
+            f" is below the required {MIN_PRUNE_SPEEDUP}x"
+        )
+    if search["pruned_skipped"] == 0:
+        failures.append("parallel: the pruning bound discarded no candidates")
+    if (
+        grid["usable_cpus"] >= 2
+        and grid["parallel_speedup"] < MIN_PARALLEL_SPEEDUP
+    ):
+        failures.append(
+            f"parallel: {grid['workers']}-worker grid speedup"
+            f" {grid['parallel_speedup']}x is below the required"
+            f" {MIN_PARALLEL_SPEEDUP}x on {grid['usable_cpus']} CPUs"
+        )
+    base_p = baseline.get("parallel")
+    if base_p is not None:
+        if search["best_config"] != base_p["search"]["best_config"]:
+            failures.append(
+                "parallel: pruned-search optimum changed:"
+                f" {search['best_config']!r} vs baseline"
+                f" {base_p['search']['best_config']!r}"
+            )
+        if not close(
+            search["best_cost_dollars"],
+            base_p["search"]["best_cost_dollars"],
+            rel=1e-6,
+        ):
+            failures.append(
+                "parallel: pruned-search optimum cost changed:"
+                f" {search['best_cost_dollars']!r} vs baseline"
+                f" {base_p['search']['best_cost_dollars']!r}"
+            )
+        if search["pruned_wall_seconds"] > (
+            base_p["search"]["pruned_wall_seconds"] * WALL_TOLERANCE
+        ):
+            failures.append(
+                "parallel: pruned-search wall time regressed:"
+                f" {search['pruned_wall_seconds']}s vs baseline"
+                f" {base_p['search']['pruned_wall_seconds']}s"
+                f" (tolerance {WALL_TOLERANCE}x)"
+            )
+        if grid["warm_wall_seconds"] > (
+            base_p["grid"]["warm_wall_seconds"] * WALL_TOLERANCE
+        ):
+            failures.append(
+                "parallel: warm grid replay regressed:"
+                f" {grid['warm_wall_seconds']}s vs baseline"
+                f" {base_p['grid']['warm_wall_seconds']}s"
+                f" (tolerance {WALL_TOLERANCE}x) — fingerprint hoisting"
+                " or the shard merge slowed composition down"
+            )
     return failures
 
 
@@ -378,7 +567,11 @@ def main(argv: list[str] | None = None) -> int:
             f" md {result['wall_seconds_best']}s"
             f" (baseline {baseline['wall_seconds_best']}s),"
             f" sweep cache {result['core_sweep']['cache_speedup']}x,"
-            f" search cache {result['optimizer_search']['cache_speedup']}x"
+            f" search cache {result['optimizer_search']['cache_speedup']}x,"
+            f" prune {result['parallel']['search']['prune_speedup']}x,"
+            f" {result['parallel']['grid']['workers']}-worker grid"
+            f" {result['parallel']['grid']['parallel_speedup']}x"
+            f" on {result['parallel']['grid']['usable_cpus']} CPU(s)"
         )
         return 0
 

@@ -16,6 +16,8 @@ package layout:
 - :mod:`repro.workloads` — GATK4 and the five Section-V applications.
 - :mod:`repro.cloud` — Google Cloud disks, prices, and the cost optimizer.
 - :mod:`repro.analysis` — error metrics, sweeps, and report rendering.
+- :mod:`repro.parallel` — pluggable serial/process-pool execution
+  backends behind every ``workers=`` parameter (see docs/PERFORMANCE.md).
 
 Quickstart::
 
@@ -38,6 +40,12 @@ from repro.core import (
     StageModel,
 )
 from repro.cluster import Cluster, HYBRID_CONFIGS, make_paper_cluster
+from repro.parallel import (
+    ProcessPoolBackend,
+    SerialBackend,
+    available_cpus,
+    resolve_backend,
+)
 from repro.spark import DoppioContext, SparkConf
 from repro.storage import make_hdd, make_ssd
 from repro.workloads import (
@@ -61,6 +69,10 @@ __all__ = [
     "Cluster",
     "HYBRID_CONFIGS",
     "make_paper_cluster",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "available_cpus",
+    "resolve_backend",
     "DoppioContext",
     "SparkConf",
     "make_hdd",

@@ -37,12 +37,16 @@ def sweep_cores(
     cluster: Cluster,
     core_counts: Sequence[int],
     cache: ResultCache | None = None,
+    workers: int | None = None,
 ) -> list[SweepPoint]:
     """Measure and predict every stage across per-node core counts.
 
     Runs through the experiment pipeline: pass a shared ``cache`` and
     points already simulated — by an earlier sweep, a validation run, or
     another process via a cache file — are reused bit-identically.
+    ``workers`` fans the core-count axis across a
+    :mod:`repro.parallel` process pool (``None``/``1`` serial, ``0``
+    auto-sized); the points come back bit-identical either way.
     """
     # Imported here: repro.analysis is a pipeline dependency (error
     # metrics), so the orchestration layer cannot be a module-level one.
@@ -52,9 +56,13 @@ def sweep_cores(
     experiment = Experiment(
         ResolvedSource(workload, predictor.report), cluster, cache=cache
     )
+    results = experiment.run_grid(
+        nodes=(cluster.num_slaves,),
+        cores_per_node=tuple(core_counts),
+        workers=workers,
+    )
     points: list[SweepPoint] = []
-    for cores in core_counts:
-        result = experiment.run(cluster.num_slaves, cores)
+    for cores, result in zip(core_counts, results):
         stage_points = tuple(
             ExpVsModel(
                 label=f"{stage.name}@P={cores}",

@@ -25,11 +25,18 @@ Commands
 Exit codes: 0 on success, 2 for configuration errors, 3 for simulation
 or model errors (including resilience-budget exhaustion), 4 for
 malformed fault plans; 1 stays reserved for unexpected crashes.
-``pipeline --workload NAME [...] [--json] [--cache FILE]``
+``pipeline --workload NAME [...] [--json] [--cache FILE] [--workers K]``
     Run the full loop — simulate, profile, predict — and print exp vs
     model per stage with error rates (one experiment-pipeline run).
-``optimize --workload NAME [--workers N]``
+    ``--workers K`` fans the repeated runs across K worker processes
+    (``0`` = auto-size to the CPUs); results are bit-identical to
+    serial.
+``optimize --workload NAME [--cluster-workers N] [--workers K] [--prune]``
     Search cloud configurations for the cheapest run (Section VI).
+    ``--cluster-workers`` is the modeled cluster's node count ``N``;
+    ``--workers K`` parallelizes the candidate evaluations and
+    ``--prune`` enables the branch-and-bound lower-bound search — both
+    return the identical optimum (see docs/PERFORMANCE.md).
 
 Every command is a thin veneer over :mod:`repro.pipeline`: inputs become
 workload sources and platforms, results are uniform run records, and a
@@ -471,7 +478,9 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         source, _cluster_platform(args), cache=cache, network=_network(args),
         faults=_fault_plan(args), resilience=policy,
     )
-    results = experiment.run_repeated(args.slaves, args.cores, runs=args.runs)
+    results = experiment.run_repeated(
+        args.slaves, args.cores, runs=args.runs, workers=args.workers
+    )
     _save_cache(cache)
     first = results[0]
 
@@ -528,17 +537,20 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         ClusterPlatform(),
         cache=cache,
     )
+    nodes = args.cluster_workers
     hdfs_gb, local_gb = CostOptimizer.capacity_requirements(
-        workload, num_workers=args.workers
+        workload, num_workers=nodes
     )
     optimizer = CostOptimizer(
-        experiment.predictor, num_workers=args.workers,
+        experiment.predictor, num_workers=nodes,
         min_hdfs_gb=hdfs_gb, min_local_gb=local_gb,
         cache=cache,
     )
-    result = optimizer.grid_search(vcpu_grid=(4, 8, 16, 32))
-    r1 = optimizer.evaluate(r1_spark_recommendation(num_workers=args.workers))
-    r2 = optimizer.evaluate(r2_cloudera_recommendation(num_workers=args.workers))
+    result = optimizer.grid_search(
+        vcpu_grid=(4, 8, 16, 32), workers=args.workers, prune=args.prune
+    )
+    r1 = optimizer.evaluate(r1_spark_recommendation(num_workers=nodes))
+    r2 = optimizer.evaluate(r2_cloudera_recommendation(num_workers=nodes))
     _save_cache(cache)
     rows = [
         ["optimum", result.best.config.label(),
@@ -549,13 +561,26 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         ["R2 (Cloudera)", r2.config.label(), fmt_duration(r2.runtime_seconds),
          f"${r2.cost_dollars:.2f}"],
     ]
+    pruned = (
+        f", {result.num_pruned} bound-pruned" if result.num_pruned else ""
+    )
     print(render_table(
         f"cheapest cloud configuration for {workload.name}"
-        f" ({result.num_evaluated} candidates)",
+        f" ({result.num_evaluated} candidates{pruned})",
         ["config", "details", "runtime", "cost"], rows))
     print(f"savings: {result.savings_versus(r1) * 100:.0f}% vs R1,"
           f" {result.savings_versus(r2) * 100:.0f}% vs R2")
     return 0
+
+
+def _add_workers_flag(sub: argparse.ArgumentParser) -> None:
+    """The process-parallelism flag shared by ``pipeline`` and ``optimize``."""
+    sub.add_argument(
+        "--workers", type=int, default=None, metavar="K",
+        help="fan independent evaluations across K worker processes"
+             " (0 = auto-size to the available CPUs; results are"
+             " bit-identical to serial)",
+    )
 
 
 def _add_resilience_flags(sub: argparse.ArgumentParser) -> None:
@@ -660,13 +685,22 @@ def build_parser() -> argparse.ArgumentParser:
                           help="emit RunResult records as JSON")
     pipeline.add_argument("--cache", default=None,
                           help="pipeline result-cache file to reuse/update")
+    _add_workers_flag(pipeline)
 
     optimize = sub.add_parser("optimize", help="cloud cost optimization")
     optimize.add_argument("--workload", required=True)
-    optimize.add_argument("--workers", type=int, default=10)
+    optimize.add_argument("--cluster-workers", type=int, default=10,
+                          metavar="N",
+                          help="modeled cluster size N (the paper fixes 10"
+                               " slaves)")
     optimize.add_argument("--profile-nodes", type=int, default=3)
     optimize.add_argument("--cache", default=None,
                           help="pipeline result-cache file to reuse/update")
+    optimize.add_argument("--prune", action="store_true",
+                          help="branch-and-bound search on the Eq.-1 cost"
+                               " lower bound (same optimum, fewer model"
+                               " evaluations)")
+    _add_workers_flag(optimize)
 
     return parser
 

@@ -1,0 +1,178 @@
+"""Admissible Eq.-1 runtime and cost lower bounds for search pruning.
+
+A full candidate evaluation builds two bandwidth tables, a resource
+registry, and a stage model per stage before evaluating Equation 1.
+Most of that work is invariant across the optimizer's grid: the profiled
+stages never change, and only ``(N, P, disk kind, disk size)`` vary.
+:class:`RuntimeLowerBound` precomputes the per-stage constants once and
+then bounds each candidate with a handful of float operations:
+
+    t_app >= sum_stages max(t_scale, t_read_lb, t_write_lb)
+
+where the ``t_scale`` term is *exact* (it does not depend on disks) and
+each I/O limit term replaces every channel's effective bandwidth with
+:func:`~repro.cloud.disks.bandwidth_upper_bound` — an over-estimate of
+the bandwidth the real model would read from the built tables, so the
+resulting ``D / (N * BW)`` terms under-estimate the model's.  Every
+remaining operation mirrors :class:`~repro.core.stage_model.StageModel`
+(same fill and delta constants, same ``max(0, .)`` clamps, channels
+grouped per device role with unknown roles skipped), and all of these
+transformations are monotone, so the bound can only drop below the true
+Eq.-1 runtime — never above it.  Cost is monotone in runtime
+(``Cost = hourly_rate * Time / 3600`` with a runtime-independent rate),
+so a runtime lower bound yields a cost lower bound.
+
+Admissibility is what makes branch-and-bound exact: a candidate is
+discarded only when even its *optimistic* cost cannot beat the incumbent,
+so :meth:`CostOptimizer.grid_search(prune=True)
+<repro.cloud.optimizer.CostOptimizer.grid_search>` provably returns the
+same ``best`` as exhaustive search (property-tested in
+``tests/properties/test_parallel.py``; derivation in
+``docs/PERFORMANCE.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.disks import bandwidth_upper_bound
+from repro.cloud.pricing import CloudConfiguration
+from repro.core.profiler import ProfilingReport
+
+#: Multiplicative safety margin on the bound.  The table's log-space
+#: round-trip (``exp(log(bw))``) can land one ulp *above* the spec value
+#: exactly at an anchor size; shaving a relative 1e-9 off the bound
+#: absorbs that drift while costing essentially no pruning power.
+_SAFETY = 1.0 - 1e-9
+
+#: Device roles the optimizer provisions disks for.
+_DISK_ROLES = ("hdfs", "local")
+
+
+@dataclass(frozen=True)
+class _ChannelTerm:
+    """One non-empty channel's static half of ``D / (N * BW)``."""
+
+    role: str
+    total_bytes: float
+    request_size: float
+    is_write: bool
+
+
+@dataclass(frozen=True)
+class _StageTerms:
+    """Per-stage constants of Equation 1, device-independent."""
+
+    num_tasks: int
+    t_avg: float
+    gc_coeff: float
+    delta_scale: float
+    fill_seconds: float
+    delta_read: float
+    delta_write: float
+    read_channels: tuple[_ChannelTerm, ...]
+    write_channels: tuple[_ChannelTerm, ...]
+
+
+class RuntimeLowerBound:
+    """Per-candidate lower bound on the Eq.-1 job runtime (admissible).
+
+    Built once per search from the profiling report; each
+    :meth:`runtime_bound` call is pure arithmetic — no bandwidth tables,
+    no registry, no stage models.
+    """
+
+    def __init__(self, report: ProfilingReport) -> None:
+        stages = []
+        for stage in report.stages:
+            reads, writes = [], []
+            for channel in stage.channels:
+                # The model skips empty channels; channels on roles the
+                # optimizer provisions no disk for are treated as
+                # infinitely fast here (dropping a term only lowers the
+                # bound, keeping it admissible).
+                if channel.total_bytes == 0 or channel.role not in _DISK_ROLES:
+                    continue
+                term = _ChannelTerm(
+                    role=channel.role,
+                    total_bytes=channel.total_bytes,
+                    request_size=channel.request_size,
+                    is_write=channel.is_write,
+                )
+                (writes if channel.is_write else reads).append(term)
+            stages.append(
+                _StageTerms(
+                    num_tasks=stage.num_tasks,
+                    t_avg=stage.t_avg,
+                    gc_coeff=stage.gc_coeff,
+                    delta_scale=stage.delta_scale,
+                    fill_seconds=stage.fill_seconds,
+                    delta_read=stage.delta_read,
+                    delta_write=stage.delta_write,
+                    read_channels=tuple(reads),
+                    write_channels=tuple(writes),
+                )
+            )
+        self._stages = tuple(stages)
+
+    def runtime_bound(self, config: CloudConfiguration) -> float:
+        """Seconds the job takes on ``config`` at the very least."""
+        nodes = config.num_workers
+        cores = config.cores_per_node
+        disks = {
+            "hdfs": (config.hdfs_disk_kind, config.hdfs_disk_gb),
+            "local": (config.local_disk_kind, config.local_disk_gb),
+        }
+        total = 0.0
+        for stage in self._stages:
+            # Exact t_scale: same operation order and clamp as StageModel.
+            per_task = stage.t_avg + stage.gc_coeff * cores
+            t_scale = (
+                stage.num_tasks / (nodes * cores) * per_task
+                + stage.delta_scale
+            )
+            if t_scale < 0.0:
+                t_scale = 0.0
+            t_read = self._limit_bound(
+                stage.read_channels, disks, nodes,
+                stage.fill_seconds, stage.delta_read,
+            )
+            t_write = self._limit_bound(
+                stage.write_channels, disks, nodes,
+                stage.fill_seconds, stage.delta_write,
+            )
+            total += max(t_scale, t_read, t_write)
+        return total * _SAFETY
+
+    def cost_bound(self, config: CloudConfiguration) -> float:
+        """Dollars the job costs on ``config`` at the very least."""
+        return config.cost_for_runtime(self.runtime_bound(config))
+
+    @staticmethod
+    def _limit_bound(
+        channels: tuple[_ChannelTerm, ...],
+        disks: dict[str, tuple[str, float]],
+        nodes: int,
+        fill_seconds: float,
+        delta: float,
+    ) -> float:
+        """Mirror of ``StageModel.t_read_limit``/``t_write_limit``.
+
+        Per-role ``D / BW_ub`` sums, max across roles, then
+        ``per_node / N + fill + delta`` with the model's clamps — except
+        ``BW_ub >= BW_table``, so the result is <= the model's term.
+        """
+        per_role: dict[str, float] = {}
+        for channel in channels:
+            kind, size_gb = disks[channel.role]
+            ceiling = bandwidth_upper_bound(
+                kind, size_gb, channel.request_size, channel.is_write
+            )
+            per_role[channel.role] = (
+                per_role.get(channel.role, 0.0)
+                + channel.total_bytes / ceiling
+            )
+        if not per_role:
+            return 0.0
+        value = max(per_role.values()) / nodes + fill_seconds + delta
+        return value if value > 0.0 else 0.0

@@ -13,6 +13,19 @@ Two strategies are provided: exhaustive ``grid_search`` (the space is only
 a few thousand points) and ``coordinate_descent``, the discrete analogue
 of the gradient-descent procedure the paper describes; both honour
 capacity feasibility (disks must actually hold the job's data).
+
+``grid_search`` additionally takes two independent accelerators:
+
+- ``workers=k`` fans candidate evaluations across a
+  :mod:`repro.parallel` process pool (order-preserving, so results and
+  the winner are bit-identical to serial);
+- ``prune=True`` runs branch-and-bound on the admissible
+  :class:`~repro.cloud.bounds.RuntimeLowerBound`: candidates whose
+  optimistic cost already meets or exceeds the incumbent best are
+  discarded without building their models.  The pruned search provably
+  returns the same ``best`` as exhaustive (see
+  ``docs/PERFORMANCE.md``), and the result reports evaluated-vs-pruned
+  counts.
 """
 
 from __future__ import annotations
@@ -20,15 +33,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.cloud.bounds import RuntimeLowerBound
 from repro.cloud.disks import SPEC_BY_KIND, make_persistent_disk
 from repro.cloud.instance import machine_for_vcpus
 from repro.cloud.pricing import CloudConfiguration
 from repro.core.predictor import Predictor
 from repro.errors import OptimizationError
+from repro.parallel import ExecutionBackend, resolve_backend
 from repro.units import GB
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.pipeline.cache import ResultCache
+
+#: Candidates bound-checked per branch-and-bound round.  Fixed (rather
+#: than scaled to the worker count) so the evaluated/pruned counts of a
+#: pruned search are identical no matter how many workers score it.
+_PRUNE_CHUNK = 64
 
 #: Default provisioned-size grid, in GB (the paper sweeps 20 GB - 4 TB).
 DEFAULT_SIZE_GRID_GB: tuple[float, ...] = (
@@ -55,15 +75,27 @@ class EvaluatedConfiguration:
 
 @dataclass(frozen=True)
 class OptimizationResult:
-    """Search outcome: the winner plus every point evaluated."""
+    """Search outcome: the winner plus every point evaluated.
+
+    ``num_pruned`` counts the feasible candidates a branch-and-bound
+    search discarded on their cost lower bound alone (0 for exhaustive
+    searches); ``num_evaluated + num_pruned`` is the whole feasible
+    grid.
+    """
 
     best: EvaluatedConfiguration
     evaluated: tuple[EvaluatedConfiguration, ...]
+    num_pruned: int = 0
 
     @property
     def num_evaluated(self) -> int:
         """How many feasible configurations were scored."""
         return len(self.evaluated)
+
+    @property
+    def num_considered(self) -> int:
+        """Feasible grid size: scored plus bound-pruned candidates."""
+        return self.num_evaluated + self.num_pruned
 
     def savings_versus(self, other: EvaluatedConfiguration) -> float:
         """Fractional cost saving of the winner vs. a reference config."""
@@ -123,23 +155,27 @@ class CostOptimizer:
         """Model-predicted job runtime on ``config``, in seconds."""
         if self.cache is None:
             return self._predict_fresh(config).t_app
+        key = self._candidate_key(config)
+        prediction = self.cache.get_prediction(key)
+        if prediction is None:
+            prediction = self._predict_fresh(config)
+            self.cache.put_prediction(key, prediction)
+        return prediction.t_app
+
+    def _candidate_key(self, config: CloudConfiguration) -> str:
+        """The pipeline's content-addressed prediction key for a candidate."""
         # Imported here: repro.cloud is a pipeline dependency (platform
         # construction), so the dependency cannot run the other way at
         # module level.
         from repro.pipeline.cache import prediction_key
         from repro.pipeline.platforms import CloudPlatform
 
-        key = prediction_key(
+        return prediction_key(
             self._report_fingerprint(),
             CloudPlatform(config).fingerprint(),
             config.num_workers,
             config.cores_per_node,
         )
-        prediction = self.cache.get_prediction(key)
-        if prediction is None:
-            prediction = self._predict_fresh(config)
-            self.cache.put_prediction(key, prediction)
-        return prediction.t_app
 
     def _predict_fresh(self, config: CloudConfiguration):
         devices = {
@@ -198,12 +234,57 @@ class CostOptimizer:
         disk_kinds: tuple[str, ...] = ("pd-standard", "pd-ssd"),
         hdfs_sizes_gb: tuple[float, ...] = DEFAULT_SIZE_GRID_GB,
         local_sizes_gb: tuple[float, ...] = DEFAULT_SIZE_GRID_GB,
+        workers: int | None = None,
+        prune: bool = False,
     ) -> OptimizationResult:
-        """Exhaustively score every feasible grid point."""
+        """Score every feasible grid point; ``best`` is always the optimum.
+
+        ``workers`` fans candidate evaluations across a
+        :mod:`repro.parallel` process pool (``None``/``1`` serial, ``0``
+        auto-sized, ``k > 1`` that many processes); ``prune=True``
+        switches to branch-and-bound on the admissible
+        :class:`~repro.cloud.bounds.RuntimeLowerBound`.  All four
+        combinations return the identical ``best`` (and, without
+        pruning, the identical ``evaluated`` tuple) — only wall-clock
+        time and the evaluated/pruned split change.
+        """
         for kind in disk_kinds:
             if kind not in SPEC_BY_KIND:
                 raise OptimizationError(f"unknown disk kind {kind!r}")
-        evaluated: list[EvaluatedConfiguration] = []
+        candidates = self._grid_candidates(
+            vcpu_grid, disk_kinds, hdfs_sizes_gb, local_sizes_gb
+        )
+        if not candidates:
+            raise OptimizationError("no feasible configuration on the grid")
+        backend = resolve_backend(
+            workers,
+            initializer=_init_search_worker,
+            initargs=(self._worker_payload(),),
+        )
+        try:
+            if prune:
+                evaluated, best, pruned = self._search_pruned(
+                    candidates, backend
+                )
+            else:
+                evaluated = self._score_batch(candidates, backend)
+                best = min(evaluated, key=lambda e: e.cost_dollars)
+                pruned = 0
+        finally:
+            backend.shutdown()
+        return OptimizationResult(
+            best=best, evaluated=tuple(evaluated), num_pruned=pruned
+        )
+
+    def _grid_candidates(
+        self,
+        vcpu_grid: tuple[int, ...],
+        disk_kinds: tuple[str, ...],
+        hdfs_sizes_gb: tuple[float, ...],
+        local_sizes_gb: tuple[float, ...],
+    ) -> list[CloudConfiguration]:
+        """Feasible grid points in canonical (nested-loop) order."""
+        candidates: list[CloudConfiguration] = []
         for vcpus in vcpu_grid:
             for hdfs_kind in disk_kinds:
                 for hdfs_gb in hdfs_sizes_gb:
@@ -213,14 +294,102 @@ class CostOptimizer:
                         for local_gb in local_sizes_gb:
                             if local_gb < self.min_local_gb:
                                 continue
-                            config = self.make_config(
+                            candidates.append(self.make_config(
                                 vcpus, hdfs_kind, hdfs_gb, local_kind, local_gb
-                            )
-                            evaluated.append(self.evaluate(config))
-        if not evaluated:
-            raise OptimizationError("no feasible configuration on the grid")
-        best = min(evaluated, key=lambda e: e.cost_dollars)
-        return OptimizationResult(best=best, evaluated=tuple(evaluated))
+                            ))
+        return candidates
+
+    def _score_batch(
+        self,
+        configs: list[CloudConfiguration],
+        backend: ExecutionBackend,
+    ) -> list[EvaluatedConfiguration]:
+        """Score candidates in order, through the backend when parallel.
+
+        With a parallel backend, candidates whose predictions are
+        already cached are scored in-process (a dictionary hit costs
+        less than a pickle round-trip) and only cold candidates cross
+        the pool; fresh predictions are folded back into the parent's
+        cache, so warm reruns never fork.  The composed
+        ``EvaluatedConfiguration`` is arithmetic over the prediction,
+        identical either side of the pipe.
+        """
+        if not configs:
+            return []
+        if backend.workers == 1:
+            return [self.evaluate(config) for config in configs]
+        scored: dict[int, EvaluatedConfiguration] = {}
+        cold: list[tuple[int, CloudConfiguration]] = []
+        if self.cache is None:
+            cold = list(enumerate(configs))
+        else:
+            for index, config in enumerate(configs):
+                if self.cache.contains_prediction(self._candidate_key(config)):
+                    scored[index] = self.evaluate(config)
+                else:
+                    cold.append((index, config))
+        predictions = backend.map(
+            _score_search_candidate, [config for _, config in cold]
+        )
+        for (index, config), prediction in zip(cold, predictions):
+            runtime = prediction.t_app
+            scored[index] = EvaluatedConfiguration(
+                config=config,
+                runtime_seconds=runtime,
+                cost_dollars=config.cost_for_runtime(runtime),
+            )
+            if self.cache is not None:
+                key = self._candidate_key(config)
+                if not self.cache.contains_prediction(key):
+                    self.cache.put_prediction(key, prediction)
+        return [scored[index] for index in range(len(configs))]
+
+    def _search_pruned(
+        self,
+        candidates: list[CloudConfiguration],
+        backend: ExecutionBackend,
+    ) -> tuple[list[EvaluatedConfiguration], EvaluatedConfiguration, int]:
+        """Branch-and-bound in grid order; same ``best`` as exhaustive.
+
+        Candidates are consumed in fixed-size chunks: each chunk is
+        bound-filtered against the incumbent, its survivors scored (in
+        order, possibly in parallel), and the incumbent advanced with a
+        strict ``<`` — the same tie-break as ``min`` over the full grid.
+        The exhaustive winner is the *first* global minimum in grid
+        order; when its chunk arrives the incumbent still costs strictly
+        more, so its (admissible) bound can never reach the incumbent
+        and it is always evaluated — hence ``best`` is identical.
+        """
+        bound = RuntimeLowerBound(self.predictor.report)
+        evaluated: list[EvaluatedConfiguration] = []
+        best: EvaluatedConfiguration | None = None
+        pruned = 0
+        for start in range(0, len(candidates), _PRUNE_CHUNK):
+            chunk = candidates[start:start + _PRUNE_CHUNK]
+            survivors: list[CloudConfiguration] = []
+            for config in chunk:
+                if (
+                    best is not None
+                    and bound.cost_bound(config) >= best.cost_dollars
+                ):
+                    pruned += 1
+                else:
+                    survivors.append(config)
+            for item in self._score_batch(survivors, backend):
+                evaluated.append(item)
+                if best is None or item.cost_dollars < best.cost_dollars:
+                    best = item
+        assert best is not None  # candidates is non-empty
+        return evaluated, best, pruned
+
+    def _worker_payload(self) -> tuple:
+        """Picklable constructor arguments for a worker-side optimizer."""
+        return (
+            self.predictor.report,
+            self.num_workers,
+            self.min_hdfs_gb,
+            self.min_local_gb,
+        )
 
     def coordinate_descent(
         self,
@@ -333,3 +502,29 @@ def _adjacent(grid: list, value) -> list:
     if above:
         candidates.append(above[0])
     return candidates
+
+
+# -- worker-process side ------------------------------------------------------
+
+#: Per-worker-process optimizer, installed by :func:`_init_search_worker`.
+_SEARCH_OPTIMIZER: CostOptimizer | None = None
+
+
+def _init_search_worker(payload: tuple) -> None:
+    """Pool initializer: rebuild the optimizer once per worker process."""
+    global _SEARCH_OPTIMIZER
+    report, num_workers, min_hdfs_gb, min_local_gb = payload
+    _SEARCH_OPTIMIZER = CostOptimizer(
+        Predictor(report),
+        num_workers=num_workers,
+        min_hdfs_gb=min_hdfs_gb,
+        min_local_gb=min_local_gb,
+    )
+
+
+def _score_search_candidate(config: CloudConfiguration):
+    """Task function: one candidate's fresh Eq.-1 prediction."""
+    optimizer = _SEARCH_OPTIMIZER
+    if optimizer is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("search worker used before initialization")
+    return optimizer._predict_fresh(config)

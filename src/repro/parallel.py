@@ -1,0 +1,193 @@
+"""Pluggable process-parallel execution backends.
+
+The pipeline's expensive loops — :meth:`Experiment.run_grid` cells,
+:meth:`CostOptimizer.grid_search` candidates — are embarrassingly
+parallel: every item is an independent, deterministic computation keyed
+purely by its inputs.  This module supplies the execution seam those
+loops fan out through:
+
+- :class:`SerialBackend` — run everything in-process, in order (the
+  default; byte-for-byte the historical behaviour);
+- :class:`ProcessPoolBackend` — fan items across a
+  :class:`concurrent.futures.ProcessPoolExecutor`, auto-sized to the
+  CPUs this process may actually use.
+
+Both satisfy the :class:`ExecutionBackend` protocol, whose single
+obligation makes parallelism safe to offer everywhere: **``map`` returns
+results in the order of its inputs** (``concurrent.futures`` guarantees
+this regardless of completion order).  Since every mapped function is
+deterministic, a caller that merges results positionally gets output
+bit-identical to a serial run — the invariant the property suite in
+``tests/properties/test_parallel.py`` pins down.
+
+Worker processes often need one-time, per-process state (e.g. a rebuilt
+``Experiment``); pass ``initializer``/``initargs`` to
+:func:`resolve_backend` and the pool forwards them to each worker on
+start, exactly like ``ProcessPoolExecutor`` does.  See
+``docs/PERFORMANCE.md`` for when ``workers=`` actually helps.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+
+#: ``workers=AUTO_WORKERS`` sizes the pool to :func:`available_cpus`.
+AUTO_WORKERS = 0
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware).
+
+    ``os.cpu_count`` reports the machine; a container or ``taskset`` may
+    allow fewer.  Falls back to ``cpu_count`` where affinity is not a
+    concept (macOS, Windows).
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """The execution seam: ordered ``map`` over independent items.
+
+    Implementations must return results **in input order** and may not
+    drop or duplicate items; beyond that, how and where the function
+    runs is theirs to choose.  ``shutdown`` releases whatever the
+    backend holds (processes, threads); backends are context managers
+    that call it on exit.
+    """
+
+    workers: int
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> list[Any]: ...
+
+    def shutdown(self) -> None: ...
+
+
+class SerialBackend:
+    """Everything in-process, in order — the degenerate one-worker pool.
+
+    Runs ``initializer`` once (lazily, before the first mapped item) so
+    task functions relying on initializer-installed state work
+    identically under both backends.
+    """
+
+    workers = 1
+
+    def __init__(
+        self,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+    ) -> None:
+        self._initializer = initializer
+        self._initargs = initargs
+        self._initialized = False
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        items = list(items)
+        if items and not self._initialized and self._initializer is not None:
+            self._initializer(*self._initargs)
+            self._initialized = True
+        return [fn(item) for item in items]
+
+    def shutdown(self) -> None:
+        """Nothing to release."""
+
+    def __enter__(self) -> SerialBackend:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+class ProcessPoolBackend:
+    """Fan items across worker processes (``concurrent.futures``).
+
+    The executor is created lazily on the first non-empty :meth:`map`,
+    so building a backend costs nothing when every item turns out to be
+    a cache hit.  Items are chunked (several per pickle round-trip) to
+    amortize IPC; ``Executor.map`` preserves input order, which is what
+    makes positional merges bit-identical to serial execution.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+    ) -> None:
+        if workers is None:
+            workers = available_cpus()
+        if workers < 1:
+            raise ConfigurationError(
+                f"process pool needs at least one worker, got {workers}"
+            )
+        self.workers = workers
+        self._initializer = initializer
+        self._initargs = initargs
+        self._executor: ProcessPoolExecutor | None = None
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        items = list(items)
+        if not items:
+            return []
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+        # ~4 chunks per worker balances pickling overhead against skew.
+        chunksize = max(1, -(-len(items) // (self.workers * 4)))
+        return list(self._executor.map(fn, items, chunksize=chunksize))
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> ProcessPoolBackend:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def resolve_backend(
+    workers: int | None,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
+) -> ExecutionBackend:
+    """Turn a ``workers=`` argument into a backend.
+
+    - ``None`` or ``1`` — :class:`SerialBackend` (the default
+      everywhere: no processes, historical behaviour);
+    - :data:`AUTO_WORKERS` (``0``) — auto-size to
+      :func:`available_cpus`; degenerates to serial on a 1-CPU host;
+    - ``k > 1`` — :class:`ProcessPoolBackend` with ``k`` workers;
+    - anything else — :class:`~repro.errors.ConfigurationError`.
+    """
+    if workers is None:
+        return SerialBackend(initializer, initargs)
+    if not isinstance(workers, int) or isinstance(workers, bool):
+        raise ConfigurationError(
+            f"workers must be an int or None, got {workers!r}"
+        )
+    if workers == 1:
+        return SerialBackend(initializer, initargs)
+    if workers == AUTO_WORKERS:
+        count = available_cpus()
+        if count == 1:
+            return SerialBackend(initializer, initargs)
+        return ProcessPoolBackend(count, initializer, initargs)
+    if workers < 0:
+        raise ConfigurationError(f"workers must be >= 0, got {workers}")
+    return ProcessPoolBackend(workers, initializer, initargs)

@@ -17,6 +17,21 @@ file) across processes:
 Entries are exact-key lookups of deterministic computations, so a cache
 hit returns bit-identical results to a fresh run; hit/miss counters let
 benchmarks report the reuse rate.
+
+Concurrent writers
+------------------
+The file format is safe under multiple writers because every key is
+content-addressed: two processes that compute the same key compute the
+same value, so whichever :meth:`ResultCache.save` lands last merely
+rewrites identical bytes for the shared entries.  Each save is atomic
+(temp file + ``os.replace``), so a reader — or a concurrent loader — can
+never observe a torn file: it sees one writer's complete snapshot or the
+other's, and the worst interleaving outcome is that entries unique to
+the *earlier* snapshot are absent from the later one and get recomputed.
+Parallel grids avoid even that loss by funnelling worker-side entries
+through :meth:`ResultCache.merge_shard` in the parent, which then
+performs the single authoritative save.  The interleaved-writer test in
+``tests/unit/pipeline/test_cache.py`` pins this down.
 """
 
 from __future__ import annotations
@@ -158,6 +173,74 @@ class ResultCache:
 
     def put_report(self, key: str, value: ProfilingReport) -> None:
         self._reports[key] = value
+
+    # -- presence peeks ------------------------------------------------------
+
+    def contains_measurement(self, key: str) -> bool:
+        """Presence check that does not touch the hit/miss counters.
+
+        Parallel grids use this to pre-split cells into warm and cold
+        *before* dispatching; the real counted lookup still happens when
+        the cell's record is composed, so stats keep meaning "lookups
+        performed on behalf of results returned".
+        """
+        return key in self._measurements
+
+    def contains_prediction(self, key: str) -> bool:
+        """Counter-free presence check for a prediction key."""
+        return key in self._predictions
+
+    # -- worker shards -------------------------------------------------------
+
+    def _sections(self):
+        return (
+            ("measurements", self._measurements),
+            ("predictions", self._predictions),
+            ("reports", self._reports),
+        )
+
+    def export_shard(self, exclude: set[str] = frozenset()) -> dict[str, dict]:
+        """Snapshot entries not yet exported, for shipping to a merger.
+
+        Returns ``{"measurements": {...}, "predictions": {...},
+        "reports": {...}}`` holding the live objects whose qualified keys
+        (see :meth:`shard_keys`) are absent from ``exclude``.  Worker
+        processes call this after each task and track the union of
+        exported keys, so every fresh entry crosses the pipe exactly
+        once.
+        """
+        shard: dict[str, dict] = {}
+        for section, store in self._sections():
+            shard[section] = {
+                key: value
+                for key, value in store.items()
+                if f"{section}:{key}" not in exclude
+            }
+        return shard
+
+    @staticmethod
+    def shard_keys(shard: dict[str, dict]) -> set[str]:
+        """Qualified ``section:key`` names of a shard's entries."""
+        return {
+            f"{section}:{key}"
+            for section, entries in shard.items()
+            for key in entries
+        }
+
+    def merge_shard(self, shard: dict[str, dict]) -> int:
+        """Fold an :meth:`export_shard` snapshot in; returns entries added.
+
+        First writer wins on key collisions — keys are content-addressed,
+        so colliding values are identical and keeping the resident object
+        preserves ``is``-level stability for anything already handed out.
+        """
+        merged = 0
+        for section, store in self._sections():
+            for key, value in shard.get(section, {}).items():
+                if key not in store:
+                    store[key] = value
+                    merged += 1
+        return merged
 
     # -- bookkeeping ---------------------------------------------------------
 

@@ -16,23 +16,37 @@ Every product is memoized in the experiment's :class:`~repro.pipeline
 .cache.ResultCache` under content-addressed keys, so repeated points —
 within a sweep, across sweeps, or across a whole optimizer search — cost
 a dictionary lookup and return bit-identical records.
+
+Grid cells are independent deterministic computations, so
+:meth:`run_grid` (and :meth:`run_repeated`, which delegates to it) takes
+``workers=`` and fans cold cells across a
+:mod:`repro.parallel` process pool: each worker rebuilds the experiment
+from a pickled ``(spec, report, platform, ...)`` payload, simulates its
+cells into a private in-memory cache, and ships the fresh entries back
+as shards; the parent merges the shards and composes every record
+in-order from the now-warm cache — which is why parallel output is
+bit-identical to serial (see ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.cluster.network import NetworkModel
 from repro.core.app_model import ApplicationPrediction
+from repro.core.profiler import ProfilingReport
 from repro.faults.plan import FaultPlan
 from repro.core.predictor import Predictor
 from repro.errors import ConfigurationError
+from repro.parallel import resolve_backend
 from repro.pipeline.cache import ResultCache, prediction_key, run_key
 from repro.pipeline.platforms import Platform, as_platform
 from repro.pipeline.records import RunResult, compose_run_result
 from repro.pipeline.sources import ResolvedWorkload, WorkloadSource, as_source
 from repro.resilience import ResiliencePolicy
 from repro.simulator.run import ApplicationMeasurement
+from repro.workloads.base import WorkloadSpec
 from repro.workloads.runner import measure_workload
 
 #: Sentinel for "use the experiment's own fault plan" on per-call
@@ -41,6 +55,25 @@ _DEFAULT_FAULTS = object()
 
 #: Same trick for per-call ``resilience=`` overrides.
 _DEFAULT_RESILIENCE = object()
+
+
+@dataclass(frozen=True)
+class _GridContext:
+    """Per-grid invariants, fingerprinted once instead of once per cell.
+
+    ``measure`` used to recompute the spec, network, fault, and
+    resilience fingerprints for every cell of a grid; they only depend
+    on the experiment and the call-level overrides, so one context per
+    grid (or per single run) covers every cell.
+    """
+
+    plan: FaultPlan | None
+    policy: ResiliencePolicy | None
+    spec: WorkloadSpec
+    spec_fp: str
+    network_fp: str
+    fault_fp: str
+    resilience_fp: str
 
 
 class Experiment:
@@ -142,32 +175,8 @@ class Experiment:
         (``None`` forces an unmitigated run).
         """
         nodes, cores = self._shape(nodes, cores_per_node)
-        plan = self._resolve_faults(faults)
-        policy = self._resolve_resilience(resilience)
-        spec, spec_fp = self._spec_and_fingerprint()
-        key = run_key(
-            spec_fp,
-            self._platform_fp,
-            nodes,
-            cores,
-            run_index=run_index,
-            network_fp=self._network_fp(),
-            fault_fp=self._fault_fp(plan),
-            resilience_fp=self._resilience_fp(policy),
-        )
-        measurement = self.cache.get_measurement(key)
-        if measurement is None:
-            measurement = measure_workload(
-                self.platform.cluster(nodes),
-                cores,
-                spec,
-                run_index=run_index,
-                network=self.network,
-                faults=plan,
-                resilience=policy,
-            )
-            self.cache.put_measurement(key, measurement)
-        return measurement
+        context = self._grid_context(faults, resilience)
+        return self._measure_cell(nodes, cores, run_index, context)
 
     def predict(
         self,
@@ -176,12 +185,35 @@ class Experiment:
     ) -> ApplicationPrediction:
         """Equation-1 "model" prediction at ``(N, P)`` (cached)."""
         nodes, cores = self._shape(nodes, cores_per_node)
+        return self._predict_cell(nodes, cores, self._network_fp())
+
+    def _measure_cell(
+        self, nodes: int, cores: int, run_index: int, context: _GridContext
+    ) -> ApplicationMeasurement:
+        key = self._measurement_key(nodes, cores, run_index, context)
+        measurement = self.cache.get_measurement(key)
+        if measurement is None:
+            measurement = measure_workload(
+                self.platform.cluster(nodes),
+                cores,
+                context.spec,
+                run_index=run_index,
+                network=self.network,
+                faults=context.plan,
+                resilience=context.policy,
+            )
+            self.cache.put_measurement(key, measurement)
+        return measurement
+
+    def _predict_cell(
+        self, nodes: int, cores: int, network_fp: str
+    ) -> ApplicationPrediction:
         key = prediction_key(
             self.resolved.report_fingerprint,
             self._platform_fp,
             nodes,
             cores,
-            network_fp=self._network_fp(),
+            network_fp=network_fp,
         )
         prediction = self.cache.get_prediction(key)
         if prediction is None:
@@ -207,16 +239,8 @@ class Experiment:
     ) -> RunResult:
         """One full exp-vs-model point."""
         nodes, cores = self._shape(nodes, cores_per_node)
-        return compose_run_result(
-            self.measure(
-                nodes, cores, run_index=run_index, faults=faults,
-                resilience=resilience,
-            ),
-            self.predict(nodes, cores),
-            platform_label=self.platform.label,
-            run_index=run_index,
-            network_gbps=self.network_gbps,
-        )
+        context = self._grid_context(faults, resilience)
+        return self._run_cell(nodes, cores, run_index, context)
 
     def run_repeated(
         self,
@@ -225,22 +249,24 @@ class Experiment:
         runs: int = 5,
         faults: FaultPlan | None = _DEFAULT_FAULTS,  # type: ignore[assignment]
         resilience: ResiliencePolicy | None = _DEFAULT_RESILIENCE,  # type: ignore[assignment]
+        workers: int | None = None,
     ) -> list[RunResult]:
         """The paper's five-run protocol at one ``(N, P)`` point.
 
-        Checkpointed like :meth:`run_grid`: with a file-backed cache,
-        each freshly computed run is persisted as it completes.
+        A ``run_grid`` over the run-index axis: checkpointed the same
+        way and parallelizable the same way (``workers=``).
         """
         if runs <= 0:
             raise ConfigurationError("need at least one run")
-        results = []
-        for index in range(runs):
-            results.append(
-                self._checkpointed_run(
-                    nodes, cores_per_node, index, faults, resilience
-                )
-            )
-        return results
+        nodes, cores = self._shape(nodes, cores_per_node)
+        return self.run_grid(
+            nodes=(nodes,),
+            cores_per_node=(cores,),
+            run_indices=tuple(range(runs)),
+            faults=faults,
+            resilience=resilience,
+            workers=workers,
+        )
 
     def run_grid(
         self,
@@ -249,6 +275,7 @@ class Experiment:
         run_indices: Iterable[int] = (0,),
         faults: FaultPlan | None = _DEFAULT_FAULTS,  # type: ignore[assignment]
         resilience: ResiliencePolicy | None = _DEFAULT_RESILIENCE,  # type: ignore[assignment]
+        workers: int | None = None,
     ) -> list[RunResult]:
         """The ``N x P x run`` cross product, row-major in that order.
 
@@ -258,29 +285,122 @@ class Experiment:
         completes, so a killed sweep rerun with the same arguments
         resumes from the last finished cell — completed cells come back
         as cache hits, bit-identical to the interrupted run's.
+
+        ``workers`` selects the :mod:`repro.parallel` backend: ``None``
+        or ``1`` runs serially (the historical path), ``0`` auto-sizes
+        to the available CPUs, ``k > 1`` fans the cold cells across
+        ``k`` worker processes.  Results are **bit-identical** across
+        all settings; a parallel grid checkpoints once, after merging
+        the worker shards.
         """
         node_axis = self._axis(nodes, self.platform.default_nodes(), "nodes")
         core_axis = self._axis(
             cores_per_node, self.platform.default_cores(), "cores_per_node"
         )
-        return [
-            self._checkpointed_run(n, p, r, faults, resilience)
+        cells = [
+            (n, p, r)
             for n in node_axis
             for p in core_axis
             for r in run_indices
         ]
+        context = self._grid_context(faults, resilience)
+        if workers is None or workers == 1:
+            return [
+                self._checkpointed_cell(n, p, r, context)
+                for (n, p, r) in cells
+            ]
+        return self._run_grid_parallel(cells, context, workers)
 
-    def _checkpointed_run(self, nodes, cores, run_index, faults, resilience):
+    # -- parallel dispatch ---------------------------------------------------
+
+    def _run_grid_parallel(
+        self,
+        cells: list[tuple[int, int, int]],
+        context: _GridContext,
+        workers: int,
+    ) -> list[RunResult]:
+        """Fan cold cells across worker processes, then compose in order.
+
+        The parent never simulates: it pre-splits cells into warm (both
+        halves already cached) and cold, ships only the cold ones, and
+        merges the returned cache shards.  Every cell is then composed
+        in grid order through the same code path as a serial grid —
+        which at that point is all cache hits, making the result list
+        bit-identical to ``workers=1``.
+        """
+        resolved = self.resolved  # force resolution before building payload
+        cold: list[tuple[int, int, int]] = []
+        seen: set[tuple[int, int, int]] = set()
+        for cell in cells:
+            if cell in seen:
+                continue
+            seen.add(cell)
+            n, p, r = cell
+            if not (
+                self.cache.contains_measurement(
+                    self._measurement_key(n, p, r, context)
+                )
+                and self.cache.contains_prediction(
+                    prediction_key(
+                        resolved.report_fingerprint,
+                        self._platform_fp,
+                        n,
+                        p,
+                        network_fp=context.network_fp,
+                    )
+                )
+            ):
+                cold.append(cell)
+        if cold:
+            payload = _GridWorkerPayload(
+                spec=resolved.spec,
+                report=resolved.report,
+                platform=self.platform,
+                network=self.network,
+                faults=context.plan,
+                resilience=context.policy,
+            )
+            backend = resolve_backend(
+                workers, initializer=_init_grid_worker, initargs=(payload,)
+            )
+            if backend.workers == 1:
+                # Auto-sizing resolved to one CPU: plain serial grid.
+                return [
+                    self._checkpointed_cell(n, p, r, context)
+                    for (n, p, r) in cells
+                ]
+            with backend:
+                shards = backend.map(_run_grid_cell, cold)
+            merged = 0
+            for shard in shards:
+                merged += self.cache.merge_shard(shard)
+            if self.cache.path is not None and merged:
+                self.cache.save()
+        return [
+            self._run_cell(n, p, r, context) for (n, p, r) in cells
+        ]
+
+    def _run_cell(
+        self, nodes: int, cores: int, run_index: int, context: _GridContext
+    ) -> RunResult:
+        return compose_run_result(
+            self._measure_cell(nodes, cores, run_index, context),
+            self._predict_cell(nodes, cores, context.network_fp),
+            platform_label=self.platform.label,
+            run_index=run_index,
+            network_gbps=self.network_gbps,
+        )
+
+    def _checkpointed_cell(
+        self, nodes: int, cores: int, run_index: int, context: _GridContext
+    ) -> RunResult:
         """One grid cell, persisted to a file-backed cache when fresh."""
         misses_before = (
             self.cache.measurement_stats.misses
             + self.cache.prediction_stats.misses
             + self.cache.report_stats.misses
         )
-        result = self.run(
-            nodes, cores, run_index=run_index, faults=faults,
-            resilience=resilience,
-        )
+        result = self._run_cell(nodes, cores, run_index, context)
         misses_after = (
             self.cache.measurement_stats.misses
             + self.cache.prediction_stats.misses
@@ -291,6 +411,35 @@ class Experiment:
         return result
 
     # -- internals -----------------------------------------------------------
+
+    def _grid_context(self, faults, resilience) -> _GridContext:
+        """Resolve overrides and fingerprint the grid's invariants once."""
+        plan = self._resolve_faults(faults)
+        policy = self._resolve_resilience(resilience)
+        spec, spec_fp = self._spec_and_fingerprint()
+        return _GridContext(
+            plan=plan,
+            policy=policy,
+            spec=spec,
+            spec_fp=spec_fp,
+            network_fp=self._network_fp(),
+            fault_fp=self._fault_fp(plan),
+            resilience_fp=self._resilience_fp(policy),
+        )
+
+    def _measurement_key(
+        self, nodes: int, cores: int, run_index: int, context: _GridContext
+    ) -> str:
+        return run_key(
+            context.spec_fp,
+            self._platform_fp,
+            nodes,
+            cores,
+            run_index=run_index,
+            network_fp=context.network_fp,
+            fault_fp=context.fault_fp,
+            resilience_fp=context.resilience_fp,
+        )
 
     def _spec_and_fingerprint(self):
         if self._resolved is not None:
@@ -351,3 +500,57 @@ class Experiment:
         raise ConfigurationError(
             f"no {label} axis given and the platform has no default"
         )
+
+
+# -- worker-process side ------------------------------------------------------
+
+
+@dataclass
+class _GridWorkerPayload:
+    """Everything a worker needs to rebuild the experiment, picklable.
+
+    The platform and network travel as objects (a few KB); the source
+    travels as its resolved ``(spec, report)`` pair, whose fingerprints
+    are recomputed identically on the worker side — so worker cache keys
+    match the parent's exactly.
+    """
+
+    spec: WorkloadSpec
+    report: ProfilingReport
+    platform: Platform
+    network: NetworkModel | None
+    faults: FaultPlan | None
+    resilience: ResiliencePolicy | None
+
+
+#: Per-worker-process experiment, installed by :func:`_init_grid_worker`.
+_WORKER_EXPERIMENT: Experiment | None = None
+#: Qualified cache keys this worker has already shipped back.
+_WORKER_EXPORTED: set[str] = set()
+
+
+def _init_grid_worker(payload: _GridWorkerPayload) -> None:
+    """Pool initializer: build this worker's experiment once."""
+    global _WORKER_EXPERIMENT, _WORKER_EXPORTED
+    from repro.pipeline.sources import ResolvedSource
+
+    _WORKER_EXPERIMENT = Experiment(
+        ResolvedSource(payload.spec, payload.report),
+        payload.platform,
+        network=payload.network,
+        faults=payload.faults,
+        resilience=payload.resilience,
+    )
+    _WORKER_EXPORTED = set()
+
+
+def _run_grid_cell(cell: tuple[int, int, int]) -> dict[str, dict]:
+    """Task function: compute one cold cell, return the fresh cache shard."""
+    experiment = _WORKER_EXPERIMENT
+    if experiment is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("grid worker used before initialization")
+    nodes, cores, run_index = cell
+    experiment.run(nodes, cores, run_index=run_index)
+    shard = experiment.cache.export_shard(exclude=_WORKER_EXPORTED)
+    _WORKER_EXPORTED.update(ResultCache.shard_keys(shard))
+    return shard

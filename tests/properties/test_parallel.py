@@ -1,0 +1,186 @@
+"""PR-5 equivalence properties: parallelism and pruning change nothing.
+
+Two guarantees back every ``workers=``/``prune=`` knob in the pipeline:
+
+- **Bit-identity** — ``Experiment.run_grid(workers=k)`` returns records
+  byte-for-byte equal to the serial sweep, for any worker count.  The
+  parallel path only *warms the cache* (workers ship content-addressed
+  shards home); every record is then composed in-process by the same
+  serial code, so equality is structural, and this test pins it.
+- **Exact pruning** — ``CostOptimizer.grid_search(prune=True)`` returns
+  the same ``best`` as the exhaustive search.  The branch-and-bound cut
+  uses an admissible lower bound (:mod:`repro.cloud.bounds`), so the
+  first global optimum in grid order can never be discarded.
+
+Both are checked across randomized workloads, shapes, and price grids —
+not just the paper's fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.optimizer import CostOptimizer
+from repro.core import Predictor, Profiler
+from repro.errors import ProfilingError
+from repro.pipeline.cache import ResultCache
+from repro.pipeline.experiment import Experiment
+from repro.pipeline.platforms import ClusterPlatform
+from repro.pipeline.sources import ResolvedSource
+
+from .strategies import PROPERTY_SETTINGS, workload_specs
+
+
+#: Random specs may be I/O-bound in the sample runs, which the paper's
+#: calibration rejects by design (negative ``t_avg``, Section VI-1) —
+#: those draws are rejected, not failures, and rejection is common
+#: enough to trip the filter health check.
+EQUIV_SETTINGS = dict(
+    suppress_health_check=(HealthCheck.filter_too_much, HealthCheck.too_slow),
+    **PROPERTY_SETTINGS,
+)
+
+
+def _has_work(spec) -> bool:
+    # A draw can be all-zero (no bytes, no compute): it "runs" in 0.0 s,
+    # which record serialization rejects (relative error undefined).
+    return any(
+        group.compute_seconds > 0
+        or any(
+            channel.bytes_per_task > 0
+            for channel in (*group.read_channels, *group.write_channels)
+        )
+        for stage in spec.stages
+        for group in stage.groups
+    )
+
+
+def _profile(spec, nodes=2):
+    assume(_has_work(spec))
+    try:
+        return Profiler(spec, nodes=nodes).profile()
+    except ProfilingError:
+        assume(False)
+
+
+def _records(results) -> str:
+    return json.dumps([result.to_dict() for result in results], sort_keys=True)
+
+
+@settings(max_examples=5, **EQUIV_SETTINGS)
+@given(spec=workload_specs(), run_indices=st.sampled_from(((0,), (0, 1))))
+def test_parallel_grid_is_bit_identical_to_serial(spec, run_indices):
+    """run_grid(workers=2) == run_grid(workers=1), record for record.
+
+    Fresh experiments (separate caches) on both sides, so the parallel
+    records really were produced by worker processes, not replayed.
+    """
+    report = _profile(spec)
+    grid = dict(nodes=(2, 3), cores_per_node=(4,), run_indices=run_indices)
+
+    serial = Experiment(ResolvedSource(spec, report), ClusterPlatform())
+    parallel = Experiment(ResolvedSource(spec, report), ClusterPlatform())
+    serial_dump = _records(serial.run_grid(workers=1, **grid))
+    parallel_dump = _records(parallel.run_grid(workers=2, **grid))
+
+    assert parallel_dump == serial_dump
+    # The parallel cache is as warm as the serial one: replaying the
+    # grid serially from it must also reproduce the records.
+    assert _records(parallel.run_grid(workers=1, **grid)) == serial_dump
+
+
+@settings(max_examples=3, **EQUIV_SETTINGS)
+@given(spec=workload_specs())
+def test_parallel_run_repeated_matches_serial(spec):
+    report = _profile(spec)
+    serial = Experiment(ResolvedSource(spec, report), ClusterPlatform())
+    parallel = Experiment(ResolvedSource(spec, report), ClusterPlatform())
+    assert _records(
+        parallel.run_repeated(2, 4, runs=2, workers=2)
+    ) == _records(serial.run_repeated(2, 4, runs=2))
+
+
+size_grids = st.lists(
+    st.sampled_from((60.0, 120.0, 250.0, 500.0, 1000.0, 2000.0)),
+    min_size=1, max_size=3, unique=True,
+).map(tuple)
+
+
+@settings(max_examples=20, **EQUIV_SETTINGS)
+@given(
+    spec=workload_specs(),
+    num_workers=st.sampled_from((2, 5, 10)),
+    vcpu_grid=st.lists(
+        st.sampled_from((4, 8, 16, 32)), min_size=1, max_size=3, unique=True
+    ).map(tuple),
+    hdfs_sizes=size_grids,
+    local_sizes=size_grids,
+)
+def test_pruned_search_finds_the_exhaustive_optimum(
+    spec, num_workers, vcpu_grid, hdfs_sizes, local_sizes
+):
+    """grid_search(prune=True).best == grid_search(prune=False).best."""
+    optimizer = CostOptimizer(
+        Predictor(_profile(spec)),
+        num_workers=num_workers,
+        min_hdfs_gb=10.0,
+        min_local_gb=10.0,
+    )
+    search = dict(
+        vcpu_grid=vcpu_grid, hdfs_sizes_gb=hdfs_sizes, local_sizes_gb=local_sizes
+    )
+    full = optimizer.grid_search(**search)
+    pruned = optimizer.grid_search(prune=True, **search)
+
+    assert pruned.best.config == full.best.config
+    assert pruned.best.cost_dollars == full.best.cost_dollars
+    assert pruned.best.runtime_seconds == full.best.runtime_seconds
+    # Every candidate is accounted for: evaluated or provably cut.
+    assert pruned.num_pruned + len(pruned.evaluated) == len(full.evaluated)
+    assert pruned.num_considered == full.num_considered
+    assert full.num_pruned == 0
+
+
+@settings(max_examples=3, **EQUIV_SETTINGS)
+@given(spec=workload_specs())
+def test_parallel_search_evaluates_identically(spec):
+    """workers=2 reproduces the serial search's full evaluated tuple."""
+    optimizer = CostOptimizer(
+        Predictor(_profile(spec)),
+        num_workers=5,
+        min_hdfs_gb=10.0,
+        min_local_gb=10.0,
+    )
+    search = dict(
+        vcpu_grid=(8, 16), hdfs_sizes_gb=(250.0, 500.0), local_sizes_gb=(250.0,)
+    )
+    serial = optimizer.grid_search(**search)
+    parallel = optimizer.grid_search(workers=2, **search)
+    assert [
+        (e.config, e.runtime_seconds, e.cost_dollars) for e in parallel.evaluated
+    ] == [(e.config, e.runtime_seconds, e.cost_dollars) for e in serial.evaluated]
+
+
+def test_parallel_grid_shares_one_cache_file(tmp_path):
+    """A workers=2 sweep persists a cache a later serial sweep fully reuses."""
+    from repro.workloads import make_gatk4_workload
+
+    spec = make_gatk4_workload()
+    report = Profiler(spec, nodes=3).profile()
+    path = tmp_path / "cache.json"
+    grid = dict(nodes=(3,), cores_per_node=(8, 16))
+
+    warmup = Experiment(
+        ResolvedSource(spec, report), ClusterPlatform(), cache=ResultCache(path)
+    )
+    first = _records(warmup.run_grid(workers=2, **grid))
+
+    replay = Experiment(
+        ResolvedSource(spec, report), ClusterPlatform(), cache=ResultCache(path)
+    )
+    assert _records(replay.run_grid(**grid)) == first
+    assert replay.cache.measurement_stats.misses == 0
+    assert replay.cache.prediction_stats.misses == 0

@@ -1,0 +1,82 @@
+"""Unit tests for the admissible search bounds (:mod:`repro.cloud.bounds`)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.bounds import RuntimeLowerBound
+from repro.cloud.disks import _ANCHOR_SIZES, bandwidth_upper_bound, make_persistent_disk
+from repro.cloud.optimizer import CostOptimizer
+from repro.errors import ConfigurationError
+
+KINDS = ("pd-standard", "pd-ssd")
+
+# Spans well below the 4 KB anchor and well above the 512 MB one, so the
+# clamped-flat edges of the table are exercised, not just the interior.
+request_sizes = st.one_of(
+    st.sampled_from(_ANCHOR_SIZES),
+    st.floats(min_value=512.0, max_value=4e9),
+)
+
+
+class TestBandwidthUpperBound:
+    @settings(deadline=None, derandomize=True, database=None, max_examples=200)
+    @given(
+        kind=st.sampled_from(KINDS),
+        size_gb=st.floats(min_value=10.0, max_value=65536.0),
+        request_size=request_sizes,
+        is_write=st.booleans(),
+    )
+    def test_dominates_built_table(self, kind, size_gb, request_size, is_write):
+        """The bound is never below what a real built disk would deliver."""
+        disk = make_persistent_disk(kind, size_gb)
+        table = disk.write_table if is_write else disk.read_table
+        bound = bandwidth_upper_bound(kind, size_gb, request_size, is_write)
+        assert table.bandwidth(request_size) <= bound * (1 + 1e-9)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bandwidth_upper_bound("pd-extreme", 100.0, 128 * 1024)
+
+    def test_sub_anchor_requests_clamped(self):
+        """Below the smallest anchor the bound uses the 4 KB spec value."""
+        tiny = bandwidth_upper_bound("pd-ssd", 100.0, 512.0)
+        at_anchor = bandwidth_upper_bound("pd-ssd", 100.0, _ANCHOR_SIZES[0])
+        assert tiny == at_anchor
+
+
+class TestRuntimeLowerBound:
+    @pytest.fixture(scope="class")
+    def optimizer(self, gatk4_predictor):
+        return CostOptimizer(
+            gatk4_predictor, num_workers=10, min_hdfs_gb=60, min_local_gb=45
+        )
+
+    @pytest.fixture(scope="class")
+    def bound(self, gatk4_predictor):
+        return RuntimeLowerBound(gatk4_predictor.report)
+
+    def test_admissible_across_candidate_grid(self, optimizer, bound):
+        """runtime/cost bounds never exceed the full model's values."""
+        for vcpus in (4, 16, 32):
+            for hdfs_kind in KINDS:
+                for local_kind in KINDS:
+                    for size in (200.0, 1000.0, 4000.0):
+                        config = optimizer.make_config(
+                            vcpus, hdfs_kind, size, local_kind, size
+                        )
+                        result = optimizer.evaluate(config)
+                        assert (
+                            bound.runtime_bound(config) <= result.runtime_seconds
+                        )
+                        assert bound.cost_bound(config) <= result.cost_dollars
+
+    def test_bound_is_positive_and_monotone_in_nodes(self, gatk4_predictor, bound):
+        few = CostOptimizer(gatk4_predictor, num_workers=5).make_config(
+            16, "pd-standard", 1000, "pd-ssd", 500
+        )
+        many = CostOptimizer(gatk4_predictor, num_workers=20).make_config(
+            16, "pd-standard", 1000, "pd-ssd", 500
+        )
+        assert bound.runtime_bound(many) > 0
+        assert bound.runtime_bound(many) < bound.runtime_bound(few)

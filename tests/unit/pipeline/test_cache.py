@@ -127,6 +127,93 @@ class TestPersistence:
         assert [p.name for p in tmp_path.iterdir()] == ["clean.json"]
 
 
+class TestShards:
+    """Worker-shard export/merge and counter-free peeks."""
+
+    def test_contains_does_not_touch_counters(self):
+        cache = ResultCache()
+        cache.put_measurement("m", object())
+        assert cache.contains_measurement("m")
+        assert not cache.contains_measurement("missing")
+        assert not cache.contains_prediction("m")
+        assert cache.measurement_stats.total == 0
+        assert cache.prediction_stats.total == 0
+
+    def test_export_merge_round_trip(self):
+        worker, parent = ResultCache(), ResultCache()
+        marker = object()
+        worker.put_measurement("m", marker)
+        worker.put_prediction("p", object())
+        shard = worker.export_shard()
+        assert ResultCache.shard_keys(shard) == {"measurements:m", "predictions:p"}
+        assert parent.merge_shard(shard) == 2
+        assert parent.get_measurement("m") is marker
+
+    def test_export_excludes_already_shipped_keys(self):
+        worker = ResultCache()
+        worker.put_measurement("a", object())
+        first = worker.export_shard()
+        worker.put_measurement("b", object())
+        second = worker.export_shard(exclude=ResultCache.shard_keys(first))
+        assert ResultCache.shard_keys(second) == {"measurements:b"}
+
+    def test_merge_first_writer_wins(self):
+        parent = ResultCache()
+        resident = object()
+        parent.put_prediction("p", resident)
+        assert parent.merge_shard({"predictions": {"p": object()}}) == 0
+        assert parent.get_prediction("p") is resident
+
+
+class TestConcurrentWriters:
+    """Two processes sharing one cache file must never corrupt it.
+
+    Saves are atomic (tmp + ``os.replace``) and keys are
+    content-addressed, so however two writers' saves interleave the file
+    is always one writer's complete, valid snapshot; entries unique to
+    the overwritten snapshot are merely recomputed next time.  This test
+    simulates the worst interleaving in-process: both writers load the
+    same state, both add entries, both save.
+    """
+
+    def test_interleaved_saves_leave_a_valid_store(self, populated, tmp_path):
+        cache, _ = populated
+        shared = tmp_path / "shared.json"
+        cache.save(shared)
+
+        writer_a = ResultCache(shared)
+        writer_b = ResultCache(shared)  # loads the same snapshot
+        writer_a.put_measurement("only-a", cache.get_measurement("m"))
+        writer_b.put_prediction("only-b", cache.get_prediction("p"))
+        writer_a.save()
+        writer_b.save()  # last writer wins; clobbers "only-a"
+
+        final = ResultCache(shared)
+        # Never torn: the file parses and the shared entries survive.
+        assert json.loads(shared.read_text())["format_version"] == (
+            CACHE_FORMAT_VERSION
+        )
+        assert final.get_measurement("m") is not None
+        assert final.get_prediction("p") is not None
+        assert final.get_prediction("only-b") is not None
+        # The loser's unique entry is gone — recomputable, not corrupting.
+        assert final.get_measurement("only-a") is None
+
+    def test_interleaved_saves_commute_for_shared_entries(self, populated, tmp_path):
+        # Content-addressed keys mean both writers serialize identical
+        # bytes for every shared entry, so writer order is invisible.
+        cache, _ = populated
+        ab, ba = tmp_path / "ab.json", tmp_path / "ba.json"
+        cache.save(ab)
+        cache.save(ba)
+        first, second = ResultCache(ab), ResultCache(ba)
+        first.save()
+        second.save()
+        second.save(ab)  # reversed finishing order onto the other path
+        first.save(ba)
+        assert ab.read_text() == ba.read_text()
+
+
 class TestCorruption:
     """A damaged cache file degrades to recomputation, never to a crash."""
 

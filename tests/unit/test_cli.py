@@ -51,6 +51,25 @@ class TestParser:
             assert args.max_task_attempts is None
             assert args.blacklist is False
 
+    def test_workers_flag_defaults_to_serial(self):
+        for command in (
+            ["pipeline", "--workload", "svm"],
+            ["optimize", "--workload", "gatk4"],
+        ):
+            assert build_parser().parse_args(command).workers is None
+
+    def test_optimize_cluster_and_prune_flags(self):
+        args = build_parser().parse_args(["optimize", "--workload", "gatk4"])
+        assert args.cluster_workers == 10
+        assert args.prune is False
+        args = build_parser().parse_args(
+            ["optimize", "--workload", "gatk4", "--cluster-workers", "6",
+             "--prune", "--workers", "2"]
+        )
+        assert args.cluster_workers == 6
+        assert args.prune is True
+        assert args.workers == 2
+
 
 class TestCommands:
     def test_list_workloads(self, capsys):
@@ -187,3 +206,14 @@ class TestPipelineCommand:
         replayed = json.loads(capsys.readouterr().out)
         assert "100% hits" in replayed["cache"]
         assert replayed["runs"] == payload["runs"]
+
+    def test_workers_flag_reproduces_serial_json(self, capsys):
+        argv = [
+            "pipeline", "--workload", "svm", "--slaves", "2", "--cores", "4",
+            "--runs", "2", "--profile-nodes", "2", "--json",
+        ]
+        assert main(argv) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--workers", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert parallel["runs"] == serial["runs"]

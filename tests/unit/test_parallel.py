@@ -1,0 +1,99 @@
+"""Unit tests for the execution backends (:mod:`repro.parallel`)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import (
+    AUTO_WORKERS,
+    ProcessPoolBackend,
+    SerialBackend,
+    available_cpus,
+    resolve_backend,
+)
+
+
+def _double(x):
+    return 2 * x
+
+
+_INIT_CALLS = []
+
+
+def _record_init(tag):
+    _INIT_CALLS.append(tag)
+
+
+class TestResolveBackend:
+    def test_none_and_one_resolve_serial(self):
+        assert isinstance(resolve_backend(None), SerialBackend)
+        assert isinstance(resolve_backend(1), SerialBackend)
+
+    def test_explicit_count_resolves_process_pool(self):
+        backend = resolve_backend(3)
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.workers == 3
+        backend.shutdown()
+
+    def test_auto_sizes_to_available_cpus(self):
+        backend = resolve_backend(AUTO_WORKERS)
+        cpus = available_cpus()
+        if cpus == 1:
+            assert isinstance(backend, SerialBackend)
+        else:
+            assert isinstance(backend, ProcessPoolBackend)
+            assert backend.workers == cpus
+        backend.shutdown()
+
+    def test_negative_and_non_int_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_backend(-1)
+        with pytest.raises(ConfigurationError):
+            resolve_backend("four")
+        with pytest.raises(ConfigurationError):
+            resolve_backend(True)
+
+
+class TestSerialBackend:
+    def test_map_preserves_order(self):
+        assert SerialBackend().map(_double, [3, 1, 2]) == [6, 2, 4]
+
+    def test_initializer_runs_once_before_first_item(self):
+        _INIT_CALLS.clear()
+        backend = SerialBackend(_record_init, ("tag",))
+        assert backend.map(_double, []) == []
+        assert _INIT_CALLS == []  # nothing mapped: no init
+        backend.map(_double, [1])
+        backend.map(_double, [2])
+        assert _INIT_CALLS == ["tag"]
+
+    def test_context_manager(self):
+        with SerialBackend() as backend:
+            assert backend.map(_double, [5]) == [10]
+
+
+class TestProcessPoolBackend:
+    def test_map_preserves_input_order(self):
+        with ProcessPoolBackend(2) as backend:
+            assert backend.map(_double, list(range(20))) == [
+                2 * i for i in range(20)
+            ]
+
+    def test_empty_map_never_spawns(self):
+        backend = ProcessPoolBackend(2)
+        assert backend.map(_double, []) == []
+        assert backend._executor is None  # lazily constructed
+        backend.shutdown()
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessPoolBackend(0)
+
+    def test_shutdown_is_idempotent(self):
+        backend = ProcessPoolBackend(2)
+        backend.map(_double, [1])
+        backend.shutdown()
+        backend.shutdown()
+
+
+def test_available_cpus_is_positive():
+    assert available_cpus() >= 1
