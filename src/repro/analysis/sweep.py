@@ -13,9 +13,9 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.analysis.errors import ExpVsModel
-from repro.cloud.disks import make_persistent_disk
 from repro.cluster.cluster import Cluster
 from repro.core.predictor import Predictor
+from repro.model.arrays import CandidateBatch, score_batch
 from repro.workloads.base import WorkloadSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -101,13 +101,27 @@ def sweep_local_disk_sizes(
     also obtain a "measured" value per point — it receives the
     ``{"hdfs": device, "local": device}`` mapping and returns seconds —
     which callers can zip against the predictions.
+
+    Predictions route through the array kernel
+    (:mod:`repro.model.arrays`): the whole size axis is one
+    :class:`~repro.model.arrays.CandidateBatch` scored in a single pass,
+    with values bit-identical to building a scalar model per size.
     """
-    results: list[tuple[float, float]] = []
-    for size_gb in sizes_gb:
-        devices = {
-            "hdfs": make_persistent_disk(hdfs_kind, hdfs_gb),
-            "local": make_persistent_disk(local_kind, size_gb),
-        }
-        model = predictor.model_for_devices(devices)
-        results.append((size_gb, model.runtime(num_workers, cores_per_node)))
-    return results
+    # Model-only batch: the swept (N, P) need not be a purchasable
+    # machine shape, so no ``vcpus`` column and no cost scoring.
+    count = len(sizes_gb)
+    batch = CandidateBatch(
+        nodes=(num_workers,) * count,
+        cores=(cores_per_node,) * count,
+        hdfs_kinds=(hdfs_kind,) * count,
+        hdfs_sizes_gb=(hdfs_gb,) * count,
+        local_kinds=(local_kind,) * count,
+        local_sizes_gb=tuple(sizes_gb),
+    )
+    scores = score_batch(
+        predictor.report, batch, want_cost=False, want_bottlenecks=False
+    )
+    return [
+        (size_gb, float(predicted))
+        for size_gb, predicted in zip(sizes_gb, scores.runtime_seconds)
+    ]

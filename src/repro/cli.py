@@ -31,12 +31,17 @@ malformed fault plans; 1 stays reserved for unexpected crashes.
     ``--workers K`` fans the repeated runs across K worker processes
     (``0`` = auto-size to the CPUs); results are bit-identical to
     serial.
-``optimize --workload NAME [--cluster-workers N] [--workers K] [--prune]``
+``optimize --workload NAME [--cluster-workers N] [--workers K] [--prune]
+[--top K] [--json]``
     Search cloud configurations for the cheapest run (Section VI).
     ``--cluster-workers`` is the modeled cluster's node count ``N``;
-    ``--workers K`` parallelizes the candidate evaluations and
-    ``--prune`` enables the branch-and-bound lower-bound search — both
-    return the identical optimum (see docs/PERFORMANCE.md).
+    ``--prune`` enables the branch-and-bound lower-bound search, which
+    returns the identical optimum (see docs/PERFORMANCE.md).  The whole
+    grid is scored by the array kernel (:mod:`repro.model.arrays`);
+    ``--workers`` is validated but no longer changes how candidates are
+    evaluated.  ``--top K`` prints the K cheapest feasible
+    configurations instead of just the winner, and ``--json`` emits the
+    search outcome as a machine-readable record.
 
 Every command is a thin veneer over :mod:`repro.pipeline`: inputs become
 workload sources and platforms, results are uniform run records, and a
@@ -61,6 +66,7 @@ from repro.cluster.network import NetworkModel
 from repro.core import load_report, save_report
 from repro.errors import ConfigurationError, DoppioError, exit_code_for
 from repro.faults import FaultPlan, load_fault_plan
+from repro.model.arrays import backend_name
 from repro.pipeline import (
     ClusterPlatform,
     Experiment,
@@ -528,9 +534,26 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _config_dict(config) -> dict:
+    """A CloudConfiguration as a JSON-ready mapping."""
+    return {
+        "machine": config.machine.name,
+        "vcpus": config.machine.vcpus,
+        "num_workers": config.num_workers,
+        "hdfs_disk_kind": config.hdfs_disk_kind,
+        "hdfs_disk_gb": config.hdfs_disk_gb,
+        "local_disk_kind": config.local_disk_kind,
+        "local_disk_gb": config.local_disk_gb,
+        "label": config.label(),
+    }
+
+
 def cmd_optimize(args: argparse.Namespace) -> int:
+    if args.top < 1:
+        raise ConfigurationError("--top must be at least 1")
     workload = _workload(args.workload)
-    print(f"profiling {workload.name}...")
+    if not args.json:
+        print(f"profiling {workload.name}...")
     cache = _cache(args)
     experiment = Experiment(
         SpecSource(workload, profile_nodes=args.profile_nodes),
@@ -552,10 +575,53 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     r1 = optimizer.evaluate(r1_spark_recommendation(num_workers=nodes))
     r2 = optimizer.evaluate(r2_cloudera_recommendation(num_workers=nodes))
     _save_cache(cache)
+    # Stable sort on cost: ties keep grid order, so top[0] is exactly
+    # the search's ``best``.  Under --prune only non-pruned candidates
+    # can be ranked; a pruned candidate provably cannot beat rank 1, but
+    # deeper ranks are "cheapest among candidates the bound kept".
+    top = sorted(result.evaluated, key=lambda e: e.cost_dollars)[: args.top]
+
+    if args.json:
+        payload = {
+            "workload": workload.name,
+            "cluster_workers": nodes,
+            "prune": args.prune,
+            "backend": backend_name(),
+            "num_evaluated": result.num_evaluated,
+            "num_pruned": result.num_pruned,
+            "top": [
+                {
+                    "rank": rank,
+                    "config": _config_dict(entry.config),
+                    "runtime_seconds": entry.runtime_seconds,
+                    "cost_dollars": entry.cost_dollars,
+                }
+                for rank, entry in enumerate(top, start=1)
+            ],
+            "references": {
+                "r1_spark": {
+                    "config": _config_dict(r1.config),
+                    "runtime_seconds": r1.runtime_seconds,
+                    "cost_dollars": r1.cost_dollars,
+                },
+                "r2_cloudera": {
+                    "config": _config_dict(r2.config),
+                    "runtime_seconds": r2.runtime_seconds,
+                    "cost_dollars": r2.cost_dollars,
+                },
+            },
+            "savings_vs_r1": result.savings_versus(r1),
+            "savings_vs_r2": result.savings_versus(r2),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
     rows = [
-        ["optimum", result.best.config.label(),
-         fmt_duration(result.best.runtime_seconds),
-         f"${result.best.cost_dollars:.2f}"],
+        ["optimum" if rank == 1 else f"#{rank}", entry.config.label(),
+         fmt_duration(entry.runtime_seconds), f"${entry.cost_dollars:.2f}"]
+        for rank, entry in enumerate(top, start=1)
+    ]
+    rows += [
         ["R1 (Spark)", r1.config.label(), fmt_duration(r1.runtime_seconds),
          f"${r1.cost_dollars:.2f}"],
         ["R2 (Cloudera)", r2.config.label(), fmt_duration(r2.runtime_seconds),
@@ -700,6 +766,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="branch-and-bound search on the Eq.-1 cost"
                                " lower bound (same optimum, fewer model"
                                " evaluations)")
+    optimize.add_argument("--top", type=int, default=1, metavar="K",
+                          help="print the K cheapest feasible configurations"
+                               " (with --prune, ranks beyond 1 rank only the"
+                               " candidates the bound kept)")
+    optimize.add_argument("--json", action="store_true",
+                          help="emit the search outcome as JSON")
     _add_workers_flag(optimize)
 
     return parser

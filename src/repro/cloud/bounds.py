@@ -33,11 +33,13 @@ same ``best`` as exhaustive search (property-tested in
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.cloud.disks import bandwidth_upper_bound
 from repro.cloud.pricing import CloudConfiguration
 from repro.core.profiler import ProfilingReport
+from repro.model.arrays import CandidateBatch, LowerBoundBatch
 
 #: Multiplicative safety margin on the bound.  The table's log-space
 #: round-trip (``exp(log(bw))``) can land one ulp *above* the spec value
@@ -114,6 +116,7 @@ class RuntimeLowerBound:
                 )
             )
         self._stages = tuple(stages)
+        self._batch_bound: LowerBoundBatch | None = None
 
     def runtime_bound(self, config: CloudConfiguration) -> float:
         """Seconds the job takes on ``config`` at the very least."""
@@ -147,6 +150,37 @@ class RuntimeLowerBound:
     def cost_bound(self, config: CloudConfiguration) -> float:
         """Dollars the job costs on ``config`` at the very least."""
         return config.cost_for_runtime(self.runtime_bound(config))
+
+    # -- vectorized block bounds ---------------------------------------------
+
+    def _batch(self) -> LowerBoundBatch:
+        if self._batch_bound is None:
+            self._batch_bound = LowerBoundBatch(self._stages, safety=_SAFETY)
+        return self._batch_bound
+
+    def runtime_bounds(
+        self, candidates: CandidateBatch | Sequence[CloudConfiguration]
+    ) -> Sequence[float]:
+        """Per-candidate :meth:`runtime_bound`, evaluated as array ops.
+
+        Accepts a :class:`~repro.model.arrays.CandidateBatch` or a
+        sequence of configurations.  The values are bitwise identical to
+        the scalar method (the batch kernel replays the same float
+        operations; see :mod:`repro.model.arrays`), so branch-and-bound
+        pruning decisions do not depend on which entry point scored a
+        block.
+        """
+        if not isinstance(candidates, CandidateBatch):
+            candidates = CandidateBatch.from_configs(candidates)
+        return self._batch().runtime_bounds(candidates)
+
+    def cost_bounds(
+        self, candidates: CandidateBatch | Sequence[CloudConfiguration]
+    ) -> Sequence[float]:
+        """Per-candidate :meth:`cost_bound`, evaluated as array ops."""
+        if not isinstance(candidates, CandidateBatch):
+            candidates = CandidateBatch.from_configs(candidates)
+        return self._batch().cost_bounds(candidates)
 
     @staticmethod
     def _limit_bound(

@@ -14,18 +14,29 @@ a few thousand points) and ``coordinate_descent``, the discrete analogue
 of the gradient-descent procedure the paper describes; both honour
 capacity feasibility (disks must actually hold the job's data).
 
-``grid_search`` additionally takes two independent accelerators:
+Candidates are scored through the array-native Eq.-1 kernel
+(:mod:`repro.model.arrays`): the search builds one
+:class:`~repro.model.arrays.CandidateBatch` (or one per
+branch-and-bound chunk), scores it as parallel arrays, and materializes
+``EvaluatedConfiguration`` records from the score columns — bitwise
+identical to the historical per-candidate path, hundreds of times
+faster.  The scalar :meth:`CostOptimizer.evaluate` remains for single
+configurations (reference points, descent starts, cache-threaded
+what-ifs).
 
-- ``workers=k`` fans candidate evaluations across a
-  :mod:`repro.parallel` process pool (order-preserving, so results and
-  the winner are bit-identical to serial);
+``grid_search`` additionally takes two independent knobs:
+
+- ``workers=k`` is accepted for interface compatibility (and still
+  validates like the rest of the pipeline); the batch kernel scores the
+  whole grid in-process faster than candidates could be pickled to a
+  pool, so every worker count returns bit-identical results trivially;
 - ``prune=True`` runs branch-and-bound on the admissible
-  :class:`~repro.cloud.bounds.RuntimeLowerBound`: candidates whose
-  optimistic cost already meets or exceeds the incumbent best are
-  discarded without building their models.  The pruned search provably
-  returns the same ``best`` as exhaustive (see
-  ``docs/PERFORMANCE.md``), and the result reports evaluated-vs-pruned
-  counts.
+  :class:`~repro.cloud.bounds.RuntimeLowerBound`, whose block bounds
+  are themselves evaluated vectorized: candidates whose optimistic cost
+  already meets or exceeds the incumbent best are discarded without
+  scoring.  The pruned search provably returns the same ``best`` as
+  exhaustive (see ``docs/PERFORMANCE.md``), and the result reports
+  evaluated-vs-pruned counts.
 """
 
 from __future__ import annotations
@@ -39,15 +50,17 @@ from repro.cloud.instance import machine_for_vcpus
 from repro.cloud.pricing import CloudConfiguration
 from repro.core.predictor import Predictor
 from repro.errors import OptimizationError
-from repro.parallel import ExecutionBackend, resolve_backend
+from repro.model.arrays import CandidateBatch, Eq1BatchEvaluator
+from repro.parallel import resolve_backend
 from repro.units import GB
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.pipeline.cache import ResultCache
 
-#: Candidates bound-checked per branch-and-bound round.  Fixed (rather
-#: than scaled to the worker count) so the evaluated/pruned counts of a
-#: pruned search are identical no matter how many workers score it.
+#: Candidates bound-checked per branch-and-bound round.  Fixed — the
+#: evaluated/pruned counts of a pruned search are part of the search's
+#: observable contract, so the block size must not drift with the
+#: environment (workers, backend) scoring it.
 _PRUNE_CHUNK = 64
 
 #: Default provisioned-size grid, in GB (the paper sweeps 20 GB - 4 TB).
@@ -141,6 +154,7 @@ class CostOptimizer:
         self.min_local_gb = min_local_gb
         self.cache = cache
         self._report_fp: str | None = None
+        self._evaluator: Eq1BatchEvaluator | None = None
 
     # -- evaluation -----------------------------------------------------------
 
@@ -184,6 +198,39 @@ class CostOptimizer:
         }
         model = self.predictor.model_for_devices(devices)
         return model.predict(config.num_workers, config.cores_per_node)
+
+    def batch_evaluator(self) -> Eq1BatchEvaluator:
+        """The memoized array-kernel evaluator for this job's report."""
+        if self._evaluator is None:
+            self._evaluator = Eq1BatchEvaluator(self.predictor.report)
+        return self._evaluator
+
+    def score_candidates(
+        self, configs: list[CloudConfiguration]
+    ) -> list[EvaluatedConfiguration]:
+        """Batch-score configurations into evaluated records, in order.
+
+        One :class:`~repro.model.arrays.CandidateBatch` crosses the
+        kernel; runtimes and costs come back as parallel arrays and are
+        materialized per candidate.  The floats equal
+        :meth:`evaluate`'s bit for bit (see :mod:`repro.model.arrays`),
+        so searches built on either path agree exactly.
+        """
+        if not configs:
+            return []
+        scores = self.batch_evaluator().score(
+            CandidateBatch.from_configs(configs), want_bottlenecks=False
+        )
+        return [
+            EvaluatedConfiguration(
+                config=config,
+                runtime_seconds=float(runtime),
+                cost_dollars=float(cost),
+            )
+            for config, runtime, cost in zip(
+                configs, scores.runtime_seconds, scores.cost_dollars
+            )
+        ]
 
     def _report_fingerprint(self) -> str:
         if self._report_fp is None:
@@ -239,14 +286,16 @@ class CostOptimizer:
     ) -> OptimizationResult:
         """Score every feasible grid point; ``best`` is always the optimum.
 
-        ``workers`` fans candidate evaluations across a
-        :mod:`repro.parallel` process pool (``None``/``1`` serial, ``0``
-        auto-sized, ``k > 1`` that many processes); ``prune=True``
-        switches to branch-and-bound on the admissible
-        :class:`~repro.cloud.bounds.RuntimeLowerBound`.  All four
+        The feasible grid is scored through the array kernel as one
+        batch (or chunk-wise bound-filtered batches with
+        ``prune=True``), so all four ``workers`` × ``prune``
         combinations return the identical ``best`` (and, without
-        pruning, the identical ``evaluated`` tuple) — only wall-clock
-        time and the evaluated/pruned split change.
+        pruning, the identical ``evaluated`` tuple) — only the
+        evaluated/pruned split changes.  ``workers`` keeps its pipeline
+        semantics for validation (``None``/``1``/``0``/``k`` accepted,
+        anything else is a :class:`~repro.errors.ConfigurationError`)
+        but no process pool is spun up: one in-process kernel pass
+        outruns pickling candidates to workers by orders of magnitude.
         """
         for kind in disk_kinds:
             if kind not in SPEC_BY_KIND:
@@ -256,22 +305,15 @@ class CostOptimizer:
         )
         if not candidates:
             raise OptimizationError("no feasible configuration on the grid")
-        backend = resolve_backend(
-            workers,
-            initializer=_init_search_worker,
-            initargs=(self._worker_payload(),),
-        )
-        try:
-            if prune:
-                evaluated, best, pruned = self._search_pruned(
-                    candidates, backend
-                )
-            else:
-                evaluated = self._score_batch(candidates, backend)
-                best = min(evaluated, key=lambda e: e.cost_dollars)
-                pruned = 0
-        finally:
-            backend.shutdown()
+        # Validate the workers request exactly like the process-pool era
+        # did, then release the backend unused (see the docstring).
+        resolve_backend(workers).shutdown()
+        if prune:
+            evaluated, best, pruned = self._search_pruned(candidates)
+        else:
+            evaluated = self.score_candidates(candidates)
+            best = min(evaluated, key=lambda e: e.cost_dollars)
+            pruned = 0
         return OptimizationResult(
             best=best, evaluated=tuple(evaluated), num_pruned=pruned
         )
@@ -299,66 +341,23 @@ class CostOptimizer:
                             ))
         return candidates
 
-    def _score_batch(
-        self,
-        configs: list[CloudConfiguration],
-        backend: ExecutionBackend,
-    ) -> list[EvaluatedConfiguration]:
-        """Score candidates in order, through the backend when parallel.
-
-        With a parallel backend, candidates whose predictions are
-        already cached are scored in-process (a dictionary hit costs
-        less than a pickle round-trip) and only cold candidates cross
-        the pool; fresh predictions are folded back into the parent's
-        cache, so warm reruns never fork.  The composed
-        ``EvaluatedConfiguration`` is arithmetic over the prediction,
-        identical either side of the pipe.
-        """
-        if not configs:
-            return []
-        if backend.workers == 1:
-            return [self.evaluate(config) for config in configs]
-        scored: dict[int, EvaluatedConfiguration] = {}
-        cold: list[tuple[int, CloudConfiguration]] = []
-        if self.cache is None:
-            cold = list(enumerate(configs))
-        else:
-            for index, config in enumerate(configs):
-                if self.cache.contains_prediction(self._candidate_key(config)):
-                    scored[index] = self.evaluate(config)
-                else:
-                    cold.append((index, config))
-        predictions = backend.map(
-            _score_search_candidate, [config for _, config in cold]
-        )
-        for (index, config), prediction in zip(cold, predictions):
-            runtime = prediction.t_app
-            scored[index] = EvaluatedConfiguration(
-                config=config,
-                runtime_seconds=runtime,
-                cost_dollars=config.cost_for_runtime(runtime),
-            )
-            if self.cache is not None:
-                key = self._candidate_key(config)
-                if not self.cache.contains_prediction(key):
-                    self.cache.put_prediction(key, prediction)
-        return [scored[index] for index in range(len(configs))]
-
     def _search_pruned(
         self,
         candidates: list[CloudConfiguration],
-        backend: ExecutionBackend,
     ) -> tuple[list[EvaluatedConfiguration], EvaluatedConfiguration, int]:
         """Branch-and-bound in grid order; same ``best`` as exhaustive.
 
-        Candidates are consumed in fixed-size chunks: each chunk is
-        bound-filtered against the incumbent, its survivors scored (in
-        order, possibly in parallel), and the incumbent advanced with a
-        strict ``<`` — the same tie-break as ``min`` over the full grid.
-        The exhaustive winner is the *first* global minimum in grid
-        order; when its chunk arrives the incumbent still costs strictly
-        more, so its (admissible) bound can never reach the incumbent
-        and it is always evaluated — hence ``best`` is identical.
+        Candidates are consumed in fixed-size chunks: each chunk's cost
+        lower bounds are evaluated as one vectorized block
+        (:meth:`~repro.cloud.bounds.RuntimeLowerBound.cost_bounds`,
+        bitwise equal to the scalar bound — so the evaluated/pruned
+        split is too), survivors are batch-scored in order, and the
+        incumbent advances with a strict ``<`` — the same tie-break as
+        ``min`` over the full grid.  The exhaustive winner is the
+        *first* global minimum in grid order; when its chunk arrives the
+        incumbent still costs strictly more, so its (admissible) bound
+        can never reach the incumbent and it is always evaluated —
+        hence ``best`` is identical.
         """
         bound = RuntimeLowerBound(self.predictor.report)
         evaluated: list[EvaluatedConfiguration] = []
@@ -367,29 +366,21 @@ class CostOptimizer:
         for start in range(0, len(candidates), _PRUNE_CHUNK):
             chunk = candidates[start:start + _PRUNE_CHUNK]
             survivors: list[CloudConfiguration] = []
-            for config in chunk:
-                if (
-                    best is not None
-                    and bound.cost_bound(config) >= best.cost_dollars
-                ):
-                    pruned += 1
-                else:
-                    survivors.append(config)
-            for item in self._score_batch(survivors, backend):
+            if best is None:
+                survivors = chunk
+            else:
+                incumbent = best.cost_dollars
+                for config, cost_lb in zip(chunk, bound.cost_bounds(chunk)):
+                    if cost_lb >= incumbent:
+                        pruned += 1
+                    else:
+                        survivors.append(config)
+            for item in self.score_candidates(survivors):
                 evaluated.append(item)
                 if best is None or item.cost_dollars < best.cost_dollars:
                     best = item
         assert best is not None  # candidates is non-empty
         return evaluated, best, pruned
-
-    def _worker_payload(self) -> tuple:
-        """Picklable constructor arguments for a worker-side optimizer."""
-        return (
-            self.predictor.report,
-            self.num_workers,
-            self.min_hdfs_gb,
-            self.min_local_gb,
-        )
 
     def coordinate_descent(
         self,
@@ -403,6 +394,11 @@ class CostOptimizer:
         This is the paper's "gradient descent" on the discrete multivariate
         cost function; disk *types* stay fixed to the start point's (run it
         once per type combination, as the paper does for HDD and SSD).
+
+        Each round's feasible neighbours are scored as one kernel batch;
+        the within-round incumbent updates then replay the historical
+        sequential comparisons over the batch columns, so the descent
+        path (and every evaluated record) is unchanged.
         """
         if not self.is_feasible(start):
             raise OptimizationError(f"start configuration {start.label()} infeasible")
@@ -410,10 +406,14 @@ class CostOptimizer:
         evaluated = [current]
         for _ in range(max_rounds):
             improved = False
-            for candidate in self._neighbors(current.config, vcpu_grid, size_grid_gb):
-                if not self.is_feasible(candidate):
-                    continue
-                scored = self.evaluate(candidate)
+            neighbors = [
+                candidate
+                for candidate in self._neighbors(
+                    current.config, vcpu_grid, size_grid_gb
+                )
+                if self.is_feasible(candidate)
+            ]
+            for scored in self.score_candidates(neighbors):
                 evaluated.append(scored)
                 if scored.cost_dollars < current.cost_dollars - 1e-9:
                     current = scored
@@ -502,29 +502,3 @@ def _adjacent(grid: list, value) -> list:
     if above:
         candidates.append(above[0])
     return candidates
-
-
-# -- worker-process side ------------------------------------------------------
-
-#: Per-worker-process optimizer, installed by :func:`_init_search_worker`.
-_SEARCH_OPTIMIZER: CostOptimizer | None = None
-
-
-def _init_search_worker(payload: tuple) -> None:
-    """Pool initializer: rebuild the optimizer once per worker process."""
-    global _SEARCH_OPTIMIZER
-    report, num_workers, min_hdfs_gb, min_local_gb = payload
-    _SEARCH_OPTIMIZER = CostOptimizer(
-        Predictor(report),
-        num_workers=num_workers,
-        min_hdfs_gb=min_hdfs_gb,
-        min_local_gb=min_local_gb,
-    )
-
-
-def _score_search_candidate(config: CloudConfiguration):
-    """Task function: one candidate's fresh Eq.-1 prediction."""
-    optimizer = _SEARCH_OPTIMIZER
-    if optimizer is None:  # pragma: no cover - initializer always ran
-        raise RuntimeError("search worker used before initialization")
-    return optimizer._predict_fresh(config)

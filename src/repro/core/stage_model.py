@@ -25,6 +25,13 @@ from dataclasses import dataclass
 from repro.core.variables import StageModelVariables
 from repro.errors import ModelError
 
+#: Equation-1 term labels in tie-break order.  The *first* maximal term
+#: wins the ``max`` in :meth:`StagePrediction.bottleneck`, and the array
+#: kernel (:mod:`repro.model.arrays`) encodes per-stage bottlenecks as
+#: indexes into this tuple — the two representations are interchangeable
+#: by construction.
+BOTTLENECK_LABELS: tuple[str, str, str] = ("scale", "read", "write")
+
 
 @dataclass(frozen=True)
 class StagePrediction:
@@ -49,13 +56,10 @@ class StagePrediction:
     @property
     def bottleneck(self) -> str:
         """Which Equation-1 term dominates this operating point."""
-        best = max(
-            ("scale", self.t_scale),
-            ("read", self.t_read_limit),
-            ("write", self.t_write_limit),
-            key=lambda item: item[1],
-        )
-        return best[0]
+        terms = (self.t_scale, self.t_read_limit, self.t_write_limit)
+        # ``max`` keeps the first maximal entry, so ties resolve in
+        # BOTTLENECK_LABELS order (scale, then read, then write).
+        return BOTTLENECK_LABELS[max(range(3), key=terms.__getitem__)]
 
     @property
     def io_bound(self) -> bool:

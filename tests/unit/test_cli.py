@@ -70,6 +70,16 @@ class TestParser:
         assert args.prune is True
         assert args.workers == 2
 
+    def test_optimize_top_and_json_flags(self):
+        args = build_parser().parse_args(["optimize", "--workload", "gatk4"])
+        assert args.top == 1
+        assert args.json is False
+        args = build_parser().parse_args(
+            ["optimize", "--workload", "gatk4", "--top", "5", "--json"]
+        )
+        assert args.top == 5
+        assert args.json is True
+
 
 class TestCommands:
     def test_list_workloads(self, capsys):
@@ -217,3 +227,39 @@ class TestPipelineCommand:
         assert main(argv + ["--workers", "2"]) == 0
         parallel = json.loads(capsys.readouterr().out)
         assert parallel["runs"] == serial["runs"]
+
+    def test_optimize_top_lists_ranked_configs(self, capsys):
+        argv = [
+            "optimize", "--workload", "svm", "--profile-nodes", "2",
+            "--top", "3",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "optimum" in out
+        assert "#2" in out
+        assert "#3" in out
+        assert "R1 (Spark)" in out
+        assert "savings:" in out
+
+    def test_optimize_json_payload(self, capsys):
+        argv = [
+            "optimize", "--workload", "svm", "--profile-nodes", "2",
+            "--top", "2", "--prune", "--json",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "SVM"
+        assert payload["backend"] in ("python", "numpy")
+        assert payload["num_pruned"] > 0
+        assert [entry["rank"] for entry in payload["top"]] == [1, 2]
+        # Ranked ascending by cost, and rank 1 is the search optimum.
+        costs = [entry["cost_dollars"] for entry in payload["top"]]
+        assert costs == sorted(costs)
+        for reference in payload["references"].values():
+            assert payload["top"][0]["cost_dollars"] <= reference["cost_dollars"]
+        assert 0.0 < payload["savings_vs_r1"] < 1.0
+
+    def test_optimize_top_must_be_positive(self, capsys):
+        argv = ["optimize", "--workload", "svm", "--top", "0"]
+        assert main(argv) == 2
+        assert "ConfigurationError" in capsys.readouterr().err
