@@ -12,10 +12,12 @@ from pathlib import Path
 
 import pytest
 
+from repro.cloud import CostOptimizer
 from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
 from repro.core import Predictor, Profiler
 from repro.pipeline import ResolvedSource, ResultCache
 from repro.workloads import make_gatk4_workload
+from repro.workloads.runner import measure_workload
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -73,6 +75,61 @@ def paper_clusters():
         config.config_id: make_paper_cluster(3, config)
         for config in HYBRID_CONFIGS
     }
+
+
+@pytest.fixture(scope="session")
+def gatk4_optimizer(gatk4_predictor, gatk4_workload, pipeline_cache):
+    """The Fig. 13/15 cost optimizer: paper capacities, shared cache."""
+    hdfs_gb, local_gb = CostOptimizer.capacity_requirements(
+        gatk4_workload, num_workers=10
+    )
+    return CostOptimizer(
+        gatk4_predictor, num_workers=10,
+        min_hdfs_gb=hdfs_gb, min_local_gb=local_gb,
+        cache=pipeline_cache,
+    )
+
+
+@pytest.fixture(scope="session")
+def measure_on_config():
+    """Callable measuring a workload on a paper cluster built per config."""
+
+    def _measure(config, workload, cores=36, slaves=10):
+        return measure_workload(
+            make_paper_cluster(slaves, config), cores, workload
+        )
+
+    return _measure
+
+
+@pytest.fixture(scope="session")
+def hdd_ssd_phase_times(measure_on_config):
+    """Callable timing a workload on 2SSD vs 2HDD (the Fig. 8-11 gaps).
+
+    Returns ``{"2SSD": seconds, "2HDD": seconds}`` for a single stage
+    (``stage=``), a phase group's stage sum (``phase_group=``), or the
+    whole application (neither).
+    """
+
+    def _times(workload, stage=None, phase_group=None):
+        names = (
+            workload.parameters["phase_groups"][phase_group]
+            if phase_group is not None else None
+        )
+        times = {}
+        for config in (HYBRID_CONFIGS[0], HYBRID_CONFIGS[3]):
+            run = measure_on_config(config, workload)
+            if names is not None:
+                times[config.shorthand] = sum(
+                    run.stage(name).makespan for name in names
+                )
+            elif stage is not None:
+                times[config.shorthand] = run.stage(stage).makespan
+            else:
+                times[config.shorthand] = run.total_seconds
+        return times
+
+    return _times
 
 
 def run_once(benchmark, func):

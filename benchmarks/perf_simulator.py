@@ -1,46 +1,24 @@
-"""Performance benchmarks for the simulator and the experiment pipeline.
+"""Compatibility entry point for the benchmark suite.
 
-Three scenarios, written to ``BENCH_simulator.json`` at the repo root so
-the performance trajectory is tracked across PRs:
-
-- ``gatk4-md-stage`` — the GATK4 MarkDuplicates stage (973 tasks) on the
-  paper's ten-slave cfg1 cluster at 24 cores per node: the heaviest
-  single-stage simulation in the validation suite, timing the raw event
-  loop.
-- ``core_sweep`` — the Fig. 3 core-scaling sweep (2SSD, P = 12/24/36) run
-  cold and then warm through a shared pipeline result cache.
-- ``optimizer_search`` — the Fig. 13/15 grid search (8/16/32 vCPU, both
-  disk kinds) through the array kernel; records the search wall time
-  and candidates per second.
-- ``resilience`` — the MD stage under a 2.5x straggler, unmitigated vs
-  speculation + blacklisting, plus the armed-but-idle overhead on a
-  clean run (guarded below 5%).
-- ``parallel`` — the PR-5 accelerators: the Fig. 13/15 grid searched
-  exhaustively vs bound-pruned (identical best required; the bound must
-  discard at least half the grid — the kernel scores the whole grid in
-  milliseconds, so the pruning win is model evaluations, not wall
-  time), and a cold Fig.-3-shaped grid swept serially vs with two
-  worker processes (records bit-identical required; the ≥1.5x
-  wall-clock guard applies only on hosts with 2+ usable CPUs — on one
-  CPU the walls are still recorded, with the CPU count, for the
-  trajectory).  The warm replay through the parallel run's merged cache
-  also times the hoisted-fingerprint composition path.
-- ``vectorized`` — the PR-6 array kernel (:mod:`repro.model.arrays`) on
-  a tiled Fig. 13-15 grid: candidates per second on the pure-Python
-  backend, on numpy when installed, and through the scalar per-config
-  path, with the batch results equality-checked against the scalar
-  model.  Guards: ≥1e5 cand/s pure Python, and with numpy ≥1e6 cand/s
-  plus a ≥20x speedup over the scalar path.
-
-Run with::
+The scenarios that used to live inline here are now registered
+:class:`~repro.bench.registry.BenchmarkSection` plugins in
+:mod:`repro.bench.sections` — engine, cache, search, resilience,
+parallel, vectorized — with the same metrics, the same correctness
+asserts, and every guard threshold preserved as a section-level floor.
+This file stays as the historical CLI so existing invocations (and the
+CI "Perf regression guard" step) keep working unchanged::
 
     PYTHONPATH=src python benchmarks/perf_simulator.py          # refresh
     PYTHONPATH=src python benchmarks/perf_simulator.py --check  # CI guard
 
-``--check`` reruns everything and compares against the committed JSON:
-simulated numbers must match exactly (the engine is deterministic), wall
-times may not regress beyond a generous tolerance, and the cache speedups
-must stay at least 2x.
+``--check`` reruns everything and compares against the committed
+``BENCH_simulator.json``: simulated numbers must match exactly (the
+engine is deterministic), wall times may not regress beyond a generous
+tolerance, and the cache speedups must stay at least 2x.
+
+The new interface — trajectory history, host-fingerprinted statistical
+gates, per-section selection — is ``python -m repro bench``; see
+docs/BENCHMARKS.md.
 
 Not collected by pytest (no ``test_`` prefix); it is a standalone script
 so the tier-1 suite stays fast.
@@ -48,698 +26,12 @@ so the tier-1 suite stays fast.
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
-import time
+import sys
 from pathlib import Path
 
-from repro.analysis.sweep import sweep_cores
-from repro.cloud.optimizer import CostOptimizer
-from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
-from repro.core import Predictor, Profiler
-from repro.faults import FaultPlan, StragglerFault
-from repro.pipeline import ResultCache
-from repro.resilience import (
-    BlacklistPolicy,
-    ResiliencePolicy,
-    SpeculationPolicy,
-    merge_summaries,
-)
-from repro.simulator.engine import SimulationEngine
-from repro.workloads import make_gatk4_workload
-from repro.workloads.base import WorkloadSpec
-from repro.workloads.runner import measure_workload
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-NUM_SLAVES = 10
-CORES_PER_NODE = 24
-ROUNDS = 3
-
-#: Fig. 3 setting: the 3-slave motivation cluster, 2SSD placement.
-SWEEP_SLAVES = 3
-SWEEP_CORES = (12, 24, 36)
-
-#: Fig. 13/15 search grid (the benchmark suite's vcpu grid).
-SEARCH_VCPUS = (8, 16, 32)
-
-# Wall time of the same scenario under the O(active)-scan event loop that
-# predates the indexed event heap, measured on the reference container when
-# the heap landed.  Kept as a fixed baseline so the speedup column stays
-# meaningful without checking out old revisions.
-SCAN_LOOP_BASELINE_SECONDS = 0.777
-
-#: ``--check`` allows fresh wall times up to this multiple of the recorded
-#: ones — generous, because CI machines are noisy; catching order-of-
-#: magnitude regressions is the goal.
-WALL_TOLERANCE = 4.0
-
-#: Minimum cold/warm speedup the result cache must deliver.
-MIN_CACHE_SPEEDUP = 2.0
-
-#: The resilience scenario's straggler severity (matches the shipped
-#: example plan family) and the ceiling on what an armed-but-idle
-#: speculation policy may cost a clean run.
-STRAGGLER_SLOWDOWN = 2.5
-MAX_CLEAN_SPECULATION_OVERHEAD = 0.05
-
-#: Largest share of the grid the bound-pruned search may still evaluate
-#: — pruning must discard at least half (measured: ~93% discarded).
-MAX_PRUNE_EVAL_FRACTION = 0.5
-
-#: Array-kernel throughput floors (candidates scored per second, one
-#: core) and the minimum batch-vs-scalar speedup with numpy installed.
-MIN_PYTHON_CAND_PER_S = 1e5
-MIN_NUMPY_CAND_PER_S = 1e6
-MIN_VECTOR_SPEEDUP_VS_SCALAR = 20.0
-
-#: The vectorized benchmark's disk-size axis (the Fig. 13-15 sweep) and
-#: how many times the resulting grid is tiled for stable timing.
-VECTOR_SIZES_GB = (
-    20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 1500.0, 2000.0, 3000.0, 4000.0
-)
-VECTOR_TILE_REPS = 50
-
-#: Minimum parallel-vs-serial wall-clock speedup with two workers —
-#: enforced only on hosts where two workers can actually run at once.
-MIN_PARALLEL_SPEEDUP = 1.5
-PARALLEL_WORKERS = 2
-
-#: The parallel grid: Fig.-3-shaped cold sweep, four cells so two
-#: workers can balance it.
-PARALLEL_GRID_CORES = (8, 12, 24, 36)
-
-
-def run_once() -> tuple[float, float]:
-    """Build and run the MD stage once; returns (wall seconds, makespan)."""
-    spec = make_gatk4_workload().stages[0]
-    cluster = make_paper_cluster(NUM_SLAVES, HYBRID_CONFIGS[0])
-    tasks = spec.build_tasks(cores_per_node=CORES_PER_NODE, jitter_offset=0.0)
-    engine = SimulationEngine(cluster, cores_per_node=CORES_PER_NODE)
-    start = time.perf_counter()
-    makespan = engine.run(tasks)
-    return time.perf_counter() - start, makespan
-
-
-def bench_md_stage(rounds: int) -> dict:
-    """The historical event-loop microbenchmark (fields kept stable)."""
-    walls = []
-    makespan = None
-    for _ in range(max(1, rounds)):
-        wall, makespan = run_once()
-        walls.append(wall)
-    best = min(walls)
-    return {
-        "benchmark": "gatk4-md-stage",
-        "num_slaves": NUM_SLAVES,
-        "cores_per_node": CORES_PER_NODE,
-        "rounds": len(walls),
-        "wall_seconds_best": round(best, 4),
-        "wall_seconds_all": [round(w, 4) for w in walls],
-        "simulated_makespan_seconds": makespan,
-        "scan_loop_baseline_seconds": SCAN_LOOP_BASELINE_SECONDS,
-        "speedup_vs_scan_loop": round(SCAN_LOOP_BASELINE_SECONDS / best, 2),
-        "python": platform.python_version(),
-    }
-
-
-def bench_core_sweep() -> dict:
-    """Fig. 3 sweep, cold then warm through one result cache."""
-    workload = make_gatk4_workload()
-    predictor = Predictor(Profiler(workload, nodes=3).profile())
-    cluster = make_paper_cluster(SWEEP_SLAVES, HYBRID_CONFIGS[0])
-    cache = ResultCache()
-
-    start = time.perf_counter()
-    cold_points = sweep_cores(workload, predictor, cluster, SWEEP_CORES, cache)
-    cold_wall = time.perf_counter() - start
-
-    start = time.perf_counter()
-    warm_points = sweep_cores(workload, predictor, cluster, SWEEP_CORES, cache)
-    warm_wall = time.perf_counter() - start
-
-    assert [p.total.measured for p in warm_points] == [
-        p.total.measured for p in cold_points
-    ], "cache hits must be bit-identical"
-    return {
-        "benchmark": "fig3-core-sweep",
-        "num_slaves": SWEEP_SLAVES,
-        "core_counts": list(SWEEP_CORES),
-        "total_seconds_per_p": [p.total.measured for p in cold_points],
-        "cold_wall_seconds": round(cold_wall, 4),
-        "warm_wall_seconds": round(warm_wall, 4),
-        "cache_speedup": round(cold_wall / warm_wall, 2),
-        "cache_stats": cache.stats_summary(),
-    }
-
-
-def bench_optimizer_search(rounds: int) -> dict:
-    """Fig. 13/15 grid search through the array kernel.
-
-    The search scores the whole grid as one
-    :class:`~repro.model.arrays.CandidateBatch`, so there is no
-    per-candidate prediction cache to warm any more — the recorded
-    numbers are the search wall time (best of ``rounds``) and the
-    grid-candidates-per-second rate it implies.
-    """
-    workload = make_gatk4_workload()
-    predictor = Predictor(Profiler(workload, nodes=3).profile())
-    hdfs_gb, local_gb = CostOptimizer.capacity_requirements(
-        workload, num_workers=10
-    )
-    optimizer = CostOptimizer(
-        predictor, num_workers=10,
-        min_hdfs_gb=hdfs_gb, min_local_gb=local_gb,
-    )
-
-    walls = []
-    result = None
-    for _ in range(max(1, rounds)):
-        start = time.perf_counter()
-        result = optimizer.grid_search(vcpu_grid=SEARCH_VCPUS)
-        walls.append(time.perf_counter() - start)
-    best_wall = min(walls)
-
-    return {
-        "benchmark": "fig13-15-grid-search",
-        "vcpu_grid": list(SEARCH_VCPUS),
-        "num_candidates": result.num_evaluated,
-        "best_config": result.best.config.label(),
-        "best_cost_dollars": round(result.best.cost_dollars, 4),
-        "best_runtime_seconds": result.best.runtime_seconds,
-        "wall_seconds": round(best_wall, 4),
-        "candidates_per_second": round(result.num_evaluated / best_wall),
-    }
-
-
-def bench_resilience() -> dict:
-    """Speculation + blacklisting vs a 2.5x straggler on the MD stage.
-
-    Four deterministic measurements of the same single-stage workload:
-    clean, clean with speculation armed (the overhead probe), faulted
-    without mitigations, and faulted with speculation + blacklisting.
-    The simulated makespans are exact-match checked against the
-    baseline; the mitigation win and the clean-overhead ceiling are
-    asserted fresh on every run.
-    """
-    stage = make_gatk4_workload().stages[0]
-    workload = WorkloadSpec(name="md-stage", stages=(stage,))
-    plan = FaultPlan(
-        name="bench-straggler",
-        faults=(StragglerFault(node=1, slowdown=STRAGGLER_SLOWDOWN),),
-    )
-    policy = ResiliencePolicy(
-        speculation=SpeculationPolicy(),
-        blacklist=BlacklistPolicy(max_node_strikes=2),
-    )
-    speculation_only = ResiliencePolicy(speculation=SpeculationPolicy())
-
-    def measure(faults=None, resilience=None):
-        cluster = make_paper_cluster(NUM_SLAVES, HYBRID_CONFIGS[0])
-        start = time.perf_counter()
-        result = measure_workload(
-            cluster, CORES_PER_NODE, workload,
-            faults=faults, resilience=resilience,
-        )
-        return time.perf_counter() - start, result
-
-    wall = 0.0
-    elapsed, clean = measure()
-    wall += elapsed
-    elapsed, clean_armed = measure(resilience=speculation_only)
-    wall += elapsed
-    elapsed, unmitigated = measure(faults=plan)
-    wall += elapsed
-    elapsed, mitigated = measure(faults=plan, resilience=policy)
-    wall += elapsed
-
-    overhead = (
-        clean_armed.total_seconds / clean.total_seconds - 1.0
-    )
-    summary = merge_summaries(s.resilience for s in mitigated.stages)
-    return {
-        "benchmark": "resilience-straggler",
-        "num_slaves": NUM_SLAVES,
-        "cores_per_node": CORES_PER_NODE,
-        "straggler_slowdown": STRAGGLER_SLOWDOWN,
-        "clean_seconds": clean.total_seconds,
-        "clean_speculation_seconds": clean_armed.total_seconds,
-        "clean_speculation_overhead_fraction": round(overhead, 6),
-        "unmitigated_seconds": unmitigated.total_seconds,
-        "mitigated_seconds": mitigated.total_seconds,
-        "recovered_fraction": round(
-            1.0 - mitigated.total_seconds / unmitigated.total_seconds, 4
-        ),
-        "speculative_launched": summary.speculative_launched,
-        "speculative_wins": summary.speculative_wins,
-        "blacklisted": list(summary.blacklisted),
-        "wall_seconds": round(wall, 4),
-    }
-
-
-def bench_parallel(rounds: int) -> dict:
-    """PR-5 accelerators: bound-pruned search and process-parallel grids.
-
-    Correctness (identical best, bit-identical records) is asserted on
-    every run; the wall-clock guards live in :func:`check`.
-    """
-    import json as json_module
-
-    from repro.parallel import available_cpus
-    from repro.pipeline.experiment import Experiment
-    from repro.pipeline.sources import ResolvedSource
-
-    workload = make_gatk4_workload()
-    predictor = Predictor(Profiler(workload, nodes=3).profile())
-    hdfs_gb, local_gb = CostOptimizer.capacity_requirements(
-        workload, num_workers=10
-    )
-
-    def cold_search(**kwargs):
-        # A fresh optimizer per round: no cache, so the search is cold.
-        optimizer = CostOptimizer(
-            predictor, num_workers=10,
-            min_hdfs_gb=hdfs_gb, min_local_gb=local_gb,
-        )
-        start = time.perf_counter()
-        result = optimizer.grid_search(vcpu_grid=SEARCH_VCPUS, **kwargs)
-        return time.perf_counter() - start, result
-
-    exhaustive_walls, pruned_walls = [], []
-    exhaustive = pruned = None
-    for _ in range(max(1, rounds)):
-        wall, exhaustive = cold_search()
-        exhaustive_walls.append(wall)
-        wall, pruned = cold_search(prune=True)
-        pruned_walls.append(wall)
-    assert pruned.best.config == exhaustive.best.config, (
-        "pruned search must return the exhaustive optimum"
-    )
-    assert pruned.best.cost_dollars == exhaustive.best.cost_dollars
-
-    # Cold Fig.-3-shaped sweep, serial vs two worker processes, fresh
-    # caches on both sides so every cell really simulates.
-    def cold_grid(workers):
-        experiment = Experiment(
-            ResolvedSource(workload, predictor.report),
-            make_paper_cluster(SWEEP_SLAVES, HYBRID_CONFIGS[0]),
-        )
-        start = time.perf_counter()
-        results = experiment.run_grid(
-            nodes=(SWEEP_SLAVES,),
-            cores_per_node=PARALLEL_GRID_CORES,
-            workers=workers,
-        )
-        wall = time.perf_counter() - start
-        dump = json_module.dumps(
-            [r.to_dict() for r in results], sort_keys=True
-        )
-        return wall, dump, experiment
-
-    serial_wall, serial_dump, _ = cold_grid(None)
-    parallel_wall, parallel_dump, parallel_experiment = cold_grid(
-        PARALLEL_WORKERS
-    )
-    assert parallel_dump == serial_dump, (
-        "parallel grid records must be bit-identical to serial"
-    )
-
-    # Warm replay from the merged shards: times the hoisted-fingerprint
-    # composition path and proves the parallel run fully warmed its cache.
-    start = time.perf_counter()
-    replay = parallel_experiment.run_grid(
-        nodes=(SWEEP_SLAVES,), cores_per_node=PARALLEL_GRID_CORES
-    )
-    warm_wall = time.perf_counter() - start
-    assert json_module.dumps(
-        [r.to_dict() for r in replay], sort_keys=True
-    ) == serial_dump
-
-    return {
-        "benchmark": "pr5-parallel-and-pruning",
-        "search": {
-            "vcpu_grid": list(SEARCH_VCPUS),
-            "num_candidates": exhaustive.num_evaluated,
-            "best_config": pruned.best.config.label(),
-            "best_cost_dollars": round(pruned.best.cost_dollars, 4),
-            "exhaustive_wall_seconds": round(min(exhaustive_walls), 4),
-            "pruned_wall_seconds": round(min(pruned_walls), 4),
-            "pruned_evaluated": pruned.num_evaluated,
-            "pruned_skipped": pruned.num_pruned,
-            "prune_speedup": round(
-                min(exhaustive_walls) / min(pruned_walls), 2
-            ),
-        },
-        "grid": {
-            "num_slaves": SWEEP_SLAVES,
-            "core_counts": list(PARALLEL_GRID_CORES),
-            "workers": PARALLEL_WORKERS,
-            "usable_cpus": available_cpus(),
-            "serial_wall_seconds": round(serial_wall, 4),
-            "parallel_wall_seconds": round(parallel_wall, 4),
-            "parallel_speedup": round(serial_wall / parallel_wall, 2),
-            "warm_wall_seconds": round(warm_wall, 4),
-            "records_bit_identical": True,
-        },
-    }
-
-
-def bench_vectorized(rounds: int) -> dict:
-    """Array-kernel throughput on a tiled Fig. 13-15 grid.
-
-    Scores the optimizer's full (vCPU x disk kind x size x size) grid —
-    tiled :data:`VECTOR_TILE_REPS` times so each timing covers tens of
-    thousands of candidates — per backend, against the scalar
-    per-configuration path on the untiled grid.  Before timing, the
-    batch results are equality-checked (``==`` on floats) against the
-    scalar model, so the recorded rates always describe a kernel that
-    is still exact.
-    """
-    from repro.model.arrays import (
-        CandidateBatch,
-        Eq1BatchEvaluator,
-        backend_name,
-    )
-
-    workload = make_gatk4_workload()
-    report = Profiler(workload, nodes=3).profile()
-    hdfs_gb, local_gb = CostOptimizer.capacity_requirements(
-        workload, num_workers=10
-    )
-    optimizer = CostOptimizer(
-        Predictor(report), num_workers=10,
-        min_hdfs_gb=hdfs_gb, min_local_gb=local_gb,
-    )
-    configs = optimizer._grid_candidates(
-        (4, 8, 16, 32), ("pd-standard", "pd-ssd"),
-        VECTOR_SIZES_GB, VECTOR_SIZES_GB,
-    )
-    grid = CandidateBatch.from_configs(configs)
-    evaluator = Eq1BatchEvaluator(report)
-
-    # Scalar reference: the per-configuration path the kernel replaced.
-    start = time.perf_counter()
-    scalar = [optimizer._predict_fresh(config) for config in configs]
-    scalar_wall = time.perf_counter() - start
-    scalar_rate = len(configs) / scalar_wall
-
-    # Exactness gate on the untiled grid (both available backends).
-    backends = ["python"] + (["numpy"] if backend_name() == "numpy" else [])
-    for backend in backends:
-        scores = evaluator.score(grid, backend=backend)
-        assert [float(r) for r in scores.runtime_seconds] == [
-            p.t_app for p in scalar
-        ], f"{backend} kernel runtimes diverged from the scalar model"
-        assert [float(c) for c in scores.cost_dollars] == [
-            config.cost_for_runtime(p.t_app)
-            for config, p in zip(configs, scalar)
-        ], f"{backend} kernel costs diverged from the scalar model"
-
-    tiled = CandidateBatch(
-        nodes=grid.nodes * VECTOR_TILE_REPS,
-        cores=grid.cores * VECTOR_TILE_REPS,
-        hdfs_kinds=grid.hdfs_kinds * VECTOR_TILE_REPS,
-        hdfs_sizes_gb=grid.hdfs_sizes_gb * VECTOR_TILE_REPS,
-        local_kinds=grid.local_kinds * VECTOR_TILE_REPS,
-        local_sizes_gb=grid.local_sizes_gb * VECTOR_TILE_REPS,
-        vcpus=grid.vcpus * VECTOR_TILE_REPS,
-    )
-    rates = {}
-    for backend in backends:
-        walls = []
-        for _ in range(max(1, rounds)):
-            start = time.perf_counter()
-            evaluator.score(tiled, want_bottlenecks=False, backend=backend)
-            walls.append(time.perf_counter() - start)
-        rates[backend] = len(tiled) / min(walls)
-
-    fastest = max(rates.values())
-    return {
-        "benchmark": "pr6-array-kernel",
-        "grid_candidates": len(configs),
-        "tiled_candidates": len(tiled),
-        "default_backend": backend_name(),
-        "python_cand_per_s": round(rates["python"]),
-        "numpy_cand_per_s": (
-            round(rates["numpy"]) if "numpy" in rates else None
-        ),
-        "scalar_cand_per_s": round(scalar_rate),
-        "speedup_vs_scalar": round(fastest / scalar_rate, 1),
-        "batch_matches_scalar": True,
-    }
-
-
-def collect(rounds: int) -> dict:
-    result = bench_md_stage(rounds)
-    result["core_sweep"] = bench_core_sweep()
-    result["optimizer_search"] = bench_optimizer_search(rounds)
-    result["resilience"] = bench_resilience()
-    result["parallel"] = bench_parallel(rounds)
-    result["vectorized"] = bench_vectorized(rounds)
-    return result
-
-
-def check(fresh: dict, baseline: dict) -> list[str]:
-    """Compare a fresh run against the committed baseline; return failures."""
-    failures: list[str] = []
-
-    def close(a: float, b: float, rel: float = 1e-9) -> bool:
-        return abs(a - b) <= rel * max(abs(a), abs(b), 1.0)
-
-    if not close(
-        fresh["simulated_makespan_seconds"],
-        baseline["simulated_makespan_seconds"],
-    ):
-        failures.append(
-            "MD-stage makespan changed:"
-            f" {fresh['simulated_makespan_seconds']!r} vs baseline"
-            f" {baseline['simulated_makespan_seconds']!r}"
-        )
-    if fresh["wall_seconds_best"] > baseline["wall_seconds_best"] * WALL_TOLERANCE:
-        failures.append(
-            "MD-stage wall time regressed:"
-            f" {fresh['wall_seconds_best']}s vs baseline"
-            f" {baseline['wall_seconds_best']}s (tolerance {WALL_TOLERANCE}x)"
-        )
-
-    sweep_f, sweep_b = fresh["core_sweep"], baseline.get("core_sweep")
-    if sweep_b is not None:
-        if not all(
-            close(a, b)
-            for a, b in zip(
-                sweep_f["total_seconds_per_p"], sweep_b["total_seconds_per_p"]
-            )
-        ):
-            failures.append(
-                "core_sweep: simulated totals changed:"
-                f" {sweep_f['total_seconds_per_p']} vs"
-                f" {sweep_b['total_seconds_per_p']}"
-            )
-        if sweep_f["cold_wall_seconds"] > (
-            sweep_b["cold_wall_seconds"] * WALL_TOLERANCE
-        ):
-            failures.append(
-                "core_sweep: cold wall time regressed:"
-                f" {sweep_f['cold_wall_seconds']}s vs baseline"
-                f" {sweep_b['cold_wall_seconds']}s (tolerance {WALL_TOLERANCE}x)"
-            )
-        if sweep_f["cache_speedup"] < MIN_CACHE_SPEEDUP:
-            failures.append(
-                f"core_sweep: cache speedup {sweep_f['cache_speedup']}x is"
-                f" below the required {MIN_CACHE_SPEEDUP}x"
-            )
-
-    search_f, search_b = fresh["optimizer_search"], baseline.get(
-        "optimizer_search"
-    )
-    if search_b is not None and "best_runtime_seconds" in search_b:
-        if not close(
-            search_f["best_runtime_seconds"], search_b["best_runtime_seconds"]
-        ):
-            failures.append(
-                "optimizer_search: predicted optimum runtime changed:"
-                f" {search_f['best_runtime_seconds']!r} vs"
-                f" {search_b['best_runtime_seconds']!r}"
-            )
-        if "wall_seconds" in search_b and search_f["wall_seconds"] > (
-            search_b["wall_seconds"] * WALL_TOLERANCE
-        ):
-            failures.append(
-                "optimizer_search: wall time regressed:"
-                f" {search_f['wall_seconds']}s vs baseline"
-                f" {search_b['wall_seconds']}s (tolerance {WALL_TOLERANCE}x)"
-            )
-
-    resil = fresh["resilience"]
-    # Fresh guards — these hold on every run, baseline or not.
-    if resil["mitigated_seconds"] >= resil["unmitigated_seconds"]:
-        failures.append(
-            "resilience: mitigation no longer beats the straggler:"
-            f" mitigated {resil['mitigated_seconds']}s vs unmitigated"
-            f" {resil['unmitigated_seconds']}s"
-        )
-    if resil[
-        "clean_speculation_overhead_fraction"
-    ] > MAX_CLEAN_SPECULATION_OVERHEAD:
-        failures.append(
-            "resilience: armed speculation costs a clean run"
-            f" {resil['clean_speculation_overhead_fraction'] * 100:.2f}%,"
-            f" above the {MAX_CLEAN_SPECULATION_OVERHEAD * 100:.0f}% ceiling"
-        )
-    base_r = baseline.get("resilience")
-    if base_r is not None:
-        for field in (
-            "clean_seconds", "clean_speculation_seconds",
-            "unmitigated_seconds", "mitigated_seconds",
-        ):
-            if not close(resil[field], base_r[field]):
-                failures.append(
-                    f"resilience: {field} changed:"
-                    f" {resil[field]!r} vs baseline {base_r[field]!r}"
-                )
-
-    par = fresh["parallel"]
-    search, grid = par["search"], par["grid"]
-    # Fresh guards: pruning must keep cutting most of the grid (the
-    # array kernel made wall time a wash — the win is skipped model
-    # evaluations); parallelism must pay for itself wherever two
-    # workers can actually run at once.  (The identical-best and
-    # bit-identity guards are asserted inside bench_parallel on every
-    # run, --check or not.)
-    if search["pruned_evaluated"] > (
-        search["num_candidates"] * MAX_PRUNE_EVAL_FRACTION
-    ):
-        failures.append(
-            f"parallel: pruned search evaluated {search['pruned_evaluated']}"
-            f" of {search['num_candidates']} candidates — the bound must"
-            f" discard at least {1 - MAX_PRUNE_EVAL_FRACTION:.0%} of the grid"
-        )
-    if search["pruned_skipped"] == 0:
-        failures.append("parallel: the pruning bound discarded no candidates")
-    if (
-        grid["usable_cpus"] >= 2
-        and grid["parallel_speedup"] < MIN_PARALLEL_SPEEDUP
-    ):
-        failures.append(
-            f"parallel: {grid['workers']}-worker grid speedup"
-            f" {grid['parallel_speedup']}x is below the required"
-            f" {MIN_PARALLEL_SPEEDUP}x on {grid['usable_cpus']} CPUs"
-        )
-    base_p = baseline.get("parallel")
-    if base_p is not None:
-        if search["best_config"] != base_p["search"]["best_config"]:
-            failures.append(
-                "parallel: pruned-search optimum changed:"
-                f" {search['best_config']!r} vs baseline"
-                f" {base_p['search']['best_config']!r}"
-            )
-        if not close(
-            search["best_cost_dollars"],
-            base_p["search"]["best_cost_dollars"],
-            rel=1e-6,
-        ):
-            failures.append(
-                "parallel: pruned-search optimum cost changed:"
-                f" {search['best_cost_dollars']!r} vs baseline"
-                f" {base_p['search']['best_cost_dollars']!r}"
-            )
-        if search["pruned_wall_seconds"] > (
-            base_p["search"]["pruned_wall_seconds"] * WALL_TOLERANCE
-        ):
-            failures.append(
-                "parallel: pruned-search wall time regressed:"
-                f" {search['pruned_wall_seconds']}s vs baseline"
-                f" {base_p['search']['pruned_wall_seconds']}s"
-                f" (tolerance {WALL_TOLERANCE}x)"
-            )
-        if grid["warm_wall_seconds"] > (
-            base_p["grid"]["warm_wall_seconds"] * WALL_TOLERANCE
-        ):
-            failures.append(
-                "parallel: warm grid replay regressed:"
-                f" {grid['warm_wall_seconds']}s vs baseline"
-                f" {base_p['grid']['warm_wall_seconds']}s"
-                f" (tolerance {WALL_TOLERANCE}x) — fingerprint hoisting"
-                " or the shard merge slowed composition down"
-            )
-
-    vec = fresh["vectorized"]
-    # Fresh guards: the kernel must stay fast on whatever backend this
-    # host has.  (Exactness vs the scalar model is asserted inside
-    # bench_vectorized on every run.)
-    if vec["python_cand_per_s"] < MIN_PYTHON_CAND_PER_S:
-        failures.append(
-            f"vectorized: pure-Python kernel at {vec['python_cand_per_s']}"
-            f" cand/s is below the required {MIN_PYTHON_CAND_PER_S:.0e}"
-        )
-    if vec["numpy_cand_per_s"] is not None:
-        if vec["numpy_cand_per_s"] < MIN_NUMPY_CAND_PER_S:
-            failures.append(
-                f"vectorized: numpy kernel at {vec['numpy_cand_per_s']}"
-                f" cand/s is below the required {MIN_NUMPY_CAND_PER_S:.0e}"
-            )
-        if vec["speedup_vs_scalar"] < MIN_VECTOR_SPEEDUP_VS_SCALAR:
-            failures.append(
-                f"vectorized: {vec['speedup_vs_scalar']}x over the scalar"
-                f" path is below the required"
-                f" {MIN_VECTOR_SPEEDUP_VS_SCALAR:.0f}x"
-            )
-    return failures
-
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--output",
-        type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_simulator.json",
-        help="where to write (or read, with --check) the JSON result",
-    )
-    parser.add_argument("--rounds", type=int, default=ROUNDS)
-    parser.add_argument(
-        "--check", action="store_true",
-        help="compare a fresh run against the recorded JSON instead of"
-             " overwriting it; non-zero exit on regression",
-    )
-    args = parser.parse_args(argv)
-
-    result = collect(args.rounds)
-    if args.check:
-        baseline = json.loads(args.output.read_text())
-        failures = check(result, baseline)
-        if failures:
-            for failure in failures:
-                print(f"FAIL: {failure}")
-            return 1
-        vec = result["vectorized"]
-        kernel = (
-            f"kernel {vec['python_cand_per_s']} cand/s (py)"
-            + (
-                f" / {vec['numpy_cand_per_s']} (numpy),"
-                f" {vec['speedup_vs_scalar']}x vs scalar"
-                if vec["numpy_cand_per_s"] is not None else ""
-            )
-        )
-        print(
-            "perf check OK:"
-            f" md {result['wall_seconds_best']}s"
-            f" (baseline {baseline['wall_seconds_best']}s),"
-            f" sweep cache {result['core_sweep']['cache_speedup']}x,"
-            f" search {result['optimizer_search']['wall_seconds']}s,"
-            f" prune kept"
-            f" {result['parallel']['search']['pruned_evaluated']}/"
-            f"{result['parallel']['search']['num_candidates']},"
-            f" {result['parallel']['grid']['workers']}-worker grid"
-            f" {result['parallel']['grid']['parallel_speedup']}x"
-            f" on {result['parallel']['grid']['usable_cpus']} CPU(s),"
-            f" {kernel}"
-        )
-        return 0
-
-    args.output.write_text(json.dumps(result, indent=2) + "\n")
-    print(json.dumps(result, indent=2))
-    print(f"[saved to {args.output}]")
-    return 0
-
+from repro.bench.legacy import check, collect, main  # noqa: E402,F401
 
 if __name__ == "__main__":
     raise SystemExit(main())

@@ -12,12 +12,10 @@ from app_validation import (
 )
 from conftest import run_once
 
-from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
 from repro.spark.conf import SparkConf
 from repro.spark.memory import fits_in_storage_memory
 from repro.units import GB
 from repro.workloads import make_pagerank_workload
-from repro.workloads.runner import measure_workload
 
 
 def test_fig10_pagerank_accuracy(benchmark, emit, pipeline_cache):
@@ -39,19 +37,13 @@ def test_fig10_graph_does_not_fit_memory(benchmark, emit):
     assert not fits
 
 
-def test_fig10_iteration_gap(benchmark, emit):
+def test_fig10_iteration_gap(benchmark, emit, hdd_ssd_phase_times):
     """The iteration phase's HDD/SSD gap (paper: 2.2x)."""
     workload = make_pagerank_workload()
 
-    def measure_gap():
-        return {
-            config.shorthand: measure_workload(
-                make_paper_cluster(10, config), 36, workload
-            ).stage("iteration").makespan
-            for config in (HYBRID_CONFIGS[0], HYBRID_CONFIGS[3])
-        }
-
-    times = run_once(benchmark, measure_gap)
+    times = run_once(
+        benchmark, lambda: hdd_ssd_phase_times(workload, stage="iteration")
+    )
     gap = times["2HDD"] / times["2SSD"]
     emit("fig10_pagerank_iteration_gap", (
         f"PageRank iteration phase: SSD {times['2SSD'] / 60:.1f} min,"

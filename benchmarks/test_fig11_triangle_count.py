@@ -11,9 +11,7 @@ from app_validation import (
 )
 from conftest import run_once
 
-from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
 from repro.workloads import make_triangle_count_workload
-from repro.workloads.runner import measure_workload
 
 
 def test_fig11_triangle_count_accuracy(benchmark, emit, pipeline_cache):
@@ -24,21 +22,16 @@ def test_fig11_triangle_count_accuracy(benchmark, emit, pipeline_cache):
     assert_within_paper_bound(points)
 
 
-def test_fig11_compute_phase_gap(benchmark, emit):
+def test_fig11_compute_phase_gap(benchmark, emit, hdd_ssd_phase_times):
     """The computeTriangleCount phase's HDD/SSD gap (paper: 6.5x)."""
     workload = make_triangle_count_workload()
-    stage_names = workload.parameters["phase_groups"]["computeTriangleCount"]
 
-    def measure_gap():
-        times = {}
-        for config in (HYBRID_CONFIGS[0], HYBRID_CONFIGS[3]):
-            run = measure_workload(make_paper_cluster(10, config), 36, workload)
-            times[config.shorthand] = sum(
-                run.stage(name).makespan for name in stage_names
-            )
-        return times
-
-    times = run_once(benchmark, measure_gap)
+    times = run_once(
+        benchmark,
+        lambda: hdd_ssd_phase_times(
+            workload, phase_group="computeTriangleCount"
+        ),
+    )
     gap = times["2HDD"] / times["2SSD"]
     emit("fig11_tc_gap", (
         f"TriangleCount computeTriangleCount phase: SSD"

@@ -11,9 +11,8 @@ from app_validation import (
 )
 from conftest import run_once
 
-from repro.cluster import HybridDiskConfig, make_paper_cluster
+from repro.cluster import HybridDiskConfig
 from repro.workloads import make_terasort_workload
-from repro.workloads.runner import measure_workload
 
 
 def test_fig12_terasort_accuracy(benchmark, emit, pipeline_cache):
@@ -23,7 +22,7 @@ def test_fig12_terasort_accuracy(benchmark, emit, pipeline_cache):
     assert_within_paper_bound(points)
 
 
-def test_fig12_local_device_gap(benchmark, emit):
+def test_fig12_local_device_gap(benchmark, emit, measure_on_config):
     """HDD vs SSD as Spark-local, HDFS fixed at SSD (paper: 2.6x)."""
     workload = make_terasort_workload()
 
@@ -31,12 +30,8 @@ def test_fig12_local_device_gap(benchmark, emit):
         fast_local = HybridDiskConfig(0, hdfs_kind="ssd", local_kind="ssd")
         slow_local = HybridDiskConfig(0, hdfs_kind="ssd", local_kind="hdd")
         return {
-            "SSD local": measure_workload(
-                make_paper_cluster(10, fast_local), 36, workload
-            ).total_seconds,
-            "HDD local": measure_workload(
-                make_paper_cluster(10, slow_local), 36, workload
-            ).total_seconds,
+            "SSD local": measure_on_config(fast_local, workload).total_seconds,
+            "HDD local": measure_on_config(slow_local, workload).total_seconds,
         }
 
     times = run_once(benchmark, measure_gap)

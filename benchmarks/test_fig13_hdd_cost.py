@@ -9,7 +9,6 @@ from conftest import run_once
 
 from repro.analysis.report import render_series, render_table
 from repro.cloud import (
-    CostOptimizer,
     r1_spark_recommendation,
     r2_cloudera_recommendation,
 )
@@ -17,20 +16,8 @@ from repro.cloud import (
 SIZE_SWEEP = (200, 500, 1000, 2000, 3000, 4000)
 
 
-def _optimizer(gatk4_predictor, gatk4_workload, cache=None):
-    hdfs_gb, local_gb = CostOptimizer.capacity_requirements(
-        gatk4_workload, num_workers=10
-    )
-    return CostOptimizer(
-        gatk4_predictor, num_workers=10,
-        min_hdfs_gb=hdfs_gb, min_local_gb=local_gb,
-        cache=cache,
-    )
-
-
-def test_fig13a_cost_vs_local_size(benchmark, emit, gatk4_predictor,
-                                   gatk4_workload, pipeline_cache):
-    optimizer = _optimizer(gatk4_predictor, gatk4_workload, pipeline_cache)
+def test_fig13a_cost_vs_local_size(benchmark, emit, gatk4_optimizer):
+    optimizer = gatk4_optimizer
 
     def sweep():
         costs, runtimes = [], []
@@ -53,9 +40,8 @@ def test_fig13a_cost_vs_local_size(benchmark, emit, gatk4_predictor,
     assert costs[0] > min(costs)
 
 
-def test_fig13b_cost_vs_hdfs_size(benchmark, emit, gatk4_predictor,
-                                  gatk4_workload, pipeline_cache):
-    optimizer = _optimizer(gatk4_predictor, gatk4_workload, pipeline_cache)
+def test_fig13b_cost_vs_hdfs_size(benchmark, emit, gatk4_optimizer):
+    optimizer = gatk4_optimizer
 
     def sweep():
         best_local = 2000
@@ -77,9 +63,8 @@ def test_fig13b_cost_vs_hdfs_size(benchmark, emit, gatk4_predictor,
         "HDFS GB", {"cost $": costs}, SIZE_SWEEP, value_format="{:.2f}"))
 
 
-def test_fig13_optimum_vs_r1_r2(benchmark, emit, gatk4_predictor,
-                                gatk4_workload, pipeline_cache):
-    optimizer = _optimizer(gatk4_predictor, gatk4_workload, pipeline_cache)
+def test_fig13_optimum_vs_r1_r2(benchmark, emit, gatk4_optimizer):
+    optimizer = gatk4_optimizer
 
     def search():
         hdd_only = optimizer.grid_search(

@@ -9,7 +9,6 @@ from conftest import run_once
 
 from repro.analysis.report import render_series, render_table
 from repro.cloud import (
-    CostOptimizer,
     r1_spark_recommendation,
     r2_cloudera_recommendation,
 )
@@ -17,20 +16,8 @@ from repro.cloud import (
 SSD_SIZES = (20, 50, 100, 200, 500, 1000, 2000, 3200)
 
 
-def _optimizer(gatk4_predictor, gatk4_workload, cache=None):
-    hdfs_gb, local_gb = CostOptimizer.capacity_requirements(
-        gatk4_workload, num_workers=10
-    )
-    return CostOptimizer(
-        gatk4_predictor, num_workers=10,
-        min_hdfs_gb=hdfs_gb, min_local_gb=local_gb,
-        cache=cache,
-    )
-
-
-def test_fig15_cost_and_runtime_vs_ssd_size(benchmark, emit, gatk4_predictor,
-                                            gatk4_workload, pipeline_cache):
-    optimizer = _optimizer(gatk4_predictor, gatk4_workload, pipeline_cache)
+def test_fig15_cost_and_runtime_vs_ssd_size(benchmark, emit, gatk4_optimizer):
+    optimizer = gatk4_optimizer
 
     def sweep():
         rows = []
@@ -63,9 +50,8 @@ def test_fig15_cost_and_runtime_vs_ssd_size(benchmark, emit, gatk4_predictor,
     assert costs.index(min(costs)) < len(costs) - 2
 
 
-def test_fig15_headline_savings(benchmark, emit, gatk4_predictor,
-                                gatk4_workload, pipeline_cache):
-    optimizer = _optimizer(gatk4_predictor, gatk4_workload, pipeline_cache)
+def test_fig15_headline_savings(benchmark, emit, gatk4_optimizer):
+    optimizer = gatk4_optimizer
 
     def search():
         full = optimizer.grid_search(vcpu_grid=(8, 16, 32))

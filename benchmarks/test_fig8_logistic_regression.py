@@ -14,10 +14,8 @@ from app_validation import (
 )
 from conftest import run_once
 
-from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
 from repro.workloads import make_logistic_regression_workload
 from repro.workloads.logistic_regression import LARGE_DATASET
-from repro.workloads.runner import measure_workload
 
 
 def test_fig8a_small_dataset(benchmark, emit, pipeline_cache):
@@ -38,20 +36,14 @@ def test_fig8b_large_dataset(benchmark, emit, pipeline_cache):
     assert workload.parameters["cached"] is False
 
 
-def test_fig8_iteration_gap_7x(benchmark, emit):
+def test_fig8_iteration_gap_7x(benchmark, emit, hdd_ssd_phase_times):
     """The summary's 7.0x HDD/SSD iteration-phase ratio (large dataset)."""
     workload = make_logistic_regression_workload(LARGE_DATASET, num_slaves=10)
 
-    def measure_gap():
-        ssd = measure_workload(
-            make_paper_cluster(10, HYBRID_CONFIGS[0]), 36, workload
-        ).stage("iteration").makespan
-        hdd = measure_workload(
-            make_paper_cluster(10, HYBRID_CONFIGS[3]), 36, workload
-        ).stage("iteration").makespan
-        return ssd, hdd
-
-    ssd, hdd = run_once(benchmark, measure_gap)
+    times = run_once(
+        benchmark, lambda: hdd_ssd_phase_times(workload, stage="iteration")
+    )
+    ssd, hdd = times["2SSD"], times["2HDD"]
     gap = hdd / ssd
     emit("fig8_lr_iteration_gap", (
         f"LR large-dataset iteration phase: SSD {ssd / 60:.1f} min,"

@@ -11,9 +11,7 @@ from app_validation import (
 )
 from conftest import run_once
 
-from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
 from repro.workloads import make_svm_workload
-from repro.workloads.runner import measure_workload
 
 
 def test_fig9_svm_accuracy(benchmark, emit, pipeline_cache):
@@ -23,23 +21,14 @@ def test_fig9_svm_accuracy(benchmark, emit, pipeline_cache):
     assert_within_paper_bound(points)
 
 
-def test_fig9_subtract_gap(benchmark, emit):
+def test_fig9_subtract_gap(benchmark, emit, hdd_ssd_phase_times):
     """The subtract phase's HDD/SSD gap (paper: 6.2x)."""
     workload = make_svm_workload()
-    stage_names = workload.parameters["phase_groups"]["subtract"]
 
-    def measure_gap():
-        times = {}
-        for config in (HYBRID_CONFIGS[0], HYBRID_CONFIGS[3]):
-            run = measure_workload(
-                make_paper_cluster(10, config), 36, workload
-            )
-            times[config.shorthand] = sum(
-                run.stage(name).makespan for name in stage_names
-            )
-        return times
-
-    times = run_once(benchmark, measure_gap)
+    times = run_once(
+        benchmark,
+        lambda: hdd_ssd_phase_times(workload, phase_group="subtract"),
+    )
     gap = times["2HDD"] / times["2SSD"]
     emit("fig9_svm_subtract_gap", (
         f"SVM subtract phase: SSD {times['2SSD'] / 60:.1f} min,"
@@ -48,18 +37,13 @@ def test_fig9_subtract_gap(benchmark, emit):
     assert 4.0 < gap < 9.0
 
 
-def test_fig9_iterations_device_independent(benchmark, emit):
+def test_fig9_iterations_device_independent(benchmark, emit,
+                                            hdd_ssd_phase_times):
     workload = make_svm_workload()
 
-    def measure_iterations():
-        return {
-            config.shorthand: measure_workload(
-                make_paper_cluster(10, config), 36, workload
-            ).stage("iteration").makespan
-            for config in (HYBRID_CONFIGS[0], HYBRID_CONFIGS[3])
-        }
-
-    times = run_once(benchmark, measure_iterations)
+    times = run_once(
+        benchmark, lambda: hdd_ssd_phase_times(workload, stage="iteration")
+    )
     emit("fig9_svm_iteration_phase", (
         f"SVM iteration phase (cached in memory): SSD"
         f" {times['2SSD']:.0f}s, HDD {times['2HDD']:.0f}s"

@@ -1,0 +1,164 @@
+"""``python -m repro bench`` end to end, on fast fake sections.
+
+The real sections are exercised by the benchmark suite itself; here a
+fake registry (installed via ``monkeypatch.dict``) keeps the CLI tests
+instant while covering the full surface: record append, snapshot
+composition and merge, gate verdicts, ``--check`` exit codes, rotation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+import repro.bench.registry as registry
+from repro.bench.gates import MetricGate
+from repro.bench.registry import BenchmarkSection
+from repro.cli import main
+
+
+@pytest.fixture
+def fake_registry(monkeypatch):
+    """Replace the registry with two tiny deterministic sections."""
+    top = BenchmarkSection(
+        name="engine", title="fake engine", snapshot_key=None,
+        run=lambda rounds: {
+            "benchmark": "fake", "rounds": rounds,
+            "simulated_makespan_seconds": 258.76, "wall_seconds_best": 0.1,
+        },
+        gates=(
+            MetricGate("simulated_makespan_seconds", "exact",
+                       fingerprint_scoped=False),
+            MetricGate("wall_seconds_best", "lower"),
+        ),
+    )
+    nested = BenchmarkSection(
+        name="cache", title="fake cache", snapshot_key="core_sweep",
+        run=lambda rounds: {"cache_speedup": 30.0},
+        guards=lambda metrics: (
+            [] if metrics["cache_speedup"] >= 2.0 else ["too slow"]
+        ),
+        gates=(MetricGate("cache_speedup", "higher"),),
+        slow=True,
+    )
+    monkeypatch.setattr(
+        registry, "_REGISTRY", {"engine": top, "cache": nested}
+    )
+    return {"engine": top, "cache": nested}
+
+
+def bench(tmp_path, *extra):
+    return main([
+        "bench",
+        "--history", str(tmp_path / "h.jsonl"),
+        "--output", str(tmp_path / "snap.json"),
+        *extra,
+    ])
+
+
+def test_run_appends_exactly_one_record(fake_registry, tmp_path, capsys):
+    assert bench(tmp_path) == 0
+    assert bench(tmp_path) == 0
+    lines = (tmp_path / "h.jsonl").read_text().splitlines()
+    assert len(lines) == 2
+    record = json.loads(lines[0])
+    assert set(record["sections"]) == {"engine", "cache"}
+    assert record["fingerprint_key"]
+    assert record["format_version"] == 1
+
+
+def test_snapshot_has_legacy_shape(fake_registry, tmp_path):
+    bench(tmp_path)
+    snapshot = json.loads((tmp_path / "snap.json").read_text())
+    assert snapshot["benchmark"] == "fake"
+    assert snapshot["simulated_makespan_seconds"] == 258.76
+    assert snapshot["core_sweep"] == {"cache_speedup": 30.0}
+
+
+def test_partial_run_merges_into_existing_snapshot(fake_registry, tmp_path):
+    bench(tmp_path)
+    assert bench(tmp_path, "--sections", "engine") == 0
+    snapshot = json.loads((tmp_path / "snap.json").read_text())
+    # The cache section was not rerun but survives from the first run.
+    assert snapshot["core_sweep"] == {"cache_speedup": 30.0}
+
+
+def test_skip_slow_drops_flagged_sections(fake_registry, tmp_path):
+    assert bench(tmp_path, "--skip-slow") == 0
+    record = json.loads((tmp_path / "h.jsonl").read_text())
+    assert set(record["sections"]) == {"engine"}
+
+
+def test_check_writes_nothing(fake_registry, tmp_path, capsys):
+    assert bench(tmp_path, "--check") == 0
+    assert not (tmp_path / "h.jsonl").exists()
+    assert not (tmp_path / "snap.json").exists()
+    assert "bench check OK" in capsys.readouterr().out
+
+
+def test_check_fails_on_exact_divergence(fake_registry, tmp_path, capsys):
+    bench(tmp_path)
+    # Simulate a determinism break: the recorded makespan differs.  The
+    # fixture owns the registry dict, so swapping an entry is test-local.
+    registry._REGISTRY["engine"] = dataclasses.replace(
+        fake_registry["engine"],
+        run=lambda rounds: {
+            "benchmark": "fake", "rounds": rounds,
+            "simulated_makespan_seconds": 999.0, "wall_seconds_best": 0.1,
+        },
+    )
+    assert bench(tmp_path, "--check") == 3
+    out = capsys.readouterr()
+    assert "deterministic metric changed" in out.out
+    assert "BenchmarkRegressionError" in out.err
+    # Gate-only mode appended nothing even though it failed.
+    assert len((tmp_path / "h.jsonl").read_text().splitlines()) == 1
+
+
+def test_check_fails_on_guard_floor(fake_registry, tmp_path, capsys):
+    registry._REGISTRY["cache"] = dataclasses.replace(
+        fake_registry["cache"], run=lambda rounds: {"cache_speedup": 1.1},
+    )
+    assert bench(tmp_path, "--check") == 3
+    assert "[FAIL] cache.guard: too slow" in capsys.readouterr().out
+
+
+def test_band_gate_fails_against_rolling_history(fake_registry, tmp_path,
+                                                 capsys):
+    for _ in range(3):
+        assert bench(tmp_path) == 0
+    registry._REGISTRY["engine"] = dataclasses.replace(
+        fake_registry["engine"],
+        run=lambda rounds: {
+            "benchmark": "fake", "rounds": rounds,
+            "simulated_makespan_seconds": 258.76, "wall_seconds_best": 41.0,
+        },
+    )
+    assert bench(tmp_path, "--check") == 3
+    assert "rolling median" in capsys.readouterr().out
+
+
+def test_unknown_section_is_config_error(fake_registry, tmp_path):
+    assert bench(tmp_path, "--sections", "warp-drive") == 2
+
+
+def test_max_history_rotates(fake_registry, tmp_path):
+    for _ in range(4):
+        bench(tmp_path, "--max-history", "2")
+    assert len((tmp_path / "h.jsonl").read_text().splitlines()) == 2
+
+
+def test_json_output_carries_verdicts(fake_registry, tmp_path, capsys):
+    assert bench(tmp_path, "--json") == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert {v["section"] for v in payload["verdicts"]} == {"engine", "cache"}
+    assert payload["sections"]["cache"] == {"cache_speedup": 30.0}
+
+
+def test_list_prints_registry(fake_registry, capsys):
+    assert main(["bench", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fake engine" in out and "slow" in out
