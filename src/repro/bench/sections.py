@@ -652,3 +652,136 @@ register_section(BenchmarkSection(
         MetricGate("numpy_cand_per_s", "higher", **_WALL_BAND),
     ),
 ))
+
+
+# -- multitenant: two jobs sharing one cluster (PR 8) -------------------------
+
+#: The co-location scenario: LR and SVM on the paper cluster with both
+#: disks spinning (2HDD placement maximizes I/O contention), SVM
+#: arriving mid-run under fair scheduling.
+MIX_SLAVES = NUM_SLAVES
+MIX_CORES = CORES_PER_NODE
+MIX_ARRIVAL_SECONDS = 30.0
+
+#: The mix must show *real* contention: the most-slowed job's runtime
+#: must exceed its solo baseline by at least this factor.  Both jobs
+#: must also never run faster mixed than solo, within the engine's
+#: float-reordering tolerance (see repro.invariants.INTERFERENCE_REL_TOL).
+MIN_MIX_SLOWDOWN = 1.05
+
+
+def run_multitenant(rounds: int) -> dict:
+    """A two-job mix through ``Experiment.measure_mix``, cold per round.
+
+    Correctness asserts on every run: the K = 1 mix is bit-identical to
+    the plain solo measurement, per-job byte conservation holds, and no
+    job beats its solo baseline.  The recorded metrics are the mix
+    makespan and per-job slowdowns (deterministic, exactness-gated) plus
+    the cold wall time (band-gated).
+    """
+    from repro.invariants import (
+        check_interference_dominance,
+        check_mix_conservation,
+    )
+    from repro.pipeline import ClusterPlatform, Experiment
+    from repro.schedule import MixJob
+    from repro.workloads import (
+        make_logistic_regression_workload,
+        make_svm_workload,
+    )
+
+    lr = make_logistic_regression_workload(num_slaves=MIX_SLAVES)
+    svm = make_svm_workload()
+    platform = ClusterPlatform(hdfs_kind="hdd", local_kind="hdd")
+    jobs = [MixJob(spec=lr), MixJob(spec=svm, arrival=MIX_ARRIVAL_SECONDS)]
+
+    walls = []
+    mix = None
+    for _ in range(max(1, rounds)):
+        experiment = Experiment(lr, platform)  # fresh cache: a cold mix
+        start = time.perf_counter()
+        mix = experiment.measure_mix(
+            jobs, policy="fair", nodes=MIX_SLAVES, cores_per_node=MIX_CORES
+        )
+        walls.append(time.perf_counter() - start)
+
+    # Solo baselines and the K = 1 delegation identity, one shared cache.
+    experiment = Experiment(lr, platform)
+    solos = {
+        spec.name: Experiment(spec, platform, cache=experiment.cache).measure(
+            MIX_SLAVES, MIX_CORES
+        )
+        for spec in (lr, svm)
+    }
+    solo_mix = experiment.measure_mix(
+        [MixJob(spec=lr)], nodes=MIX_SLAVES, cores_per_node=MIX_CORES
+    )
+    assert solo_mix.jobs[0].measurement == solos[lr.name], (
+        "K=1 mix must be bit-identical to the solo measurement"
+    )
+    violations = check_mix_conservation(jobs, mix)
+    violations += check_interference_dominance(mix, solos)
+    assert not violations, "; ".join(str(v) for v in violations)
+
+    slowdowns = {
+        timeline.name: round(
+            timeline.measurement.total_seconds
+            / solos[timeline.name].total_seconds,
+            6,
+        )
+        for timeline in mix.jobs
+    }
+    return {
+        "benchmark": "multitenant-mix",
+        "num_slaves": MIX_SLAVES,
+        "cores_per_node": MIX_CORES,
+        "policy": mix.policy,
+        "arrival_seconds": MIX_ARRIVAL_SECONDS,
+        "jobs": [timeline.name for timeline in mix.jobs],
+        "mix_makespan_seconds": mix.makespan,
+        "job_runtime_seconds": {
+            timeline.name: timeline.measurement.total_seconds
+            for timeline in mix.jobs
+        },
+        "solo_seconds": {
+            name: measurement.total_seconds
+            for name, measurement in solos.items()
+        },
+        "slowdowns": slowdowns,
+        "interference_slowdown": max(slowdowns.values()),
+        "wall_seconds": round(min(walls), 4),
+    }
+
+
+def guard_multitenant(metrics: dict) -> list[str]:
+    from repro.invariants import INTERFERENCE_REL_TOL
+
+    failures = []
+    if metrics["interference_slowdown"] < MIN_MIX_SLOWDOWN:
+        failures.append(
+            f"multitenant: peak slowdown {metrics['interference_slowdown']}x"
+            f" is below the required {MIN_MIX_SLOWDOWN}x — the mix no longer"
+            " exhibits contention"
+        )
+    for name, slowdown in metrics["slowdowns"].items():
+        if slowdown < 1.0 - INTERFERENCE_REL_TOL:
+            failures.append(
+                f"multitenant: {name} runs {slowdown}x its solo time —"
+                " faster with neighbors than alone"
+            )
+    return failures
+
+
+register_section(BenchmarkSection(
+    name="multitenant",
+    title="two-job LR+SVM mix with cross-job disk contention (PR 8)",
+    snapshot_key="multitenant",
+    run=run_multitenant,
+    guards=guard_multitenant,
+    gates=(
+        MetricGate("mix_makespan_seconds", "exact", fingerprint_scoped=False),
+        MetricGate("interference_slowdown", "exact", rel_tolerance=1e-6,
+                   fingerprint_scoped=False),
+        MetricGate("wall_seconds", "lower", **_WALL_BAND),
+    ),
+))

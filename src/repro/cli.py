@@ -21,6 +21,16 @@ Commands
     (speculative execution, retry with backoff, executor blacklisting);
     combined with a fault plan the report compares the mitigated run
     against both the unmitigated and the clean baselines.
+``simulate --mix mix.json [--slaves N] [--cores P] [...]``
+    Multi-tenant mode: instead of one workload, run the mix plan's jobs
+    together on one shared cluster under a FIFO or fair scheduler and
+    print the interference report — per job, its waiting time, mixed
+    runtime, turnaround, clean solo baseline, and slowdown factor, plus
+    the cluster-wide device utilization over the mix.  The plan is JSON:
+    ``{"policy": "fair", "jobs": [{"workload": NAME, "arrival": T,
+    "volume_scale": S}, ...]}`` (see docs/MULTITENANT.md and
+    ``examples/mixes/``).  ``--fault-plan`` composes with a mix;
+    resilience flags do not.
 
 Exit codes: 0 on success, 2 for configuration errors, 3 for simulation
 or model errors (including resilience-budget exhaustion), 4 for
@@ -51,7 +61,8 @@ malformed fault plans; 1 stays reserved for unexpected crashes.
     nonzero exit iff a section regresses beyond the noise band vs the
     rolling history or breaks an absolute floor).  ``--skip-slow``
     drops the slow sections so CI stays in budget, and ``--list``
-    prints the registry.
+    prints the registry with each section's gate specs (which metrics
+    are band-gated vs history and which must stay exact).
 
 Every command is a thin veneer over :mod:`repro.pipeline`: inputs become
 workload sources and platforms, results are uniform run records, and a
@@ -92,6 +103,8 @@ from repro.resilience import (
     SpeculationPolicy,
     merge_summaries,
 )
+from repro.schedule.mix import MIX_POLICIES, MixJob, canonical_jobs
+from repro.schedule.scheduler import SchedulingError
 from repro.storage.device import make_hdd, make_ssd
 from repro.storage.fio import run_fio_sweep
 from repro.units import MB, fmt_bytes, fmt_duration
@@ -103,7 +116,7 @@ from repro.workloads import (
     make_terasort_workload,
     make_triangle_count_workload,
 )
-from repro.workloads.base import WorkloadSpec
+from repro.workloads.base import WorkloadSpec, scale_workload_volume
 from repro.workloads.gatk4_extended import make_extended_gatk4_workload
 from repro.workloads.logistic_regression import LARGE_DATASET
 
@@ -267,7 +280,191 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_mix_plan(path: str) -> tuple[str, list[MixJob]]:
+    """Parse a mix-plan JSON file into (policy, jobs).
+
+    Any shape problem — unreadable file, bad JSON, unknown workload or
+    policy, negative arrival — is a :class:`ConfigurationError` (exit 2),
+    matching how every other malformed CLI input is reported.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except OSError as error:
+        raise ConfigurationError(
+            f"cannot read mix plan {path}: {error}"
+        ) from error
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(
+            f"mix plan {path} is not valid JSON: {error}"
+        ) from error
+    if not isinstance(data, dict) or not isinstance(data.get("jobs"), list):
+        raise ConfigurationError(
+            f"mix plan {path} must be a JSON object with a 'jobs' list"
+        )
+    policy = data.get("policy", "fair")
+    if policy not in MIX_POLICIES:
+        raise ConfigurationError(
+            f"mix plan {path}: unknown policy {policy!r};"
+            f" expected one of {MIX_POLICIES}"
+        )
+    jobs: list[MixJob] = []
+    for index, entry in enumerate(data["jobs"]):
+        where = f"mix plan {path}: jobs[{index}]"
+        if not isinstance(entry, dict) or "workload" not in entry:
+            raise ConfigurationError(
+                f"{where} must be an object with a 'workload' name"
+            )
+        unknown = set(entry) - {"workload", "arrival", "volume_scale", "name"}
+        if unknown:
+            raise ConfigurationError(
+                f"{where} has unknown field(s) {sorted(unknown)}"
+            )
+        spec = _workload(entry["workload"])
+        try:
+            jobs.append(MixJob(
+                spec=spec,
+                arrival=float(entry.get("arrival", 0.0)),
+                volume_scale=float(entry.get("volume_scale", 1.0)),
+                name=entry.get("name"),
+            ))
+        except (TypeError, ValueError, SchedulingError) as error:
+            raise ConfigurationError(f"{where}: {error}") from error
+    if not jobs:
+        raise ConfigurationError(f"mix plan {path} has no jobs")
+    return policy, jobs
+
+
+def _simulate_mix(args: argparse.Namespace) -> int:
+    """The ``simulate --mix`` path: co-located jobs + interference report."""
+    if _resilience(args) is not None:
+        raise ConfigurationError(
+            "resilience flags are not supported with --mix; mixes model"
+            " the contention story (see docs/MULTITENANT.md)"
+        )
+    policy, jobs = _load_mix_plan(args.mix)
+    network = _network(args)
+    cache = _cache(args)
+    plan = _fault_plan(args)
+    platform = _cluster_platform(args)
+    experiment = Experiment(
+        jobs[0].spec, platform, cache=cache, network=network, faults=plan,
+    )
+    mix = experiment.measure_mix(
+        jobs, policy=policy, nodes=args.slaves, cores_per_node=args.cores
+    )
+    # Clean solo baselines through the shared cache: one solo simulation
+    # per distinct job, the denominator of each slowdown factor.
+    solo_seconds: dict[str, float] = {}
+    for name, job in canonical_jobs(jobs):
+        child = Experiment(
+            scale_workload_volume(job.spec, job.volume_scale),
+            platform, cache=cache, network=network,
+        )
+        solo_seconds[name] = child.measure(
+            args.slaves, args.cores
+        ).total_seconds
+    _save_cache(cache)
+
+    def slowdown(timeline) -> float:
+        solo = solo_seconds[timeline.name]
+        return timeline.measurement.total_seconds / solo if solo > 0 else 1.0
+
+    per_class: dict[tuple[str, bool], list[float]] = {}
+    for name, is_write, fraction in mix.device_utilizations:
+        per_class.setdefault((_resource_label(name), is_write), []).append(
+            fraction
+        )
+
+    if args.json:
+        payload = {
+            "mix_plan": args.mix,
+            "policy": mix.policy,
+            "slaves": args.slaves,
+            "cores_per_node": args.cores,
+            "hdfs": args.hdfs,
+            "local": args.local,
+            "network_gbps": args.network_gbps,
+            "fault_plan": plan.name if plan is not None else None,
+            "makespan_seconds": mix.makespan,
+            "jobs": [
+                {
+                    "name": timeline.name,
+                    "arrival": timeline.arrival,
+                    "volume_scale": timeline.volume_scale,
+                    "waiting_seconds": timeline.waiting,
+                    "runtime_seconds": timeline.measurement.total_seconds,
+                    "turnaround_seconds": timeline.turnaround,
+                    "solo_seconds": solo_seconds[timeline.name],
+                    "slowdown": slowdown(timeline),
+                    "stages": [
+                        {
+                            "name": stage.name,
+                            "num_tasks": stage.num_tasks,
+                            "makespan_seconds": stage.makespan,
+                            "core_utilization": stage.core_utilization,
+                        }
+                        for stage in timeline.measurement.stages
+                    ],
+                }
+                for timeline in mix.jobs
+            ],
+            "device_utilizations": [
+                {
+                    "resource": label,
+                    "direction": "write" if is_write else "read",
+                    "busy_fraction": sum(fractions) / len(fractions),
+                }
+                for (label, is_write), fractions in sorted(per_class.items())
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    rows = [
+        [
+            timeline.name,
+            fmt_duration(timeline.arrival),
+            fmt_duration(timeline.waiting),
+            fmt_duration(timeline.measurement.total_seconds),
+            fmt_duration(timeline.turnaround),
+            fmt_duration(solo_seconds[timeline.name]),
+            f"{slowdown(timeline):.2f}x",
+        ]
+        for timeline in mix.jobs
+    ]
+    wire = f", {args.network_gbps:g} Gb/s NIC" if network is not None else ""
+    faulty = f", faults={plan.describe()}" if plan is not None else ""
+    print(render_table(
+        f"simulated mix of {len(mix.jobs)} jobs on {args.slaves} slaves x"
+        f" {args.cores} cores ({mix.policy} scheduling, HDFS={args.hdfs},"
+        f" local={args.local}{wire}{faulty})",
+        ["job", "arrival", "waiting", "runtime", "turnaround", "solo",
+         "slowdown"],
+        rows))
+    print(f"mix makespan: {fmt_duration(mix.makespan)}")
+    if per_class:
+        rows = [
+            [label, "write" if is_write else "read",
+             f"{sum(fractions) / len(fractions) * 100:.0f}%"]
+            for (label, is_write), fractions in sorted(per_class.items())
+        ]
+        print(render_table(
+            "device utilization (whole mix, mean across nodes)",
+            ["resource", "dir", "busy"], rows))
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
+    if args.mix is not None:
+        if args.workload is not None:
+            raise ConfigurationError(
+                "pass either a workload name or --mix, not both"
+            )
+        return _simulate_mix(args)
+    if args.workload is None:
+        raise ConfigurationError(
+            "a workload name (or --mix FILE) is required"
+        )
     workload = _workload(args.workload)
     network = _network(args)
     cache = _cache(args)
@@ -655,18 +852,28 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.errors import BenchmarkRegressionError
 
     if args.list:
+        def gate_spec(gate) -> str:
+            if gate.direction == "exact":
+                return f"{gate.metric}=exact"
+            return (
+                f"{gate.metric}:{gate.direction}"
+                f"(warn x{gate.warn_ratio:g}, fail x{gate.fail_ratio:g})"
+            )
+
         rows = [
             [
                 section.name,
                 section.snapshot_key or "(top level)",
                 "slow" if section.slow else "",
+                "; ".join(gate_spec(gate) for gate in section.gates)
+                or "(none)",
                 section.title,
             ]
             for section in bench.all_sections()
         ]
         print(render_table(
             "registered benchmark sections",
-            ["name", "snapshot key", "", "description"], rows))
+            ["name", "snapshot key", "", "gates", "description"], rows))
         return 0
 
     names = None
@@ -802,7 +1009,16 @@ def build_parser() -> argparse.ArgumentParser:
     simulate = sub.add_parser(
         "simulate", help="run the discrete-event simulator on a workload"
     )
-    simulate.add_argument("workload", help="workload name (see list-workloads)")
+    simulate.add_argument(
+        "workload", nargs="?", default=None,
+        help="workload name (see list-workloads); omit with --mix",
+    )
+    simulate.add_argument(
+        "--mix", default=None, metavar="FILE",
+        help="JSON mix plan: run several workloads together on one shared"
+             " cluster and report per-job interference (see"
+             " docs/MULTITENANT.md)",
+    )
     simulate.add_argument("--slaves", type=int, default=10)
     simulate.add_argument("--cores", type=int, default=24)
     simulate.add_argument("--hdfs", choices=("hdd", "ssd"), default="ssd")

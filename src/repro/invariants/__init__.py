@@ -1,19 +1,23 @@
 """Metamorphic invariant checkers for simulated runs.
 
 See :mod:`repro.invariants.checks` for the catalogue (conservation,
-Eq.-1 dominance, monotonicity, fault dominance, bit-identity) and
+Eq.-1 dominance, monotonicity, fault dominance, mitigation dominance,
+mix conservation, interference dominance, bit-identity) and
 ``docs/TESTING.md`` for how the property suite sweeps them.
 """
 
 from repro.invariants.checks import (
     DEFAULT_REL_TOL,
+    INTERFERENCE_REL_TOL,
     MITIGATION_REL_TOL,
     Violation,
     check_conservation,
     check_dominance,
     check_fault_dominance,
+    check_interference_dominance,
     check_measurements_identical,
     check_mitigation_dominance,
+    check_mix_conservation,
     check_monotonic,
     expected_stage_bytes,
     stage_floor_seconds,
@@ -21,13 +25,16 @@ from repro.invariants.checks import (
 
 __all__ = [
     "DEFAULT_REL_TOL",
+    "INTERFERENCE_REL_TOL",
     "MITIGATION_REL_TOL",
     "Violation",
     "check_conservation",
     "check_dominance",
     "check_fault_dominance",
+    "check_interference_dominance",
     "check_measurements_identical",
     "check_mitigation_dominance",
+    "check_mix_conservation",
     "check_monotonic",
     "expected_stage_bytes",
     "stage_floor_seconds",

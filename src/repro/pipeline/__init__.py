@@ -17,6 +17,7 @@ See ``docs/PIPELINE.md`` for a worked example.
 from repro.pipeline.cache import (
     CacheStats,
     ResultCache,
+    mix_key,
     prediction_key,
     run_key,
 )
@@ -29,11 +30,15 @@ from repro.pipeline.platforms import (
     as_platform,
 )
 from repro.pipeline.records import (
+    MixJobResult,
+    MixResult,
     RunResult,
     StageRunResult,
     compose_run_result,
     measurement_from_dict,
     measurement_to_dict,
+    mix_from_dict,
+    mix_to_dict,
     prediction_from_dict,
     prediction_to_dict,
 )
@@ -53,6 +58,8 @@ __all__ = [
     "CloudPlatform",
     "ClusterPlatform",
     "Experiment",
+    "MixJobResult",
+    "MixResult",
     "Platform",
     "RddSource",
     "ReportSource",
@@ -70,6 +77,9 @@ __all__ = [
     "fingerprint",
     "measurement_from_dict",
     "measurement_to_dict",
+    "mix_from_dict",
+    "mix_key",
+    "mix_to_dict",
     "prediction_from_dict",
     "prediction_to_dict",
     "prediction_key",

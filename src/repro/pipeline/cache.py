@@ -12,7 +12,12 @@ file) across processes:
 - **predictions** — Equation-1 ``ApplicationPrediction`` records, keyed by
   ``(report, platform, N, P, network)``;
 - **reports** — fitted ``ProfilingReport`` constants, keyed by
-  ``(spec, profiling options)``.
+  ``(spec, profiling options)``;
+- **mixes** — multi-job ``MixMeasurement`` records from
+  :mod:`repro.schedule.mix`, keyed by the full mix (every job's spec,
+  arrival, and volume scale, plus the policy) times the platform and
+  run configuration.  The section is additive: files written before it
+  existed load cleanly, and older readers ignore it.
 
 Entries are exact-key lookups of deterministic computations, so a cache
 hit returns bit-identical results to a fresh run; hit/miss counters let
@@ -48,9 +53,12 @@ from repro.core.serialization import report_from_dict, report_to_dict
 from repro.pipeline.records import (
     measurement_from_dict,
     measurement_to_dict,
+    mix_from_dict,
+    mix_to_dict,
     prediction_from_dict,
     prediction_to_dict,
 )
+from repro.schedule.mix import MixMeasurement
 from repro.simulator.run import ApplicationMeasurement
 
 #: Cache-file format marker.
@@ -82,6 +90,31 @@ def run_key(
         key += f"/faults-{fault_fp}"
     if resilience_fp != "none":
         key += f"/resil-{resilience_fp}"
+    return key
+
+
+def mix_key(
+    mix_fp: str,
+    platform_fp: str,
+    nodes: int,
+    cores_per_node: int,
+    run_index: int = 0,
+    network_fp: str = "none",
+    fault_fp: str = "none",
+) -> str:
+    """Canonical key of one simulated multi-job mix.
+
+    ``mix_fp`` fingerprints the *entire* mix — every job's spec, arrival
+    time, volume scale, and name, plus the scheduling policy — so any
+    change to any co-tenant re-addresses the result.  The ``mix/``
+    prefix keeps the namespace disjoint from single-job run keys.
+    """
+    key = (
+        f"mix/{mix_fp}/{platform_fp}/N{nodes}/P{cores_per_node}"
+        f"/r{run_index}/net-{network_fp}"
+    )
+    if fault_fp != "none":
+        key += f"/faults-{fault_fp}"
     return key
 
 
@@ -129,9 +162,11 @@ class ResultCache:
         self._measurements: dict[str, ApplicationMeasurement] = {}
         self._predictions: dict[str, ApplicationPrediction] = {}
         self._reports: dict[str, ProfilingReport] = {}
+        self._mixes: dict[str, MixMeasurement] = {}
         self.measurement_stats = CacheStats()
         self.prediction_stats = CacheStats()
         self.report_stats = CacheStats()
+        self.mix_stats = CacheStats()
         if self.path is not None and self.path.exists():
             self._load(self.path)
 
@@ -174,6 +209,19 @@ class ResultCache:
     def put_report(self, key: str, value: ProfilingReport) -> None:
         self._reports[key] = value
 
+    # -- mixes ---------------------------------------------------------------
+
+    def get_mix(self, key: str) -> MixMeasurement | None:
+        hit = self._mixes.get(key)
+        if hit is None:
+            self.mix_stats.misses += 1
+        else:
+            self.mix_stats.hits += 1
+        return hit
+
+    def put_mix(self, key: str, value: MixMeasurement) -> None:
+        self._mixes[key] = value
+
     # -- presence peeks ------------------------------------------------------
 
     def contains_measurement(self, key: str) -> bool:
@@ -190,6 +238,10 @@ class ResultCache:
         """Counter-free presence check for a prediction key."""
         return key in self._predictions
 
+    def contains_mix(self, key: str) -> bool:
+        """Counter-free presence check for a mix key."""
+        return key in self._mixes
+
     # -- worker shards -------------------------------------------------------
 
     def _sections(self):
@@ -197,6 +249,7 @@ class ResultCache:
             ("measurements", self._measurements),
             ("predictions", self._predictions),
             ("reports", self._reports),
+            ("mixes", self._mixes),
         )
 
     def export_shard(self, exclude: set[str] = frozenset()) -> dict[str, dict]:
@@ -245,13 +298,12 @@ class ResultCache:
     # -- bookkeeping ---------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._measurements) + len(self._predictions) + len(self._reports)
+        return sum(len(store) for _, store in self._sections())
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
-        self._measurements.clear()
-        self._predictions.clear()
-        self._reports.clear()
+        for _, store in self._sections():
+            store.clear()
 
     def stats_summary(self) -> str:
         """One-line reuse summary for logs and benchmark reports."""
@@ -260,6 +312,7 @@ class ResultCache:
             ("sim", self.measurement_stats),
             ("model", self.prediction_stats),
             ("profile", self.report_stats),
+            ("mix", self.mix_stats),
         ):
             if stats.total:
                 parts.append(
@@ -296,6 +349,9 @@ class ResultCache:
             "reports": {
                 key: report_to_dict(value) for key, value in self._reports.items()
             },
+            "mixes": {
+                key: mix_to_dict(value) for key, value in self._mixes.items()
+            },
         }
         tmp = target.with_name(target.name + ".tmp")
         tmp.write_text(json.dumps(payload))
@@ -330,6 +386,8 @@ class ResultCache:
             ("measurements", self._measurements, measurement_from_dict),
             ("predictions", self._predictions, prediction_from_dict),
             ("reports", self._reports, report_from_dict),
+            # Absent from pre-mix files; .get() below keeps them loading.
+            ("mixes", self._mixes, mix_from_dict),
         )
         for section, store, loader in loaders:
             entries = data.get(section, {})

@@ -40,13 +40,26 @@ from repro.faults.plan import FaultPlan
 from repro.core.predictor import Predictor
 from repro.errors import ConfigurationError
 from repro.parallel import resolve_backend
-from repro.pipeline.cache import ResultCache, prediction_key, run_key
+from repro.pipeline.cache import ResultCache, mix_key, prediction_key, run_key
+from repro.pipeline.fingerprint import fingerprint
 from repro.pipeline.platforms import Platform, as_platform
-from repro.pipeline.records import RunResult, compose_run_result
+from repro.pipeline.records import (
+    MixJobResult,
+    MixResult,
+    RunResult,
+    compose_run_result,
+)
 from repro.pipeline.sources import ResolvedWorkload, WorkloadSource, as_source
 from repro.resilience import ResiliencePolicy
+from repro.schedule.mix import (
+    JobTimeline,
+    MixJob,
+    MixMeasurement,
+    canonical_jobs,
+    measure_mix as simulate_mix,
+)
 from repro.simulator.run import ApplicationMeasurement
-from repro.workloads.base import WorkloadSpec
+from repro.workloads.base import WorkloadSpec, scale_workload_volume
 from repro.workloads.runner import measure_workload
 
 #: Sentinel for "use the experiment's own fault plan" on per-call
@@ -310,6 +323,296 @@ class Experiment:
                 for (n, p, r) in cells
             ]
         return self._run_grid_parallel(cells, context, workers)
+
+    # -- multi-tenant mixes --------------------------------------------------
+
+    def measure_mix(
+        self,
+        jobs: Sequence[MixJob | WorkloadSpec | tuple],
+        policy: str = "fair",
+        nodes: int | None = None,
+        cores_per_node: int | None = None,
+        run_index: int = 0,
+        faults: FaultPlan | None = _DEFAULT_FAULTS,  # type: ignore[assignment]
+    ) -> MixMeasurement:
+        """Simulate ``jobs`` sharing this platform's cluster (cached).
+
+        ``jobs`` entries may be :class:`~repro.schedule.mix.MixJob`
+        instances, bare :class:`WorkloadSpec`\\ s (arrival 0, scale 1),
+        or ``(spec,)`` / ``(spec, arrival)`` /
+        ``(spec, arrival, volume_scale)`` tuples.
+
+        A one-job mix *is* the single-tenant run: it delegates to the
+        exact solo simulation path (same cache key, same event sequence,
+        per-stage fault anchoring) and wraps the result in a
+        :class:`MixMeasurement`, so K = 1 output is bit-identical to
+        :meth:`measure` — the engine's own mix-of-one agrees only to
+        float round-off (see docs/MULTITENANT.md).  Mixes of two or more
+        run the :class:`~repro.schedule.mix.MixEngine` and are memoized
+        under a ``mix/…`` key fingerprinting every job plus the policy,
+        so no co-tenant change can alias a cached result.
+        """
+        mix_jobs = self._coerce_mix_jobs(jobs)
+        nodes, cores = self._shape(nodes, cores_per_node)
+        plan = self._resolve_faults(faults)
+        named = canonical_jobs(mix_jobs)
+        if len(named) == 1:
+            return self._solo_mix(named[0], policy, nodes, cores, run_index, plan)
+        key = mix_key(
+            self._mix_fingerprint(named, policy),
+            self._platform_fp,
+            nodes,
+            cores,
+            run_index=run_index,
+            network_fp=self._network_fp(),
+            fault_fp=self._fault_fp(plan),
+        )
+        mix = self.cache.get_mix(key)
+        if mix is None:
+            mix = simulate_mix(
+                self.platform.cluster(nodes),
+                cores,
+                mix_jobs,
+                policy=policy,
+                run_index=run_index,
+                network=self.network,
+                faults=plan,
+            )
+            self.cache.put_mix(key, mix)
+            if self.cache.path is not None:
+                self.cache.save()
+        return mix
+
+    def run_mix(
+        self,
+        jobs: Sequence[MixJob | WorkloadSpec | tuple],
+        policy: str = "fair",
+        nodes: int | None = None,
+        cores_per_node: int | None = None,
+        run_index: int = 0,
+        faults: FaultPlan | None = _DEFAULT_FAULTS,  # type: ignore[assignment]
+    ) -> MixResult:
+        """The full co-location experiment: mix + per-job interference.
+
+        On top of :meth:`measure_mix`, every job gets its clean solo
+        baseline (same spec, scale, ``(N, P)``, and run index, alone on
+        the cluster with no faults) and its solo Equation-1 prediction,
+        both through child experiments sharing this experiment's cache —
+        so ``slowdown`` reads as "how much slower than running alone on
+        a healthy cluster" and ``result.error`` as "how far off the
+        single-tenant model is once neighbors contend".
+        """
+        mix_jobs = self._coerce_mix_jobs(jobs)
+        nodes, cores = self._shape(nodes, cores_per_node)
+        misses_before = self._total_misses()
+        mix = self.measure_mix(
+            mix_jobs,
+            policy=policy,
+            nodes=nodes,
+            cores_per_node=cores,
+            run_index=run_index,
+            faults=faults,
+        )
+        job_results = []
+        for timeline, (name, job) in zip(mix.jobs, canonical_jobs(mix_jobs)):
+            child = Experiment(
+                scale_workload_volume(job.spec, job.volume_scale),
+                self.platform,
+                cache=self.cache,
+                network=self.network,
+            )
+            solo_seconds = child.measure(
+                nodes, cores, run_index=run_index
+            ).total_seconds
+            mixed_seconds = timeline.measurement.total_seconds
+            job_results.append(
+                MixJobResult(
+                    name=timeline.name,
+                    arrival=timeline.arrival,
+                    volume_scale=timeline.volume_scale,
+                    waiting_seconds=timeline.waiting,
+                    turnaround_seconds=timeline.turnaround,
+                    solo_seconds=solo_seconds,
+                    slowdown=(
+                        mixed_seconds / solo_seconds
+                        if solo_seconds > 0
+                        else 1.0
+                    ),
+                    result=compose_run_result(
+                        timeline.measurement,
+                        child.predict(nodes, cores),
+                        platform_label=self.platform.label,
+                        run_index=run_index,
+                        network_gbps=self.network_gbps,
+                    ),
+                )
+            )
+        if self.cache.path is not None and self._total_misses() > misses_before:
+            self.cache.save()
+        return MixResult(
+            policy=mix.policy,
+            platform=self.platform.label,
+            nodes=nodes,
+            cores_per_node=cores,
+            run_index=run_index,
+            makespan_seconds=mix.makespan,
+            jobs=tuple(job_results),
+            device_utilizations=mix.device_utilizations,
+        )
+
+    def _solo_mix(
+        self,
+        named: tuple[str, MixJob],
+        policy: str,
+        nodes: int,
+        cores: int,
+        run_index: int,
+        plan: FaultPlan | None,
+    ) -> MixMeasurement:
+        """A one-job mix via the solo path, bit-identical to ``measure``.
+
+        The cache key is the plain single-job ``run_key`` of the (scaled)
+        spec, so a K = 1 mix and the equivalent solo experiment share one
+        cached measurement.  The job's stage device utilizations are
+        re-expressed over the mix makespan (``arrival`` + runtime) for
+        the cluster-level view.
+        """
+        from repro.schedule.mix import MIX_POLICIES
+        from repro.schedule.scheduler import SchedulingError
+
+        if policy not in MIX_POLICIES:
+            raise SchedulingError(
+                f"unknown mix policy {policy!r}; expected one of {MIX_POLICIES}"
+            )
+        name, job = named
+        spec = scale_workload_volume(job.spec, job.volume_scale)
+        key = run_key(
+            fingerprint(spec),
+            self._platform_fp,
+            nodes,
+            cores,
+            run_index=run_index,
+            network_fp=self._network_fp(),
+            fault_fp=self._fault_fp(plan),
+        )
+        measurement = self.cache.get_measurement(key)
+        if measurement is None:
+            measurement = measure_workload(
+                self.platform.cluster(nodes),
+                cores,
+                spec,
+                run_index=run_index,
+                network=self.network,
+                faults=plan,
+            )
+            self.cache.put_measurement(key, measurement)
+            if self.cache.path is not None:
+                self.cache.save()
+        if measurement.name != name:
+            measurement = ApplicationMeasurement(
+                name=name, stages=measurement.stages
+            )
+        makespan = job.arrival + measurement.total_seconds
+        busy: dict[tuple[str, bool], float] = {}
+        for stage in measurement.stages:
+            for device, is_write, fraction in stage.device_utilizations:
+                busy[(device, is_write)] = (
+                    busy.get((device, is_write), 0.0)
+                    + fraction * stage.makespan
+                )
+        return MixMeasurement(
+            policy=policy,
+            nodes=nodes,
+            cores_per_node=cores,
+            makespan=makespan,
+            jobs=(
+                JobTimeline(
+                    name=name,
+                    arrival=job.arrival,
+                    volume_scale=job.volume_scale,
+                    first_launch=job.arrival,
+                    finish=makespan,
+                    measurement=measurement,
+                ),
+            ),
+            device_utilizations=tuple(
+                (device, is_write, seconds / makespan)
+                for (device, is_write), seconds in sorted(busy.items())
+                if makespan > 0
+            ),
+        )
+
+    @staticmethod
+    def _coerce_mix_jobs(
+        jobs: Sequence[MixJob | WorkloadSpec | tuple],
+    ) -> tuple[MixJob, ...]:
+        """Normalize the accepted job shorthands into ``MixJob``s."""
+        if isinstance(jobs, (MixJob, WorkloadSpec)):
+            raise ConfigurationError(
+                "measure_mix/run_mix take a sequence of jobs; wrap the"
+                " single job in a list"
+            )
+        coerced = []
+        for entry in jobs:
+            if isinstance(entry, MixJob):
+                coerced.append(entry)
+            elif isinstance(entry, WorkloadSpec):
+                coerced.append(MixJob(spec=entry))
+            elif isinstance(entry, tuple) and 1 <= len(entry) <= 3:
+                spec = entry[0]
+                if not isinstance(spec, WorkloadSpec):
+                    raise ConfigurationError(
+                        f"mix job tuple must start with a WorkloadSpec,"
+                        f" got {type(spec).__name__}"
+                    )
+                arrival = float(entry[1]) if len(entry) > 1 else 0.0
+                scale = float(entry[2]) if len(entry) > 2 else 1.0
+                coerced.append(
+                    MixJob(spec=spec, arrival=arrival, volume_scale=scale)
+                )
+            else:
+                raise ConfigurationError(
+                    f"cannot interpret mix job entry {entry!r}; expected a"
+                    " MixJob, a WorkloadSpec, or a (spec, arrival,"
+                    " volume_scale) tuple"
+                )
+        if not coerced:
+            raise ConfigurationError("a mix needs at least one job")
+        return tuple(coerced)
+
+    @staticmethod
+    def _mix_fingerprint(
+        named: list[tuple[str, MixJob]], policy: str
+    ) -> str:
+        """Content hash of the whole mix, permutation-invariant.
+
+        Jobs are fingerprinted in canonical order with their
+        disambiguated names, so any submitted ordering of the same jobs
+        addresses the same cache entry — matching the engine, whose
+        schedule is invariant under the same permutations.
+        """
+        return fingerprint(
+            {
+                "policy": policy,
+                "jobs": [
+                    {
+                        "name": name,
+                        "spec": fingerprint(job.spec),
+                        "arrival": job.arrival,
+                        "volume_scale": job.volume_scale,
+                    }
+                    for name, job in named
+                ],
+            }
+        )
+
+    def _total_misses(self) -> int:
+        return (
+            self.cache.measurement_stats.misses
+            + self.cache.prediction_stats.misses
+            + self.cache.report_stats.misses
+            + self.cache.mix_stats.misses
+        )
 
     # -- parallel dispatch ---------------------------------------------------
 

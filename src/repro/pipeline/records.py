@@ -20,6 +20,7 @@ from repro.analysis.errors import relative_error
 from repro.core.app_model import ApplicationPrediction
 from repro.core.stage_model import StagePrediction
 from repro.resilience import StageResilience
+from repro.schedule.mix import JobTimeline, MixMeasurement
 from repro.simulator.run import ApplicationMeasurement, StageMeasurement
 from repro.storage.iostat import IostatSample
 
@@ -192,6 +193,130 @@ def measurement_from_dict(data: dict) -> ApplicationMeasurement:
     return ApplicationMeasurement(name=data["name"], stages=stages)
 
 
+# -- mix round-trip -----------------------------------------------------------
+
+
+def mix_to_dict(mix: MixMeasurement) -> dict:
+    """Serialize a multi-job mix measurement losslessly."""
+    return {
+        "policy": mix.policy,
+        "nodes": mix.nodes,
+        "cores_per_node": mix.cores_per_node,
+        "makespan": mix.makespan,
+        "jobs": [
+            {
+                "name": timeline.name,
+                "arrival": timeline.arrival,
+                "volume_scale": timeline.volume_scale,
+                "first_launch": timeline.first_launch,
+                "finish": timeline.finish,
+                "measurement": measurement_to_dict(timeline.measurement),
+            }
+            for timeline in mix.jobs
+        ],
+        "device_utilizations": [
+            [name, is_write, busy]
+            for name, is_write, busy in mix.device_utilizations
+        ],
+    }
+
+
+def mix_from_dict(data: dict) -> MixMeasurement:
+    """Rebuild a mix measurement from :func:`mix_to_dict` output."""
+    return MixMeasurement(
+        policy=data["policy"],
+        nodes=int(data["nodes"]),
+        cores_per_node=int(data["cores_per_node"]),
+        makespan=float(data["makespan"]),
+        jobs=tuple(
+            JobTimeline(
+                name=job["name"],
+                arrival=float(job["arrival"]),
+                volume_scale=float(job["volume_scale"]),
+                first_launch=float(job["first_launch"]),
+                finish=float(job["finish"]),
+                measurement=measurement_from_dict(job["measurement"]),
+            )
+            for job in data["jobs"]
+        ),
+        device_utilizations=tuple(
+            (name, bool(is_write), float(busy))
+            for name, is_write, busy in data["device_utilizations"]
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class MixJobResult:
+    """One job of a mix: its full solo-model record plus interference.
+
+    ``result`` pairs the job's *mixed* measurement with its *solo* Eq.-1
+    prediction, so ``result.error`` reads as "how far off the
+    single-tenant model is once neighbors contend"; ``slowdown`` is the
+    direct interference factor (mixed runtime / solo simulated runtime,
+    >= 1 up to the engine's float-reordering tolerance).
+    """
+
+    name: str
+    arrival: float
+    volume_scale: float
+    waiting_seconds: float
+    turnaround_seconds: float
+    solo_seconds: float
+    slowdown: float
+    result: RunResult
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "arrival": self.arrival,
+            "volume_scale": self.volume_scale,
+            "waiting_seconds": self.waiting_seconds,
+            "turnaround_seconds": self.turnaround_seconds,
+            "solo_seconds": self.solo_seconds,
+            "slowdown": self.slowdown,
+            "result": self.result.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class MixResult:
+    """A whole co-location experiment: per-job records + cluster view."""
+
+    policy: str
+    platform: str
+    nodes: int
+    cores_per_node: int
+    run_index: int
+    makespan_seconds: float
+    jobs: tuple[MixJobResult, ...]
+    #: (resource name, is_write, busy fraction of the mix makespan).
+    device_utilizations: tuple[tuple[str, bool, float], ...] = ()
+
+    def job(self, name: str) -> MixJobResult:
+        """Look up one job's record by its (disambiguated) name."""
+        for job in self.jobs:
+            if job.name == name:
+                return job
+        raise KeyError(f"mix has no job named {name!r}")
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the CLI's ``--json`` payload)."""
+        return {
+            "policy": self.policy,
+            "platform": self.platform,
+            "nodes": self.nodes,
+            "cores_per_node": self.cores_per_node,
+            "run_index": self.run_index,
+            "makespan_seconds": self.makespan_seconds,
+            "jobs": [job.to_dict() for job in self.jobs],
+            "device_utilizations": [
+                {"resource": name, "is_write": is_write, "busy_fraction": busy}
+                for name, is_write, busy in self.device_utilizations
+            ],
+        }
+
+
 # -- prediction round-trip ----------------------------------------------------
 
 
@@ -287,8 +412,12 @@ def compose_run_result(
 __all__ = [
     "StageRunResult",
     "RunResult",
+    "MixJobResult",
+    "MixResult",
     "measurement_to_dict",
     "measurement_from_dict",
+    "mix_to_dict",
+    "mix_from_dict",
     "prediction_to_dict",
     "prediction_from_dict",
     "compose_run_result",

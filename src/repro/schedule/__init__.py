@@ -1,14 +1,21 @@
-"""Prediction-driven job scheduling — the paper's suggested application.
+"""Cluster scheduling: queue policies and multi-job (mix) simulation.
 
-From the introduction: "in a shared cluster environment with a job
-scheduler, our performance prediction model can allow the scheduler to
-know ahead the approximating job execution time and thus enable better
-job scheduling with less job waiting time."
+Two layers live here:
 
-:mod:`repro.schedule.scheduler` implements that: a batch queue on a shared
-cluster where FIFO ordering is compared against
-shortest-predicted-job-first ordering with Doppio runtimes, plus the
-oracle (true-runtime) ordering as an upper bound.
+- :mod:`repro.schedule.scheduler` — the paper's suggested application: a
+  batch queue on a shared cluster where FIFO ordering is compared against
+  shortest-predicted-job-first ordering with Doppio runtimes, plus the
+  oracle (true-runtime) ordering as an upper bound.  Jobs are opaque
+  runtimes; the cluster runs one at a time.
+- :mod:`repro.schedule.mix` — full multi-tenant simulation: K workloads
+  with arrival times share the executors, HDFS disks, and NIC of one
+  cluster, contending through the :mod:`repro.resources` max-min
+  registry under a FIFO or fair scheduler (see docs/MULTITENANT.md).
+
+The mix layer is loaded lazily: the simulator engine imports
+``repro.schedule.scheduler`` (for :class:`ExecutorBlacklist`), and
+``repro.schedule.mix`` imports the engine back — importing it eagerly
+here would close that cycle while the engine module is half-initialized.
 """
 
 from repro.schedule.scheduler import (
@@ -21,6 +28,18 @@ from repro.schedule.scheduler import (
     spjf_order,
 )
 
+_MIX_EXPORTS = frozenset(
+    {
+        "MIX_POLICIES",
+        "MixEngine",
+        "MixJob",
+        "MixMeasurement",
+        "JobTimeline",
+        "canonical_jobs",
+        "measure_mix",
+    }
+)
+
 __all__ = [
     "ExecutorBlacklist",
     "Job",
@@ -29,4 +48,13 @@ __all__ = [
     "simulate_queue",
     "fifo_order",
     "spjf_order",
+    *sorted(_MIX_EXPORTS),
 ]
+
+
+def __getattr__(name: str):
+    if name in _MIX_EXPORTS:
+        from repro.schedule import mix
+
+        return getattr(mix, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -18,7 +18,8 @@ for the analytic model and the profiler.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, replace
 
 from repro.errors import WorkloadError
 from repro.simulator.task import ComputePhase, IoPhase, SimTask, TaskPhase
@@ -387,6 +388,49 @@ class WorkloadSpec:
     def build_staged_tasks(self) -> list[tuple[str, list[SimTask]]]:
         """Render every stage for :func:`repro.simulator.run.run_application`."""
         return [(stage.name, stage.build_tasks()) for stage in self.stages]
+
+
+def scale_workload_volume(spec: WorkloadSpec, factor: float) -> WorkloadSpec:
+    """Scale a workload's data volume by ``factor`` (Awan-style scale-up).
+
+    Every channel's ``bytes_per_task`` and every group's compute seconds
+    (and GC pressure coefficient) scale together, modeling the same job
+    run over ``factor``x the input per partition — partition *counts* are
+    unchanged, matching the fixed-parallelism scale-up studies of "How
+    Data Volume Affects Spark Based Data Analytics".  Request sizes and
+    the software-path caps ``T`` are properties of the code path, not the
+    volume, and stay put.  ``factor == 1.0`` returns ``spec`` itself so
+    fingerprints are preserved exactly.
+    """
+    if not (factor > 0.0) or not math.isfinite(factor):
+        raise WorkloadError(f"volume scale factor must be finite and > 0, got {factor}")
+    if factor == 1.0:
+        return spec
+
+    def scale_channel(channel: ChannelSpec) -> ChannelSpec:
+        return replace(channel, bytes_per_task=channel.bytes_per_task * factor)
+
+    stages = tuple(
+        replace(
+            stage,
+            groups=tuple(
+                replace(
+                    group,
+                    read_channels=tuple(
+                        scale_channel(ch) for ch in group.read_channels
+                    ),
+                    compute_seconds=group.compute_seconds * factor,
+                    write_channels=tuple(
+                        scale_channel(ch) for ch in group.write_channels
+                    ),
+                    gc_coeff=group.gc_coeff * factor,
+                )
+                for group in stage.groups
+            ),
+        )
+        for stage in spec.stages
+    )
+    return replace(spec, stages=stages)
 
 
 def compute_seconds_from_lambda(

@@ -1,0 +1,137 @@
+"""Integration: Terasort + PageRank co-located through ``run_mix``.
+
+A two-job mix runs cold against a file-backed cache, then a fresh
+``Experiment`` re-runs the same mix warm: the second pass must be served
+entirely from the cache (one mix hit, zero misses anywhere) and the two
+:class:`MixResult` records must agree bit for bit.  The saved cache file
+must also keep the mix's entry disjoint from every single-job run key —
+the ``mix/`` namespace — so co-location results can never shadow solo
+results of the same workloads.
+"""
+
+import json
+
+import pytest
+
+from repro.pipeline import ClusterPlatform, Experiment, ResultCache
+from repro.schedule.mix import MixJob
+from repro.units import GB
+from repro.workloads.pagerank import PageRankParameters, make_pagerank_workload
+from repro.workloads.terasort import TerasortParameters, make_terasort_workload
+
+NODES = 3
+CORES = 8
+ARRIVAL = 120.0
+
+
+def _terasort():
+    # ~1/100 the paper's dataset with task counts scaled down alongside,
+    # so every per-task byte figure (and hence every request size the
+    # profiler cross-checks against iostat) stays paper-shaped while the
+    # mix simulates in a couple of seconds.
+    return make_terasort_workload(
+        TerasortParameters(
+            num_records=100_000_000, total_bytes=9.3 * GB, num_reducers=4
+        )
+    )
+
+
+def _pagerank():
+    # Same uniform 1/50 scale-down: bytes per partition match the paper.
+    return make_pagerank_workload(
+        PageRankParameters(
+            num_vertices=400_000,
+            num_partitions=96,
+            input_bytes=1.0 * GB,
+            graph_rdd_bytes=8.4 * GB,
+            ranks_bytes=0.008 * GB,
+            iterations=3,
+        )
+    )
+
+
+def _jobs():
+    return [
+        MixJob(spec=_terasort()),
+        MixJob(spec=_pagerank(), arrival=ARRIVAL),
+    ]
+
+
+def _run(cache_path):
+    experiment = Experiment(
+        _terasort(), ClusterPlatform(), cache=ResultCache(cache_path)
+    )
+    result = experiment.run_mix(_jobs(), nodes=NODES, cores_per_node=CORES)
+    return experiment, result
+
+
+@pytest.fixture(scope="module")
+def roundtrip(tmp_path_factory):
+    """Cold run, then a warm re-run from a fresh process-like state."""
+    path = tmp_path_factory.mktemp("mixcache") / "cache.json"
+    cold_experiment, cold = _run(path)
+    warm_experiment, warm = _run(path)
+    return path, cold_experiment, cold, warm_experiment, warm
+
+
+class TestColdRun:
+    def test_interference_is_visible(self, roundtrip):
+        _, _, cold, _, _ = roundtrip
+        assert cold.policy == "fair"
+        assert [job.name for job in cold.jobs] == ["Terasort", "PageRank"]
+        for job in cold.jobs:
+            assert job.slowdown >= 1.0 - 1e-9
+            assert job.turnaround_seconds >= job.result.measured_seconds
+        assert cold.makespan_seconds >= max(
+            job.arrival + job.solo_seconds for job in cold.jobs
+        )
+
+    def test_result_is_json_ready(self, roundtrip):
+        _, _, cold, _, _ = roundtrip
+        payload = json.loads(json.dumps(cold.to_dict()))
+        assert payload["nodes"] == NODES
+        assert len(payload["jobs"]) == 2
+
+
+class TestWarmRun:
+    def test_rerun_is_bit_identical(self, roundtrip):
+        _, _, cold, _, warm = roundtrip
+        assert warm.to_dict() == cold.to_dict()
+
+    def test_rerun_is_pure_cache(self, roundtrip):
+        _, _, _, warm_experiment, _ = roundtrip
+        cache = warm_experiment.cache
+        assert cache.mix_stats.hits == 1
+        for stats in (
+            cache.measurement_stats,
+            cache.prediction_stats,
+            cache.report_stats,
+            cache.mix_stats,
+        ):
+            assert stats.misses == 0
+
+
+class TestCacheFile:
+    def test_mix_entry_is_disjoint_from_solo_keys(self, roundtrip):
+        path, *_ = roundtrip
+        data = json.loads(path.read_text())
+        mix_keys = set(data["mixes"])
+        assert len(mix_keys) == 1
+        assert all(key.startswith("mix/") for key in mix_keys)
+        assert not mix_keys & set(data["measurements"])
+        # Both solo baselines were simulated and cached alongside.
+        solo_names = {
+            entry["name"] for entry in data["measurements"].values()
+        }
+        assert {"Terasort", "PageRank"} <= solo_names
+
+    def test_solo_runs_reuse_the_mixes_baselines(self, roundtrip):
+        # An ordinary single-job experiment over the same cache file hits
+        # the baseline the mix already computed — no re-simulation.
+        path, *_ = roundtrip
+        experiment = Experiment(
+            _pagerank(), ClusterPlatform(), cache=ResultCache(path)
+        )
+        experiment.measure(NODES, CORES)
+        assert experiment.cache.measurement_stats.hits == 1
+        assert experiment.cache.measurement_stats.misses == 0

@@ -19,6 +19,8 @@ example set.
 
 from __future__ import annotations
 
+import dataclasses
+
 from hypothesis import strategies as st
 
 from repro.faults.plan import (
@@ -34,6 +36,7 @@ from repro.resilience import (
     RetryPolicy,
     SpeculationPolicy,
 )
+from repro.schedule.mix import MIX_POLICIES, MixJob
 from repro.units import KB, MB
 from repro.workloads.base import ChannelSpec, StageSpec, TaskGroupSpec, WorkloadSpec
 
@@ -105,6 +108,39 @@ def workload_specs(draw) -> WorkloadSpec:
         ),
         description="property-generated",
     )
+
+
+#: Scheduling policies a mix accepts — canonicalization makes every
+#: mix invariant covered here hold under both.
+mix_policies = st.sampled_from(MIX_POLICIES)
+
+#: Arrival offsets that land jobs before, during, and long after the
+#: first job's stages on a bounded spec.
+_ARRIVALS = (0.0, 0.5, 2.0, 10.0)
+
+#: Volume scales exercising shrink, identity (fingerprint-preserving),
+#: and growth.
+_VOLUME_SCALES = (0.5, 1.0, 2.0)
+
+
+@st.composite
+def mix_jobs_lists(draw, max_jobs: int = 4) -> list[MixJob]:
+    """K in [1, max_jobs] bounded jobs with staggered arrivals.
+
+    Names are forced unique (``j0``, ``j1``, ...) so interference checks
+    can key solo baselines by the mix timeline's job name without going
+    through the duplicate-suffix path (that path has its own unit
+    tests).
+    """
+    count = draw(st.integers(min_value=1, max_value=max_jobs))
+    return [
+        MixJob(
+            spec=dataclasses.replace(draw(workload_specs()), name=f"j{index}"),
+            arrival=draw(st.sampled_from(_ARRIVALS)),
+            volume_scale=draw(st.sampled_from(_VOLUME_SCALES)),
+        )
+        for index in range(count)
+    ]
 
 
 @st.composite

@@ -1,0 +1,138 @@
+"""Multi-tenant invariants over randomized K-job mixes.
+
+Each test draws a bounded random mix (see ``strategies.mix_jobs_lists``:
+K in [1, 4] jobs with staggered arrivals and volume scales), runs the
+real :class:`~repro.schedule.mix.MixEngine`, and asserts one invariant
+from :mod:`repro.invariants`.  The four sweeps together cover 510
+derandomized examples:
+
+- **work conservation per job** — contention reshapes every job's
+  schedule but never its bytes;
+- **interference dominance** — no job finishes faster in a mix than it
+  runs alone (within :data:`INTERFERENCE_REL_TOL`, see the rationale in
+  :mod:`repro.invariants.checks`);
+- **K = 1 bit-identity** — a one-job mix through the pipeline IS the
+  existing single-job run, bit for bit (the ``Experiment`` delegates to
+  the solo path, sharing its cache entry);
+- **arrival-order invariance** — permuting the submitted job list never
+  changes the schedule, under either policy (canonicalization).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
+from repro.invariants import (
+    check_interference_dominance,
+    check_measurements_identical,
+    check_mix_conservation,
+)
+from repro.pipeline import ClusterPlatform, Experiment
+from repro.schedule.mix import MixJob, canonical_jobs, measure_mix
+from repro.workloads.base import scale_workload_volume
+from repro.workloads.runner import measure_workload
+
+from tests.properties.strategies import (
+    _ARRIVALS,
+    _VOLUME_SCALES,
+    PROPERTY_SETTINGS,
+    mix_jobs_lists,
+    mix_policies,
+    workload_specs,
+)
+
+nodes_axis = st.integers(min_value=1, max_value=3)
+cores_axis = st.sampled_from((1, 2, 4))
+
+
+def _cluster(nodes: int) -> object:
+    # Fresh cluster per run: mixes must not depend on device or registry
+    # state left behind by a previous simulation.
+    return make_paper_cluster(nodes, HYBRID_CONFIGS[0])
+
+
+@given(jobs=mix_jobs_lists(), policy=mix_policies, nodes=nodes_axis, cores=cores_axis)
+@settings(max_examples=160, **PROPERTY_SETTINGS)
+def test_mix_conserves_every_jobs_bytes(jobs, policy, nodes, cores):
+    # Cross-job contention stretches schedules but moves no extra data:
+    # each job's per-stage byte totals must match its scaled spec.
+    mix = measure_mix(_cluster(nodes), cores, jobs, policy=policy)
+    violations = check_mix_conservation(jobs, mix)
+    assert not violations, "\n".join(map(str, violations))
+
+
+@given(
+    jobs=mix_jobs_lists(max_jobs=3),
+    policy=mix_policies,
+    nodes=nodes_axis,
+    cores=cores_axis,
+)
+@settings(max_examples=120, **PROPERTY_SETTINGS)
+def test_each_job_runs_no_faster_in_a_mix(jobs, policy, nodes, cores):
+    # Sharing disks and NICs can only hurt: every job's mixed runtime is
+    # at least its solo runtime, its turnaround covers its runtime, and
+    # no job outlives the mix makespan.
+    mix = measure_mix(_cluster(nodes), cores, jobs, policy=policy)
+    solos = {
+        name: measure_workload(
+            _cluster(nodes),
+            cores,
+            scale_workload_volume(job.spec, job.volume_scale),
+        )
+        for name, job in canonical_jobs(jobs)
+    }
+    violations = check_interference_dominance(mix, solos)
+    assert not violations, "\n".join(map(str, violations))
+
+
+@given(
+    spec=workload_specs(),
+    arrival=st.sampled_from(_ARRIVALS),
+    scale=st.sampled_from(_VOLUME_SCALES),
+    policy=mix_policies,
+    nodes=nodes_axis,
+    cores=cores_axis,
+)
+@settings(max_examples=110, **PROPERTY_SETTINGS)
+def test_single_job_mix_is_the_solo_run_bit_for_bit(
+    spec, arrival, scale, policy, nodes, cores
+):
+    # A mix of one is not a new code path: the pipeline delegates K = 1
+    # to the existing single-job run, so the measurement is the SAME
+    # cache entry an equivalent solo experiment produces.
+    platform = ClusterPlatform()
+    experiment = Experiment(spec, platform)
+    mix = experiment.measure_mix(
+        [MixJob(spec=spec, arrival=arrival, volume_scale=scale)],
+        policy=policy,
+        nodes=nodes,
+        cores_per_node=cores,
+    )
+    solo = Experiment(
+        scale_workload_volume(spec, scale), platform, cache=experiment.cache
+    ).measure(nodes, cores)
+    (timeline,) = mix.jobs
+    violations = check_measurements_identical(timeline.measurement, solo, spec.name)
+    assert not violations, "\n".join(map(str, violations))
+    assert timeline.measurement == solo
+    assert mix.makespan == arrival + solo.total_seconds
+
+
+@given(
+    jobs=mix_jobs_lists(),
+    policy=mix_policies,
+    nodes=nodes_axis,
+    cores=cores_axis,
+    data=st.data(),
+)
+@settings(max_examples=120, **PROPERTY_SETTINGS)
+def test_submission_order_never_changes_the_schedule(jobs, policy, nodes, cores, data):
+    # Jobs are canonicalized by (arrival, name) before anything runs, so
+    # any permutation of the submitted list yields a bit-identical
+    # MixMeasurement — timelines, makespan, device utilizations, all.
+    shuffled = data.draw(st.permutations(jobs))
+    first = measure_mix(_cluster(nodes), cores, jobs, policy=policy)
+    second = measure_mix(_cluster(nodes), cores, shuffled, policy=policy)
+    assert first == second

@@ -9,7 +9,7 @@ from repro.bench.registry import BenchmarkSection
 from repro.errors import ConfigurationError
 
 BUILTINS = ["engine", "cache", "search", "resilience", "parallel",
-            "vectorized"]
+            "vectorized", "multitenant"]
 
 
 def test_builtin_sections_registered_in_order():
@@ -25,6 +25,7 @@ def test_snapshot_keys_match_legacy_layout():
         "resilience": "resilience",
         "parallel": "parallel",
         "vectorized": "vectorized",
+        "multitenant": "multitenant",
     }
 
 
@@ -39,7 +40,8 @@ def test_resolve_default_is_everything():
 
 def test_resolve_skip_slow_drops_flagged():
     names = [s.name for s in bench.resolve_sections(skip_slow=True)]
-    assert names == ["engine", "search", "resilience", "vectorized"]
+    assert names == ["engine", "search", "resilience", "vectorized",
+                     "multitenant"]
 
 
 def test_resolve_explicit_names_never_slow_filtered():

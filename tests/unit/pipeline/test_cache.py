@@ -11,10 +11,16 @@ from repro.pipeline.cache import (
     CACHE_FORMAT_VERSION,
     CacheStats,
     ResultCache,
+    mix_key,
     prediction_key,
     run_key,
 )
-from repro.pipeline.records import measurement_to_dict, prediction_to_dict
+from repro.pipeline.records import (
+    measurement_to_dict,
+    mix_to_dict,
+    prediction_to_dict,
+)
+from repro.schedule.mix import MixJob, measure_mix
 from repro.workloads.runner import measure_workload
 
 
@@ -32,6 +38,21 @@ class TestKeys:
         assert prediction_key("r", "p", 3, 12) == prediction_key("r", "p", 3, 12)
         assert prediction_key("r", "p", 3, 12) != prediction_key("r", "p", 3, 24)
 
+    def test_mix_key_separates_every_axis(self):
+        base = mix_key("m", "p", 3, 12)
+        assert mix_key("m", "p", 3, 12, run_index=1) != base
+        assert mix_key("m", "p", 4, 12) != base
+        assert mix_key("m", "p", 3, 24) != base
+        assert mix_key("m", "p", 3, 12, network_fp="1e9") != base
+        assert mix_key("m", "p", 3, 12, fault_fp="f") != base
+        assert mix_key("m2", "p", 3, 12) != base
+
+    def test_mix_keys_disjoint_from_run_keys(self):
+        # Same fingerprints and shape: the mix/ prefix keeps the two
+        # namespaces apart even inside one flat section.
+        assert mix_key("x", "p", 3, 12).startswith("mix/")
+        assert mix_key("x", "p", 3, 12) != run_key("x", "p", 3, 12)
+
 
 class TestStats:
     def test_counters(self):
@@ -42,6 +63,15 @@ class TestStats:
         assert cache.get_measurement("k") is not None
         assert cache.measurement_stats.hits == 1
         assert cache.measurement_stats.hit_rate == 0.5
+
+    def test_mix_counters_are_separate(self):
+        cache = ResultCache()
+        assert cache.get_mix("missing") is None
+        cache.put_mix("x", object())
+        assert cache.get_mix("x") is not None
+        assert cache.mix_stats.hits == 1
+        assert cache.mix_stats.misses == 1
+        assert cache.measurement_stats.total == 0
 
     def test_empty_stats(self):
         stats = CacheStats()
@@ -71,11 +101,17 @@ def populated(tmp_path_factory, make_tiny):
     measurement = measure_workload(cluster, 4, workload)
     report = Profiler(workload, nodes=2).profile()
     prediction = Predictor(report).model_for_cluster(cluster).predict(2, 4)
+    mix = measure_mix(
+        make_paper_cluster(2, HYBRID_CONFIGS[0]),
+        4,
+        [MixJob(spec=workload), MixJob(spec=make_tiny(), arrival=5.0)],
+    )
 
     cache = ResultCache()
     cache.put_measurement("m", measurement)
     cache.put_prediction("p", prediction)
     cache.put_report("r", report)
+    cache.put_mix("x", mix)
     path = tmp_path_factory.mktemp("cache") / "cache.json"
     cache.save(path)
     return cache, path
@@ -94,6 +130,14 @@ class TestPersistence:
         assert report_to_dict(loaded.get_report("r")) == report_to_dict(
             cache.get_report("r")
         )
+        assert mix_to_dict(loaded.get_mix("x")) == mix_to_dict(cache.get_mix("x"))
+
+    def test_loaded_mix_is_the_measurement(self, populated):
+        cache, path = populated
+        loaded = ResultCache(path)
+        mix = loaded.get_mix("x")
+        assert mix == cache.get_mix("x")  # lossless: frozen dataclass equality
+        assert [t.name for t in mix.jobs] == ["tiny", "tiny#2"]
 
     def test_loaded_measurement_totals_match(self, populated):
         cache, path = populated
@@ -144,10 +188,16 @@ class TestShards:
         marker = object()
         worker.put_measurement("m", marker)
         worker.put_prediction("p", object())
+        worker.put_mix("x", object())
         shard = worker.export_shard()
-        assert ResultCache.shard_keys(shard) == {"measurements:m", "predictions:p"}
-        assert parent.merge_shard(shard) == 2
+        assert ResultCache.shard_keys(shard) == {
+            "measurements:m",
+            "predictions:p",
+            "mixes:x",
+        }
+        assert parent.merge_shard(shard) == 3
         assert parent.get_measurement("m") is marker
+        assert parent.contains_mix("x")
 
     def test_export_excludes_already_shipped_keys(self):
         worker = ResultCache()
