@@ -84,6 +84,12 @@ PARALLEL_WORKERS = 2
 #: workers can balance it.
 PARALLEL_GRID_CORES = (8, 12, 24, 36)
 
+#: Clean-path supervision overhead ceiling: on a healthy run the
+#: supervisor (per-item futures, deadlines, retry bookkeeping) may cost
+#: at most this fraction over a raw chunked ``Executor.map``.
+MAX_SUPERVISION_OVERHEAD = 0.05
+SUPERVISION_ITEMS = 32
+
 #: History-gate band shared by wall-time metrics: warn at half the
 #: legacy tolerance, fail at the legacy tolerance itself.
 _WALL_BAND = {"warn_ratio": WALL_TOLERANCE / 2, "fail_ratio": WALL_TOLERANCE}
@@ -389,12 +395,26 @@ register_section(BenchmarkSection(
 # -- parallel: bound-pruned search and process-parallel grids -----------------
 
 
+def _supervision_work(seed: int) -> int:
+    """A few milliseconds of pure CPU; module-level so pools can pickle it.
+
+    Sized like a small grid cell (several ms), not a micro-item: the
+    overhead metric should reflect the supervisor's bookkeeping on its
+    real workload, where per-item future cost is marginal.
+    """
+    total = seed
+    for value in range(60_000):
+        total = (total * 1103515245 + value) % 2147483647
+    return total
+
+
 def run_parallel(rounds: int) -> dict:
     """PR-5 accelerators: bound-pruned search and process-parallel grids.
 
     Correctness (identical best, bit-identical records) is asserted on
     every run; the wall-clock and pruning guards live in the section's
-    floors and gates.
+    floors and gates.  The ``supervision`` block times the fault-
+    tolerant execution tier's clean path against a raw chunked map.
     """
     from repro.cluster import HYBRID_CONFIGS, make_paper_cluster
     from repro.parallel import available_cpus
@@ -458,6 +478,29 @@ def run_parallel(rounds: int) -> dict:
         [r.to_dict() for r in replay], sort_keys=True
     ) == serial_dump
 
+    # Clean-path supervision overhead: the same CPU-bound items through
+    # a raw chunked Executor.map and through the TaskSupervisor, each on
+    # a fresh two-worker pool so neither side inherits warm workers.
+    from repro.parallel import ProcessPoolBackend, TaskSupervisor
+
+    items = list(range(SUPERVISION_ITEMS))
+    expected = [_supervision_work(item) for item in items]
+    raw_walls, supervised_walls = [], []
+    for _ in range(max(1, rounds)):
+        with ProcessPoolBackend(PARALLEL_WORKERS) as backend:
+            start = time.perf_counter()
+            raw_results = backend.map(_supervision_work, items)
+            raw_walls.append(time.perf_counter() - start)
+        with ProcessPoolBackend(PARALLEL_WORKERS) as backend:
+            supervisor = TaskSupervisor(backend)
+            start = time.perf_counter()
+            supervised_results = supervisor.map(_supervision_work, items)
+            supervised_walls.append(time.perf_counter() - start)
+    assert raw_results == expected and supervised_results == expected, (
+        "supervised map must return exactly the raw map's results"
+    )
+    overhead = min(supervised_walls) / min(raw_walls) - 1.0
+
     return {
         "benchmark": "pr5-parallel-and-pruning",
         "search": {
@@ -483,6 +526,14 @@ def run_parallel(rounds: int) -> dict:
             "parallel_speedup": round(serial_wall / parallel_wall, 2),
             "warm_wall_seconds": round(warm_wall, 4),
             "records_bit_identical": True,
+        },
+        "supervision": {
+            "num_items": SUPERVISION_ITEMS,
+            "workers": PARALLEL_WORKERS,
+            "raw_wall_seconds": round(min(raw_walls), 4),
+            "supervised_wall_seconds": round(min(supervised_walls), 4),
+            "overhead_fraction": round(overhead, 4),
+            "results_identical": True,
         },
     }
 
@@ -513,6 +564,20 @@ def guard_parallel(metrics: dict) -> list[str]:
             f" {grid['parallel_speedup']}x is below the required"
             f" {MIN_PARALLEL_SPEEDUP}x on {grid['usable_cpus']} CPUs"
         )
+    # Like the speedup floor, the overhead ceiling only means something
+    # where two workers genuinely run at once: on a one-CPU host both
+    # sides of the comparison serialize onto the same core and the
+    # ratio measures scheduler noise, not supervisor bookkeeping.
+    supervision = metrics["supervision"]
+    if (
+        grid["usable_cpus"] >= 2
+        and supervision["overhead_fraction"] > MAX_SUPERVISION_OVERHEAD
+    ):
+        failures.append(
+            f"parallel: clean-path supervision overhead"
+            f" {supervision['overhead_fraction']:.1%} exceeds the"
+            f" {MAX_SUPERVISION_OVERHEAD:.0%} ceiling over a raw map"
+        )
     return failures
 
 
@@ -530,6 +595,8 @@ register_section(BenchmarkSection(
                    fingerprint_scoped=False),
         MetricGate("search.pruned_wall_seconds", "lower", **_WALL_BAND),
         MetricGate("grid.warm_wall_seconds", "lower", **_WALL_BAND),
+        MetricGate("supervision.supervised_wall_seconds", "lower",
+                   **_WALL_BAND),
     ),
     slow=True,
 ))

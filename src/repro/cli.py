@@ -34,13 +34,19 @@ Commands
 
 Exit codes: 0 on success, 2 for configuration errors, 3 for simulation
 or model errors (including resilience-budget exhaustion), 4 for
-malformed fault plans; 1 stays reserved for unexpected crashes.
-``pipeline --workload NAME [...] [--json] [--cache FILE] [--workers K]``
+malformed fault plans, 5 for host execution failures (worker loss,
+per-task timeout, quarantined tasks — see docs/EXECUTION.md); 1 stays
+reserved for unexpected crashes.
+``pipeline --workload NAME [...] [--json] [--cache FILE] [--workers K]
+[--task-timeout S] [--task-retries K]``
     Run the full loop — simulate, profile, predict — and print exp vs
     model per stage with error rates (one experiment-pipeline run).
     ``--workers K`` fans the repeated runs across K worker processes
     (``0`` = auto-size to the CPUs); results are bit-identical to
-    serial.
+    serial.  ``--task-timeout``/``--task-retries`` tune the supervised
+    execution policy of a parallel run (per-cell wall-clock deadline
+    and attempt budget; exhausted cells exit 5 with the completed ones
+    checkpointed).
 ``optimize --workload NAME [--cluster-workers N] [--workers K] [--prune]
 [--top K] [--json]``
     Search cloud configurations for the cheapest run (Section VI).
@@ -89,6 +95,7 @@ from repro.core import load_report, save_report
 from repro.errors import ConfigurationError, DoppioError, exit_code_for
 from repro.faults import FaultPlan, load_fault_plan
 from repro.model.arrays import backend_name
+from repro.parallel import ExecutionPolicy
 from repro.pipeline import (
     ClusterPlatform,
     Experiment,
@@ -693,7 +700,8 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         faults=_fault_plan(args), resilience=policy,
     )
     results = experiment.run_repeated(
-        args.slaves, args.cores, runs=args.runs, workers=args.workers
+        args.slaves, args.cores, runs=args.runs, workers=args.workers,
+        execution=_execution(args),
     )
     _save_cache(cache)
     first = results[0]
@@ -778,7 +786,8 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         cache=cache,
     )
     result = optimizer.grid_search(
-        vcpu_grid=(4, 8, 16, 32), workers=args.workers, prune=args.prune
+        vcpu_grid=(4, 8, 16, 32), workers=args.workers, prune=args.prune,
+        execution=_execution(args),
     )
     r1 = optimizer.evaluate(r1_spark_recommendation(num_workers=nodes))
     r2 = optimizer.evaluate(r2_cloudera_recommendation(num_workers=nodes))
@@ -950,6 +959,33 @@ def _add_workers_flag(sub: argparse.ArgumentParser) -> None:
              " (0 = auto-size to the available CPUs; results are"
              " bit-identical to serial)",
     )
+    sub.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock deadline for supervised parallel"
+             " execution; a task past it is killed with its pool and"
+             " retried (see docs/EXECUTION.md)",
+    )
+    sub.add_argument(
+        "--task-retries", type=int, default=None, metavar="K",
+        help="attempts per task before it is quarantined (default 3);"
+             " exhausted tasks exit 5 with completed work checkpointed",
+    )
+
+
+def _execution(args: argparse.Namespace) -> ExecutionPolicy | None:
+    """Build the supervised-execution policy from the CLI flags.
+
+    ``None`` (no flags given) keeps the library default policy;
+    invalid values surface as :class:`ConfigurationError` → exit 2.
+    """
+    if args.task_timeout is None and args.task_retries is None:
+        return None
+    overrides: dict = {}
+    if args.task_timeout is not None:
+        overrides["timeout_seconds"] = args.task_timeout
+    if args.task_retries is not None:
+        overrides["max_attempts"] = args.task_retries
+    return ExecutionPolicy(**overrides)
 
 
 def _add_resilience_flags(sub: argparse.ArgumentParser) -> None:
@@ -1146,9 +1182,10 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     Library errors become one structured line on stderr and a stable
     exit code (:func:`repro.errors.exit_code_for`): 2 for configuration
-    mistakes, 4 for unusable fault plans, 3 for everything the simulator
-    or model could not survive.  Exit 1 stays reserved for genuine
-    crashes, which keep their tracebacks.
+    mistakes, 4 for unusable fault plans, 5 for host execution failures
+    (worker loss, task timeouts, quarantined tasks), 3 for everything
+    the simulator or model could not survive.  Exit 1 stays reserved
+    for genuine crashes, which keep their tracebacks.
     """
     args = build_parser().parse_args(argv)
     try:

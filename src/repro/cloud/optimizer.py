@@ -51,7 +51,7 @@ from repro.cloud.pricing import CloudConfiguration
 from repro.core.predictor import Predictor
 from repro.errors import OptimizationError
 from repro.model.arrays import CandidateBatch, Eq1BatchEvaluator
-from repro.parallel import resolve_backend
+from repro.parallel import ExecutionPolicy, resolve_backend, validate_execution
 from repro.units import GB
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -283,6 +283,7 @@ class CostOptimizer:
         local_sizes_gb: tuple[float, ...] = DEFAULT_SIZE_GRID_GB,
         workers: int | None = None,
         prune: bool = False,
+        execution: ExecutionPolicy | None = None,
     ) -> OptimizationResult:
         """Score every feasible grid point; ``best`` is always the optimum.
 
@@ -296,6 +297,11 @@ class CostOptimizer:
         anything else is a :class:`~repro.errors.ConfigurationError`)
         but no process pool is spun up: one in-process kernel pass
         outruns pickling candidates to workers by orders of magnitude.
+        ``execution`` is validated the same way (an
+        :class:`~repro.parallel.ExecutionPolicy` or ``None``) so the
+        CLI threads one set of supervision flags through both
+        ``pipeline`` and ``optimize``; with no pool there is nothing to
+        supervise, and searches cannot fail partially.
         """
         for kind in disk_kinds:
             if kind not in SPEC_BY_KIND:
@@ -305,9 +311,11 @@ class CostOptimizer:
         )
         if not candidates:
             raise OptimizationError("no feasible configuration on the grid")
-        # Validate the workers request exactly like the process-pool era
-        # did, then release the backend unused (see the docstring).
+        # Validate the workers and execution requests exactly like the
+        # process-pool era did, then release the backend unused (see
+        # the docstring).
         resolve_backend(workers).shutdown()
+        validate_execution(execution)
         if prune:
             evaluated, best, pruned = self._search_pruned(candidates)
         else:

@@ -82,6 +82,26 @@ class FaultError(DoppioError):
     """A fault plan is malformed or cannot be applied to a deployment."""
 
 
+class ExecutionError(DoppioError):
+    """A supervised task map could not complete on the host toolchain.
+
+    Raised by :class:`~repro.parallel.supervisor.TaskSupervisor` (and
+    the pipeline paths built on it) when items exhaust their attempt
+    budget — worker loss, per-item timeout, or a poison item that fails
+    every retry — or when the policy aborts on first failure.  Carries
+    the structured :class:`~repro.parallel.supervisor.TaskFailure`
+    records so callers can see *which* items died and why without
+    parsing the message.  Distinct from :class:`SimulationError`: the
+    simulated system is fine, the processes running it are not — mapped
+    to its own exit code (5) so scripts can tell "your model broke"
+    from "your machine did".
+    """
+
+    def __init__(self, message: str, failures: tuple = ()) -> None:
+        self.failures = tuple(failures)
+        super().__init__(message)
+
+
 class BenchmarkRegressionError(DoppioError):
     """A benchmark run failed its regression gates (``repro bench --check``).
 
@@ -100,11 +120,13 @@ class BenchmarkRegressionError(DoppioError):
 #: Process exit codes the CLI maps :class:`DoppioError` subclasses onto.
 #: 1 stays reserved for unexpected (non-Doppio) crashes, so scripts can
 #: distinguish "you configured it wrong" (2) from "the simulation or
-#: model broke" (3) from "the fault plan is unusable" (4).
+#: model broke" (3) from "the fault plan is unusable" (4) from "the host
+#: execution tier lost workers / timed out / quarantined items" (5).
 EXIT_OK = 0
 EXIT_CONFIG_ERROR = 2
 EXIT_SIMULATION_ERROR = 3
 EXIT_FAULT_ERROR = 4
+EXIT_EXECUTION_ERROR = 5
 
 
 def exit_code_for(error: DoppioError) -> int:
@@ -117,4 +139,6 @@ def exit_code_for(error: DoppioError) -> int:
         return EXIT_CONFIG_ERROR
     if isinstance(error, FaultError):
         return EXIT_FAULT_ERROR
+    if isinstance(error, ExecutionError):
+        return EXIT_EXECUTION_ERROR
     return EXIT_SIMULATION_ERROR

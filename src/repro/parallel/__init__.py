@@ -1,0 +1,60 @@
+"""Process-parallel execution: backends plus the supervised task layer.
+
+Two tiers live here:
+
+- :mod:`repro.parallel.backends` — the execution seam itself:
+  :class:`SerialBackend` and :class:`ProcessPoolBackend` behind the
+  :class:`ExecutionBackend` protocol, resolved from a ``workers=``
+  argument by :func:`resolve_backend`.  ``map`` is ordered and fast but
+  all-or-nothing: one raising item (or one dead worker) fails the whole
+  call.
+- :mod:`repro.parallel.supervisor` — the fault-tolerant layer on top:
+  :class:`TaskSupervisor` submits per-item futures under an
+  :class:`ExecutionPolicy` (attempts, per-item timeout, deterministic
+  backoff, quarantine vs. abort), rebuilds the pool after worker death,
+  and reports poison items as structured :class:`TaskFailure` records in
+  a :class:`SupervisionReport` instead of aborting the map.
+
+Both tiers preserve the package's core contract — results in input
+order, bit-identical to a serial run — so callers choose robustness per
+call site, not per architecture.  See ``docs/EXECUTION.md`` for the
+failure model and ``docs/PERFORMANCE.md`` for when parallelism pays.
+"""
+
+from repro.parallel.backends import (
+    AUTO_WORKERS,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    available_cpus,
+    resolve_backend,
+)
+from repro.parallel.supervisor import (
+    FAILURE_MODES,
+    KIND_EXCEPTION,
+    KIND_TIMEOUT,
+    KIND_WORKER_LOSS,
+    ExecutionPolicy,
+    SupervisionReport,
+    TaskFailure,
+    TaskSupervisor,
+    validate_execution,
+)
+
+__all__ = [
+    "AUTO_WORKERS",
+    "ExecutionBackend",
+    "ExecutionPolicy",
+    "FAILURE_MODES",
+    "KIND_EXCEPTION",
+    "KIND_TIMEOUT",
+    "KIND_WORKER_LOSS",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "SupervisionReport",
+    "TaskFailure",
+    "TaskSupervisor",
+    "available_cpus",
+    "resolve_backend",
+    "validate_execution",
+]

@@ -25,12 +25,20 @@ Worker processes often need one-time, per-process state (e.g. a rebuilt
 :func:`resolve_backend` and the pool forwards them to each worker on
 start, exactly like ``ProcessPoolExecutor`` does.  See
 ``docs/PERFORMANCE.md`` for when ``workers=`` actually helps.
+
+On top of ordered ``map``, :class:`ProcessPoolBackend` exposes the
+primitives the supervised layer (:mod:`repro.parallel.supervisor`) is
+built from: per-item :meth:`~ProcessPoolBackend.submit`,
+:meth:`~ProcessPoolBackend.worker_pids` for host-level fault injection,
+and :meth:`~ProcessPoolBackend.rebuild`, which kills the pool's worker
+processes and discards the executor so the next submit gets a fresh
+pool — the recovery step after worker death or a hung task.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Protocol, runtime_checkable
 
 from repro.errors import ConfigurationError
@@ -77,7 +85,11 @@ class SerialBackend:
 
     Runs ``initializer`` once (lazily, before the first mapped item) so
     task functions relying on initializer-installed state work
-    identically under both backends.
+    identically under both backends: an empty ``map`` runs no
+    initializer on either backend (a process pool spawns lazily), and
+    :meth:`shutdown` forgets the initialization — a reused serial
+    backend re-runs its initializer exactly as a reused process backend
+    spawns fresh, freshly initialized workers.
     """
 
     workers = 1
@@ -99,7 +111,8 @@ class SerialBackend:
         return [fn(item) for item in items]
 
     def shutdown(self) -> None:
-        """Nothing to release."""
+        """Forget initializer state so reuse mirrors a fresh pool."""
+        self._initialized = False
 
     def __enter__(self) -> SerialBackend:
         return self
@@ -139,15 +152,59 @@ class ProcessPoolBackend:
         items = list(items)
         if not items:
             return []
+        # ~4 chunks per worker balances pickling overhead against skew.
+        chunksize = max(1, -(-len(items) // (self.workers * 4)))
+        return list(self._ensure_executor().map(fn, items, chunksize=chunksize))
+
+    def submit(self, fn: Callable[[Any], Any], item: Any) -> Future:
+        """One item, one future — the supervised layer's building block.
+
+        Unlike the chunked :meth:`map`, a raising item can only take
+        itself down, and the caller sees each item's outcome (result,
+        exception, pool breakage) individually.
+        """
+        return self._ensure_executor().submit(fn, item)
+
+    def worker_pids(self) -> tuple[int, ...]:
+        """PIDs of the live pool processes (empty before the first task).
+
+        Exposed for the chaos harness and for the supervisor's
+        hang-recovery path; the pids are a snapshot — workers the pool
+        replaces after a crash get fresh ones.
+        """
+        if self._executor is None:
+            return ()
+        processes = getattr(self._executor, "_processes", None) or {}
+        return tuple(processes.keys())
+
+    def rebuild(self) -> None:
+        """Kill the pool's workers and forget the executor.
+
+        The recovery primitive after ``BrokenProcessPool`` (the workers
+        are already dying) and after a hung task (they are not — a SIGKILL
+        is the only way to reclaim a worker stuck in C code or an
+        unbounded loop).  The next :meth:`submit`/:meth:`map` lazily
+        spawns a fresh, freshly initialized pool.
+        """
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except (OSError, ValueError):  # pragma: no cover - racing exit
+                pass
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=self._initializer,
                 initargs=self._initargs,
             )
-        # ~4 chunks per worker balances pickling overhead against skew.
-        chunksize = max(1, -(-len(items) // (self.workers * 4)))
-        return list(self._executor.map(fn, items, chunksize=chunksize))
+        return self._executor
 
     def shutdown(self) -> None:
         if self._executor is not None:

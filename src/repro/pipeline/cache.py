@@ -34,9 +34,11 @@ never observe a torn file: it sees one writer's complete snapshot or the
 other's, and the worst interleaving outcome is that entries unique to
 the *earlier* snapshot are absent from the later one and get recomputed.
 Parallel grids avoid even that loss by funnelling worker-side entries
-through :meth:`ResultCache.merge_shard` in the parent, which then
-performs the single authoritative save.  The interleaved-writer test in
-``tests/unit/pipeline/test_cache.py`` pins this down.
+through :meth:`ResultCache.merge_shard` in the parent, which performs
+every authoritative save: one atomic checkpoint per merged shard, so a
+run killed between merges resumes from the last landed shard (see
+``docs/EXECUTION.md``).  The interleaved-writer and corrupt-shard tests
+in ``tests/unit/pipeline/test_cache.py`` pin this down.
 """
 
 from __future__ import annotations

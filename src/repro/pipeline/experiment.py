@@ -26,6 +26,16 @@ cells into a private in-memory cache, and ships the fresh entries back
 as shards; the parent merges the shards and composes every record
 in-order from the now-warm cache — which is why parallel output is
 bit-identical to serial (see ``docs/PERFORMANCE.md``).
+
+Parallel grids run *supervised*: cold cells go through a
+:class:`~repro.parallel.supervisor.TaskSupervisor` under an
+:class:`~repro.parallel.supervisor.ExecutionPolicy` (``execution=``), so
+a dead worker rebuilds the pool and retries only the in-flight cells, a
+hung cell trips its per-item timeout, and a poison cell is quarantined
+into a structured :class:`~repro.errors.ExecutionError` *after* the
+surviving cells' shards are merged — and each shard is checkpointed to a
+file-backed cache as it lands, so a killed or failed run resumes from
+the last merged shard (see ``docs/EXECUTION.md``).
 """
 
 from __future__ import annotations
@@ -39,7 +49,12 @@ from repro.core.profiler import ProfilingReport
 from repro.faults.plan import FaultPlan
 from repro.core.predictor import Predictor
 from repro.errors import ConfigurationError
-from repro.parallel import resolve_backend
+from repro.parallel import (
+    ExecutionPolicy,
+    TaskSupervisor,
+    resolve_backend,
+    validate_execution,
+)
 from repro.pipeline.cache import ResultCache, mix_key, prediction_key, run_key
 from repro.pipeline.fingerprint import fingerprint
 from repro.pipeline.platforms import Platform, as_platform
@@ -263,11 +278,13 @@ class Experiment:
         faults: FaultPlan | None = _DEFAULT_FAULTS,  # type: ignore[assignment]
         resilience: ResiliencePolicy | None = _DEFAULT_RESILIENCE,  # type: ignore[assignment]
         workers: int | None = None,
+        execution: ExecutionPolicy | None = None,
     ) -> list[RunResult]:
         """The paper's five-run protocol at one ``(N, P)`` point.
 
         A ``run_grid`` over the run-index axis: checkpointed the same
-        way and parallelizable the same way (``workers=``).
+        way, parallelizable the same way (``workers=``), and supervised
+        the same way (``execution=``).
         """
         if runs <= 0:
             raise ConfigurationError("need at least one run")
@@ -279,6 +296,7 @@ class Experiment:
             faults=faults,
             resilience=resilience,
             workers=workers,
+            execution=execution,
         )
 
     def run_grid(
@@ -289,22 +307,33 @@ class Experiment:
         faults: FaultPlan | None = _DEFAULT_FAULTS,  # type: ignore[assignment]
         resilience: ResiliencePolicy | None = _DEFAULT_RESILIENCE,  # type: ignore[assignment]
         workers: int | None = None,
+        execution: ExecutionPolicy | None = None,
     ) -> list[RunResult]:
         """The ``N x P x run`` cross product, row-major in that order.
 
         When the experiment's cache is file-backed, the grid is
         *crash-safe*: every cell that required fresh computation is
         checkpointed (atomically) to the cache file as soon as it
-        completes, so a killed sweep rerun with the same arguments
-        resumes from the last finished cell — completed cells come back
-        as cache hits, bit-identical to the interrupted run's.
+        completes — per cell on the serial path, per merged worker shard
+        on the parallel path — so a killed sweep rerun with the same
+        arguments resumes from the last finished cell: completed cells
+        come back as cache hits, bit-identical to the interrupted run's.
 
         ``workers`` selects the :mod:`repro.parallel` backend: ``None``
         or ``1`` runs serially (the historical path), ``0`` auto-sizes
         to the available CPUs, ``k > 1`` fans the cold cells across
         ``k`` worker processes.  Results are **bit-identical** across
-        all settings; a parallel grid checkpoints once, after merging
-        the worker shards.
+        all settings.
+
+        ``execution`` tunes the supervision of a parallel grid (per-cell
+        timeout, retry attempts, backoff, quarantine vs. abort); the
+        default :class:`~repro.parallel.supervisor.ExecutionPolicy`
+        retries transient failures and rebuilds the pool after worker
+        death.  Cells that fail every attempt raise a structured
+        :class:`~repro.errors.ExecutionError` — after the surviving
+        shards are merged and checkpointed, so the rerun recomputes only
+        the failed cells.  Serial grids ignore the policy (exceptions
+        propagate immediately, as they always have).
         """
         node_axis = self._axis(nodes, self.platform.default_nodes(), "nodes")
         core_axis = self._axis(
@@ -317,12 +346,13 @@ class Experiment:
             for r in run_indices
         ]
         context = self._grid_context(faults, resilience)
+        validate_execution(execution)
         if workers is None or workers == 1:
             return [
                 self._checkpointed_cell(n, p, r, context)
                 for (n, p, r) in cells
             ]
-        return self._run_grid_parallel(cells, context, workers)
+        return self._run_grid_parallel(cells, context, workers, execution)
 
     # -- multi-tenant mixes --------------------------------------------------
 
@@ -621,8 +651,9 @@ class Experiment:
         cells: list[tuple[int, int, int]],
         context: _GridContext,
         workers: int,
+        execution: ExecutionPolicy | None,
     ) -> list[RunResult]:
-        """Fan cold cells across worker processes, then compose in order.
+        """Fan cold cells across supervised workers, then compose in order.
 
         The parent never simulates: it pre-splits cells into warm (both
         halves already cached) and cold, ships only the cold ones, and
@@ -630,6 +661,17 @@ class Experiment:
         in grid order through the same code path as a serial grid —
         which at that point is all cache hits, making the result list
         bit-identical to ``workers=1``.
+
+        Cold cells run under a :class:`~repro.parallel.supervisor
+        .TaskSupervisor`: worker death rebuilds the pool and retries the
+        in-flight cells, hung cells trip the policy's timeout, and each
+        completed shard is merged — and, on a file-backed cache,
+        atomically checkpointed — *as it lands*, so a run killed between
+        shards resumes from the last merged one.  Cells that fail every
+        attempt surface as a structured
+        :class:`~repro.errors.ExecutionError` after the survivors'
+        shards are safely merged: the cache stays resumable and a rerun
+        recomputes only the failed cells.
         """
         resolved = self.resolved  # force resolution before building payload
         cold: list[tuple[int, int, int]] = []
@@ -672,13 +714,26 @@ class Experiment:
                     self._checkpointed_cell(n, p, r, context)
                     for (n, p, r) in cells
                 ]
+            supervisor = TaskSupervisor(
+                backend,
+                execution if execution is not None else ExecutionPolicy(),
+            )
+
+            def merge_shard(index: int, shard: dict) -> None:
+                # Incremental checkpoint: persist every shard as it
+                # lands, not once after the final merge, so a killed
+                # run resumes from the last completed cell.
+                added = self.cache.merge_shard(shard)
+                if self.cache.path is not None and added:
+                    self.cache.save()
+
             with backend:
-                shards = backend.map(_run_grid_cell, cold)
-            merged = 0
-            for shard in shards:
-                merged += self.cache.merge_shard(shard)
-            if self.cache.path is not None and merged:
-                self.cache.save()
+                report = supervisor.run(
+                    _run_grid_cell, cold, on_result=merge_shard
+                )
+            report.raise_if_failed(
+                f"run_grid({len(cold)} cold cell(s), workers={workers})"
+            )
         return [
             self._run_cell(n, p, r, context) for (n, p, r) in cells
         ]

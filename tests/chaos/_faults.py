@@ -1,0 +1,80 @@
+"""Fault injectors for the chaos harness.
+
+Each injector wraps the real grid-cell task
+(:func:`repro.pipeline.experiment._run_grid_cell`) with one misbehaviour
+— kill the worker, hang, raise — and is installed by monkeypatching the
+``_run_grid_cell`` name in the experiment module.  Two properties make
+this work end-to-end:
+
+- the supervisor looks the task function up at call time, so the parent
+  submits the patched wrapper;
+- pools use the ``fork`` start method on Linux, so worker processes
+  inherit both the patched module and the chaos environment variables.
+
+Cross-process "only misbehave once" memory lives in flag files under
+``REPRO_CHAOS_DIR``: the first attempt touches the flag *before*
+misbehaving, so the retried attempt sees it and runs the real task.
+All injectors are module-level functions — they must pickle by
+reference into pool workers.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+
+from repro.pipeline.experiment import _run_grid_cell as real_cell
+
+#: Directory for cross-process first-attempt flags (set per test).
+CHAOS_DIR_ENV = "REPRO_CHAOS_DIR"
+#: Target cell as "nodes,cores,run" — or "*" to target every cell.
+CHAOS_CELL_ENV = "REPRO_CHAOS_CELL"
+#: Sleep length for :func:`hang_once_cell`, in seconds.
+CHAOS_HANG_ENV = "REPRO_CHAOS_HANG"
+
+
+def cell_tag(cell: tuple[int, int, int]) -> str:
+    return ",".join(str(part) for part in cell)
+
+
+def _is_target(cell: tuple[int, int, int]) -> bool:
+    target = os.environ.get(CHAOS_CELL_ENV, "*")
+    return target == "*" or target == cell_tag(cell)
+
+
+def _first_time(cell: tuple[int, int, int], kind: str) -> bool:
+    flag = Path(os.environ[CHAOS_DIR_ENV]) / f"{kind}-{cell_tag(cell)}"
+    if flag.exists():
+        return False
+    flag.touch()
+    return True
+
+
+def kill_once_cell(cell: tuple[int, int, int]):
+    """SIGKILL this worker on the target cell's first attempt."""
+    if _is_target(cell) and _first_time(cell, "kill"):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return real_cell(cell)
+
+
+def hang_once_cell(cell: tuple[int, int, int]):
+    """Hang well past any test timeout on the target cell's first attempt."""
+    if _is_target(cell) and _first_time(cell, "hang"):
+        time.sleep(float(os.environ.get(CHAOS_HANG_ENV, "20.0")))
+    return real_cell(cell)
+
+
+def flaky_cell(cell: tuple[int, int, int]):
+    """Raise a transient error on every cell's first attempt."""
+    if _is_target(cell) and _first_time(cell, "flaky"):
+        raise RuntimeError(f"injected transient fault for cell {cell}")
+    return real_cell(cell)
+
+
+def poison_cell(cell: tuple[int, int, int]):
+    """Raise on *every* attempt of the target cell — a true poison item."""
+    if _is_target(cell):
+        raise RuntimeError(f"injected permanent fault for cell {cell}")
+    return real_cell(cell)

@@ -1,0 +1,142 @@
+"""Shared fixtures for the chaos harness (see docs/EXECUTION.md).
+
+The workload is deliberately tiny — two short stages — so each grid
+cell simulates in milliseconds and the suite's wall-clock is dominated
+by the faults it injects (pool rebuilds, timeouts), not the work.
+Everything here asserts against ``serial_records``: the clean
+single-process sweep the fault-ridden runs must reproduce bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.pipeline.experiment as experiment_module
+from repro.pipeline.cache import ResultCache
+from repro.pipeline.experiment import Experiment
+from repro.pipeline.platforms import ClusterPlatform
+from repro.pipeline.sources import ResolvedSource
+from repro.units import KB, MB
+from repro.workloads.base import (
+    ChannelSpec,
+    StageSpec,
+    TaskGroupSpec,
+    WorkloadSpec,
+)
+
+from ._faults import CHAOS_CELL_ENV, CHAOS_DIR_ENV, CHAOS_HANG_ENV
+
+#: The grid every chaos test sweeps: four cells, enough to keep two
+#: workers busy while one of them is being killed, hung, or poisoned.
+GRID = dict(nodes=(2, 3), cores_per_node=(4, 8), run_indices=(0,))
+CELLS = [(2, 4, 0), (2, 8, 0), (3, 4, 0), (3, 8, 0)]
+
+
+def make_chaos_workload(name: str = "chaos-tiny") -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        stages=(
+            StageSpec(
+                name="ingest",
+                groups=(
+                    TaskGroupSpec(
+                        name="g",
+                        count=8,
+                        read_channels=(
+                            ChannelSpec(
+                                kind="hdfs_read",
+                                bytes_per_task=32 * MB,
+                                request_size=1 * MB,
+                            ),
+                        ),
+                        compute_seconds=0.8,
+                        write_channels=(
+                            ChannelSpec(
+                                kind="shuffle_write",
+                                bytes_per_task=16 * MB,
+                                request_size=1 * MB,
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+            StageSpec(
+                name="reduce",
+                groups=(
+                    TaskGroupSpec(
+                        name="g",
+                        count=6,
+                        read_channels=(
+                            ChannelSpec(
+                                kind="shuffle_read",
+                                bytes_per_task=20 * MB,
+                                request_size=64 * KB,
+                            ),
+                        ),
+                        compute_seconds=0.4,
+                        write_channels=(
+                            ChannelSpec(
+                                kind="hdfs_write",
+                                bytes_per_task=8 * MB,
+                                request_size=1 * MB,
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def chaos_source():
+    from repro.core import Profiler
+
+    spec = make_chaos_workload()
+    return ResolvedSource(spec, Profiler(spec, nodes=3).profile())
+
+
+@pytest.fixture()
+def make_experiment(chaos_source):
+    """Factory for fresh experiments over the shared resolved source."""
+
+    def _make(cache_path=None):
+        cache = ResultCache(cache_path) if cache_path is not None else None
+        return Experiment(chaos_source, ClusterPlatform(), cache=cache)
+
+    return _make
+
+
+def records(results) -> str:
+    return json.dumps([result.to_dict() for result in results], sort_keys=True)
+
+
+@pytest.fixture(scope="session")
+def serial_records(chaos_source):
+    """The clean serial baseline every chaotic run must reproduce."""
+    experiment = Experiment(chaos_source, ClusterPlatform())
+    return records(experiment.run_grid(workers=1, **GRID))
+
+
+@pytest.fixture()
+def inject(monkeypatch, tmp_path):
+    """Install a fault injector as the grid-cell task function.
+
+    ``inject(fault_fn, target="2,4,0")`` patches
+    ``repro.pipeline.experiment._run_grid_cell`` — which the supervisor
+    looks up at submit time — and primes the chaos environment that
+    forked workers inherit.  ``target="*"`` hits every cell.
+    """
+    flags = tmp_path / "chaos-flags"
+    flags.mkdir()
+
+    def _install(fault_fn, target="*", hang_seconds=None):
+        monkeypatch.setenv(CHAOS_DIR_ENV, str(flags))
+        monkeypatch.setenv(CHAOS_CELL_ENV, target)
+        if hang_seconds is not None:
+            monkeypatch.setenv(CHAOS_HANG_ENV, str(hang_seconds))
+        monkeypatch.setattr(experiment_module, "_run_grid_cell", fault_fn)
+
+    return _install

@@ -26,6 +26,7 @@ from hypothesis import strategies as st
 from repro.cloud.optimizer import CostOptimizer
 from repro.core import Predictor, Profiler
 from repro.errors import ProfilingError
+from repro.parallel import ExecutionPolicy
 from repro.pipeline.cache import ResultCache
 from repro.pipeline.experiment import Experiment
 from repro.pipeline.platforms import ClusterPlatform
@@ -70,13 +71,35 @@ def _records(results) -> str:
     return json.dumps([result.to_dict() for result in results], sort_keys=True)
 
 
+#: Supervision knobs must be invisible on clean runs: any mix of retry
+#: budget, generous timeout, and backoff shape yields the same records.
+#: Timeouts stay large (or absent) so no healthy cell can trip one.
+execution_policies = st.one_of(
+    st.none(),
+    st.builds(
+        ExecutionPolicy,
+        max_attempts=st.sampled_from((1, 2, 3)),
+        timeout_seconds=st.sampled_from((None, 120.0)),
+        backoff_base_seconds=st.sampled_from((0.0, 0.01)),
+        backoff_factor=st.sampled_from((1.0, 2.0)),
+        on_failure=st.sampled_from(("quarantine", "abort")),
+    ),
+)
+
+
 @settings(max_examples=5, **EQUIV_SETTINGS)
-@given(spec=workload_specs(), run_indices=st.sampled_from(((0,), (0, 1))))
-def test_parallel_grid_is_bit_identical_to_serial(spec, run_indices):
+@given(
+    spec=workload_specs(),
+    run_indices=st.sampled_from(((0,), (0, 1))),
+    execution=execution_policies,
+)
+def test_parallel_grid_is_bit_identical_to_serial(spec, run_indices, execution):
     """run_grid(workers=2) == run_grid(workers=1), record for record.
 
     Fresh experiments (separate caches) on both sides, so the parallel
     records really were produced by worker processes, not replayed.
+    The supervised path runs under a randomized :class:`ExecutionPolicy`
+    — clean runs must be policy-independent.
     """
     report = _profile(spec)
     grid = dict(nodes=(2, 3), cores_per_node=(4,), run_indices=run_indices)
@@ -84,7 +107,9 @@ def test_parallel_grid_is_bit_identical_to_serial(spec, run_indices):
     serial = Experiment(ResolvedSource(spec, report), ClusterPlatform())
     parallel = Experiment(ResolvedSource(spec, report), ClusterPlatform())
     serial_dump = _records(serial.run_grid(workers=1, **grid))
-    parallel_dump = _records(parallel.run_grid(workers=2, **grid))
+    parallel_dump = _records(
+        parallel.run_grid(workers=2, execution=execution, **grid)
+    )
 
     assert parallel_dump == serial_dump
     # The parallel cache is as warm as the serial one: replaying the
@@ -93,13 +118,13 @@ def test_parallel_grid_is_bit_identical_to_serial(spec, run_indices):
 
 
 @settings(max_examples=3, **EQUIV_SETTINGS)
-@given(spec=workload_specs())
-def test_parallel_run_repeated_matches_serial(spec):
+@given(spec=workload_specs(), execution=execution_policies)
+def test_parallel_run_repeated_matches_serial(spec, execution):
     report = _profile(spec)
     serial = Experiment(ResolvedSource(spec, report), ClusterPlatform())
     parallel = Experiment(ResolvedSource(spec, report), ClusterPlatform())
     assert _records(
-        parallel.run_repeated(2, 4, runs=2, workers=2)
+        parallel.run_repeated(2, 4, runs=2, workers=2, execution=execution)
     ) == _records(serial.run_repeated(2, 4, runs=2))
 
 

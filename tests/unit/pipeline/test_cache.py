@@ -264,6 +264,105 @@ class TestConcurrentWriters:
         assert ab.read_text() == ba.read_text()
 
 
+class TestShardRecovery:
+    """Damage between incremental shard checkpoints degrades to recompute.
+
+    Parallel grids checkpoint once per merged worker shard (see
+    ``Experiment._run_grid_parallel``), so these pin the recovery
+    contract at shard granularity: whatever happened to the last
+    checkpoint, the next run loads what it can, warns about the rest,
+    and recomputes only the missing cells.
+    """
+
+    def _shards(self, populated):
+        cache, _ = populated
+        first, second = ResultCache(), ResultCache()
+        first.put_measurement("cell-0", cache.get_measurement("m"))
+        first.put_prediction("cell-0", cache.get_prediction("p"))
+        second.put_measurement("cell-1", cache.get_measurement("m"))
+        return first.export_shard(), second.export_shard()
+
+    def test_truncated_shard_checkpoint_recovers_by_recompute(
+        self, populated, tmp_path
+    ):
+        # Run 1 merges shard A, checkpoints, and is killed; something
+        # (disk full, manual edit) truncates the checkpoint.  Run 2 must
+        # warn, start empty, and be able to re-merge every shard.
+        shard_a, shard_b = self._shards(populated)
+        checkpoint = tmp_path / "checkpoint.json"
+        parent = ResultCache(checkpoint)
+        parent.merge_shard(shard_a)
+        parent.save()
+        text = checkpoint.read_text()
+        checkpoint.write_text(text[: len(text) // 2])
+
+        with pytest.warns(UserWarning, match="unreadable"):
+            resumed = ResultCache(checkpoint)
+        assert len(resumed) == 0  # nothing trusted from the torn file
+        assert resumed.merge_shard(shard_a) == 2
+        assert resumed.merge_shard(shard_b) == 1
+        resumed.save()
+        reloaded = ResultCache(checkpoint)
+        assert reloaded.contains_measurement("cell-0")
+        assert reloaded.contains_measurement("cell-1")
+
+    def test_wrong_schema_shard_entries_skipped_on_reload(
+        self, populated, tmp_path
+    ):
+        # A checkpoint whose shard-A entries are valid JSON but not our
+        # schema (e.g. written by a different tool) loses only those
+        # entries; shard B's survive the reload untouched.
+        shard_a, shard_b = self._shards(populated)
+        checkpoint = tmp_path / "mixed.json"
+        parent = ResultCache(checkpoint)
+        parent.merge_shard(shard_a)
+        parent.merge_shard(shard_b)
+        parent.save()
+
+        data = json.loads(checkpoint.read_text())
+        data["measurements"]["cell-0"] = {"schema": "not-ours", "value": 7}
+        data["predictions"]["cell-0"] = ["also", "wrong"]
+        checkpoint.write_text(json.dumps(data))
+
+        with pytest.warns(UserWarning) as caught:
+            resumed = ResultCache(checkpoint)
+        messages = [str(w.message) for w in caught]
+        assert any("skipping corrupt measurements" in m for m in messages)
+        assert any("skipping corrupt predictions" in m for m in messages)
+        assert not resumed.contains_measurement("cell-0")
+        assert resumed.contains_measurement("cell-1")  # shard B intact
+        # The skipped cells look cold and get recomputed via merge.
+        assert resumed.merge_shard(shard_a) == 2
+
+    def test_interleaved_two_writer_merge_commutes(self, populated, tmp_path):
+        # Two supervised runs sharing a checkpoint merge their shards in
+        # opposite orders; first-writer-wins on content-addressed keys
+        # makes the surviving file identical either way.
+        shard_a, shard_b = self._shards(populated)
+        ab, ba = tmp_path / "ab.json", tmp_path / "ba.json"
+
+        writer = ResultCache(ab)
+        writer.merge_shard(shard_a)
+        writer.save()  # checkpoint between merges
+        writer.merge_shard(shard_b)
+        writer.save()
+
+        other = ResultCache(ba)
+        other.merge_shard(shard_b)
+        other.save()
+        assert other.merge_shard(shard_b) == 0  # replayed shard is a no-op
+        other.merge_shard(shard_a)
+        other.save()
+
+        # Key insertion order tracks merge order, so compare the parsed
+        # stores: same entries, same serialized values, either way round.
+        assert json.loads(ab.read_text()) == json.loads(ba.read_text())
+        final = ResultCache(ab)
+        assert final.contains_measurement("cell-0")
+        assert final.contains_prediction("cell-0")
+        assert final.contains_measurement("cell-1")
+
+
 class TestCorruption:
     """A damaged cache file degrades to recomputation, never to a crash."""
 

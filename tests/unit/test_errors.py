@@ -18,6 +18,7 @@ class TestHierarchy:
             errors.ProfilingError,
             errors.OptimizationError,
             errors.WorkloadError,
+            errors.ExecutionError,
             SchedulingError,
         ]
         for cls in subclasses:
@@ -55,6 +56,22 @@ class TestExitCodes:
     def test_fault_class_maps_to_4(self):
         assert errors.exit_code_for(errors.FaultError("x")) == 4
 
+    def test_execution_class_maps_to_5(self):
+        assert errors.exit_code_for(errors.ExecutionError("x")) == 5
+
+    def test_execution_error_carries_structured_failures(self):
+        from repro.parallel import TaskFailure
+
+        failure = TaskFailure(
+            index=2, item=(3, 4, 0), kind="timeout", attempts=3,
+            error_type="TimeoutError", message="no result within 1s",
+        )
+        error = errors.ExecutionError("grid failed", failures=(failure,))
+        assert error.failures == (failure,)
+        assert "timeout" in failure.describe()
+        plain = errors.ExecutionError("no detail")
+        assert plain.failures == ()
+
     def test_everything_else_maps_to_3(self):
         for cls in (
             errors.SimulationError,
@@ -71,6 +88,7 @@ class TestExitCodes:
         codes = {
             errors.EXIT_OK, errors.EXIT_CONFIG_ERROR,
             errors.EXIT_SIMULATION_ERROR, errors.EXIT_FAULT_ERROR,
+            errors.EXIT_EXECUTION_ERROR,
         }
-        assert len(codes) == 4
+        assert len(codes) == 5
         assert 1 not in codes  # reserved for unexpected crashes

@@ -23,6 +23,18 @@ def _record_init(tag):
     _INIT_CALLS.append(tag)
 
 
+def _touch_init(path):
+    # Picklable initializer for pool workers: append one line per call.
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("init\n")
+
+
+def _init_count(path):
+    if not path.exists():
+        return 0
+    return len(path.read_text(encoding="utf-8").splitlines())
+
+
 class TestResolveBackend:
     def test_none_and_one_resolve_serial(self):
         assert isinstance(resolve_backend(None), SerialBackend)
@@ -70,6 +82,16 @@ class TestSerialBackend:
         with SerialBackend() as backend:
             assert backend.map(_double, [5]) == [10]
 
+    def test_shutdown_then_reuse_reruns_initializer(self):
+        # Parity with ProcessPoolBackend: after shutdown, a reused
+        # backend behaves like a fresh pool and re-runs its initializer.
+        _INIT_CALLS.clear()
+        backend = SerialBackend(_record_init, ("again",))
+        backend.map(_double, [1])
+        backend.shutdown()
+        backend.map(_double, [2])
+        assert _INIT_CALLS == ["again", "again"]
+
 
 class TestProcessPoolBackend:
     def test_map_preserves_input_order(self):
@@ -93,6 +115,28 @@ class TestProcessPoolBackend:
         backend.map(_double, [1])
         backend.shutdown()
         backend.shutdown()
+
+
+class TestInitializerParity:
+    """Both backends defer the initializer past empty maps (satellite 2)."""
+
+    def test_serial_empty_then_nonempty_sequence(self, tmp_path):
+        marker = tmp_path / "serial.log"
+        backend = SerialBackend(_touch_init, (str(marker),))
+        backend.map(_double, [])
+        assert _init_count(marker) == 0
+        backend.map(_double, [1])
+        backend.map(_double, [2])
+        assert _init_count(marker) == 1
+
+    def test_pool_empty_then_nonempty_sequence(self, tmp_path):
+        marker = tmp_path / "pool.log"
+        with ProcessPoolBackend(2, _touch_init, (str(marker),)) as backend:
+            backend.map(_double, [])
+            assert _init_count(marker) == 0  # pool never spawned
+            assert backend.map(_double, [1, 2]) == [2, 4]
+        # Spawned once: at most one init per worker, at least one total.
+        assert 1 <= _init_count(marker) <= 2
 
 
 def test_available_cpus_is_positive():
