@@ -38,6 +38,7 @@ from repro.bench.history import (
     host_fingerprint,
     write_snapshot,
 )
+from repro.bench.report import render_history_report
 from repro.bench.registry import (
     BenchmarkSection,
     all_sections,
@@ -63,6 +64,7 @@ __all__ = [
     "fingerprint_key",
     "host_fingerprint",
     "register_section",
+    "render_history_report",
     "resolve_sections",
     "run_bench",
     "section_names",

@@ -852,3 +852,184 @@ register_section(BenchmarkSection(
         MetricGate("wall_seconds", "lower", **_WALL_BAND),
     ),
 ))
+
+
+# -- section: service -------------------------------------------------------
+
+#: The service load mix: ``SERVICE_DISTINCT`` unique predict queries
+#: plus ``SERVICE_OPT_DISTINCT`` unique grid-search (optimize) queries,
+#: each arriving ``SERVICE_DUPLICATES`` / ``SERVICE_OPT_DUPLICATES``
+#: times, interleaved, under ``SERVICE_CONCURRENCY`` in flight.
+SERVICE_DISTINCT = 24
+SERVICE_DUPLICATES = 5
+SERVICE_OPT_DISTINCT = 4
+SERVICE_OPT_DUPLICATES = 10
+SERVICE_CONCURRENCY = 16
+
+#: The service must beat one-query-one-evaluation serving by at least
+#: this factor on the same mix (the PR-10 acceptance threshold).
+MIN_SERVICE_SPEEDUP = 5.0
+
+
+def run_service(rounds: int) -> dict:
+    """The what-if query engine vs. naive one-query-one-evaluation.
+
+    The same deterministic query mix — cheap predict queries plus
+    repeated grid-search (optimize) queries, the dashboard pattern the
+    service exists for — is answered two ways: by a warmed
+    :class:`~repro.service.engine.QueryEngine` (single-flight
+    coalescing, LRU, micro-batched kernel calls) under concurrency, and
+    by a naive loop making one scalar
+    :meth:`~repro.cloud.optimizer.CostOptimizer.evaluate` or
+    :meth:`~repro.cloud.optimizer.CostOptimizer.grid_search` call per
+    query.  Correctness asserts on every run: the engine's answers are
+    bit-identical to the direct library calls', and at least one
+    micro-batch actually flushed (the mix cannot have been served
+    query-at-a-time).  Profiling happens before timing on both sides
+    (one shared cache), so the comparison is pure serving cost.
+    """
+    import asyncio
+
+    from repro.cloud.optimizer import CostOptimizer
+    from repro.core.predictor import Predictor
+    from repro.pipeline import ResultCache, SpecSource
+    from repro.service import QueryEngine
+    from repro.service.loadgen import (
+        build_queries,
+        naive_baseline,
+        run_against_engine,
+    )
+    from repro.workloads import make_svm_workload
+
+    spec = make_svm_workload()
+    queries = build_queries(
+        "svm",
+        distinct=SERVICE_DISTINCT,
+        duplicates=SERVICE_DUPLICATES,
+        optimize_distinct=SERVICE_OPT_DISTINCT,
+        optimize_duplicates=SERVICE_OPT_DUPLICATES,
+    )
+    num_predict = sum(1 for q in queries if q["kind"] == "predict")
+    num_optimize = len(queries) - num_predict
+
+    # One cache shares the profiled report across rounds and with the
+    # naive side, so neither side ever times profiling.
+    cache = ResultCache()
+
+    async def serve_once() -> dict:
+        engine = QueryEngine({"svm": spec}, cache=cache)
+        async with engine:
+            await engine.warm(["svm"])  # profiling off the timed path
+            return await run_against_engine(
+                engine, queries, concurrency=SERVICE_CONCURRENCY
+            )
+
+    best = None
+    for _ in range(max(1, rounds)):
+        outcome = asyncio.run(serve_once())
+        if best is None or outcome["wall_seconds"] < best["wall_seconds"]:
+            best = outcome
+
+    # The naive reference: the same floors and worker count the engine
+    # applies, one direct library call per query.
+    resolved = SpecSource(spec, profile_nodes=3).resolve(cache)
+    min_hdfs, min_local = CostOptimizer.capacity_requirements(
+        spec, num_workers=10
+    )
+    optimizer = CostOptimizer(
+        Predictor(resolved.report),
+        num_workers=10,
+        min_hdfs_gb=min_hdfs,
+        min_local_gb=min_local,
+    )
+    naive = naive_baseline(optimizer, queries)
+
+    # Bit-identity: every service answer equals the direct call's.
+    for payload, served, reference in zip(queries, best["results"], naive["results"]):
+        if payload["kind"] == "predict":
+            assert served["runtime_seconds"] == reference.runtime_seconds, (
+                "service runtime diverged from the scalar model:"
+                f" {served['runtime_seconds']} != {reference.runtime_seconds}"
+            )
+            assert served["cost_dollars"] == reference.cost_dollars, (
+                "service cost diverged from the scalar model:"
+                f" {served['cost_dollars']} != {reference.cost_dollars}"
+            )
+        else:
+            assert (
+                served["best"]["cost_dollars"] == reference.best.cost_dollars
+                and served["best"]["runtime_seconds"]
+                == reference.best.runtime_seconds
+                and served["num_evaluated"] == reference.num_evaluated
+                and served["num_pruned"] == reference.num_pruned
+            ), (
+                "service grid search diverged from CostOptimizer"
+                f".grid_search: {served['best']} != {reference.best!r}"
+            )
+
+    stats = best["engine"]
+    total = len(queries)
+    wall = best["wall_seconds"]
+    return {
+        "benchmark": "what-if-service",
+        "workload": "svm",
+        "num_queries": total,
+        "num_predict": num_predict,
+        "num_optimize": num_optimize,
+        "distinct": SERVICE_DISTINCT + SERVICE_OPT_DISTINCT,
+        "concurrency": SERVICE_CONCURRENCY,
+        "wall_seconds": round(wall, 4),
+        "qps": round(total / wall, 1) if wall > 0 else 0.0,
+        "p50_ms": round(best["p50_ms"], 4),
+        "p99_ms": round(best["p99_ms"], 4),
+        "naive_wall_seconds": round(naive["wall_seconds"], 4),
+        "speedup_vs_naive": round(naive["wall_seconds"] / wall, 2),
+        "coalesced": stats["coalesced"],
+        "lru_hits": stats["lru"]["hits"],
+        "lru_hit_rate": round(stats["lru"]["hits"] / total, 4),
+        "batches_flushed": stats["batches"]["flushed"],
+        "max_batch_width": stats["batches"]["max_size"],
+        "reference_runtime_seconds": naive["results"][0].runtime_seconds,
+        "reference_cost_dollars": naive["results"][0].cost_dollars,
+    }
+
+
+def guard_service(metrics: dict) -> list[str]:
+    failures = []
+    if metrics["speedup_vs_naive"] < MIN_SERVICE_SPEEDUP:
+        failures.append(
+            f"service: {metrics['speedup_vs_naive']}x over the naive"
+            f" baseline is below the required {MIN_SERVICE_SPEEDUP}x —"
+            " coalescing/batching no longer pays"
+        )
+    if metrics["batches_flushed"] < 1:
+        failures.append(
+            "service: no micro-batch flushed — queries were served"
+            " one-at-a-time"
+        )
+    if metrics["coalesced"] + metrics["lru_hits"] == 0:
+        failures.append(
+            "service: duplicate queries hit neither the single-flight"
+            " table nor the LRU"
+        )
+    return failures
+
+
+register_section(BenchmarkSection(
+    name="service",
+    title="what-if query engine: coalesced + batched serving (PR 10)",
+    snapshot_key="service",
+    run=run_service,
+    guards=guard_service,
+    gates=(
+        MetricGate("reference_runtime_seconds", "exact",
+                   fingerprint_scoped=False),
+        MetricGate("reference_cost_dollars", "exact",
+                   fingerprint_scoped=False),
+        MetricGate("speedup_vs_naive", "higher", **_WALL_BAND),
+        MetricGate("qps", "higher", **_WALL_BAND),
+        MetricGate("wall_seconds", "lower", **_WALL_BAND),
+        MetricGate("p50_ms", "lower", **_WALL_BAND),
+        MetricGate("p99_ms", "lower", **_WALL_BAND),
+    ),
+))

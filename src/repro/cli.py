@@ -68,7 +68,20 @@ reserved for unexpected crashes.
     rolling history or breaks an absolute floor).  ``--skip-slow``
     drops the slow sections so CI stays in budget, and ``--list``
     prints the registry with each section's gate specs (which metrics
-    are band-gated vs history and which must stay exact).
+    are band-gated vs history and which must stay exact).  ``--report``
+    renders per-metric sparkline trajectories from the history file,
+    partitioned by host fingerprint and labeled with git SHAs.
+``serve [--host H] [--port P] [--workloads a,b] [--cache FILE] [--warm]
+[--queue-cap N] [--lru-size N] [--batch-max N] [--batch-delay-ms MS]``
+    Run the optimizer-as-a-service query engine behind a stdlib
+    HTTP/JSON front: ``POST /query`` answers predict/simulate/optimize
+    what-if queries through an LRU, the shared result cache, and a
+    coalescing, micro-batching compute tier (see docs/SERVICE.md).
+``loadgen [--url HOST:PORT] [--workload NAME] [--distinct N]
+[--duplicates K] [--concurrency C] [--json]``
+    Fire a deterministic what-if query mix at a running service (or an
+    in-process engine when ``--url`` is omitted) and report throughput,
+    latency percentiles, and the engine's coalescing counters.
 
 Every command is a thin veneer over :mod:`repro.pipeline`: inputs become
 workload sources and platforms, results are uniform run records, and a
@@ -712,7 +725,7 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
             "resilience_policy": (
                 policy.to_dict() if policy is not None else None
             ),
-            "cache": cache.stats_summary(),
+            "cache": cache.stats(),
             "runs": [result.to_dict() for result in results],
         }
         print(json.dumps(payload, indent=2))
@@ -860,6 +873,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
     import repro.bench as bench
     from repro.errors import BenchmarkRegressionError
 
+    if args.report:
+        history = bench.BenchHistory(args.history)
+        print(bench.render_history_report(history.load(), path=history.path))
+        return 0
+
     if args.list:
         def gate_spec(gate) -> str:
             if gate.direction == "exact":
@@ -947,6 +965,109 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"{len(report.failures)} benchmark gate(s) failed"
             f" across {len(report.sections)} section(s)",
             verdicts=report.failures,
+        )
+    return 0
+
+
+def _service_workloads(args: argparse.Namespace) -> dict:
+    """The ``{name: spec}`` map a service engine serves."""
+    if args.workloads:
+        names = [
+            name.strip()
+            for chunk in args.workloads
+            for name in chunk.split(",")
+            if name.strip()
+        ]
+    else:
+        names = sorted(WORKLOADS)
+    return {name: _workload(name) for name in names}
+
+
+def _service_engine(args: argparse.Namespace):
+    """Build a :class:`~repro.service.engine.QueryEngine` from CLI flags."""
+    from repro.service import QueryEngine
+
+    return QueryEngine(
+        _service_workloads(args),
+        cache=_cache(args),
+        lru_size=args.lru_size,
+        batch_max=args.batch_max,
+        batch_delay=args.batch_delay_ms / 1e3,
+        sim_queue_cap=args.queue_cap,
+        workers=args.workers,
+        profile_nodes=args.profile_nodes,
+        execution=_execution(args),
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.http import serve
+
+    engine = _service_engine(args)
+
+    def ready(host: str, port: int) -> None:
+        # The CI smoke test greps this exact prefix to know we're up.
+        print(
+            f"serving on http://{host}:{port}"
+            f" (workloads: {', '.join(sorted(engine.workloads))})",
+            flush=True,
+        )
+
+    async def run() -> None:
+        if args.warm:
+            await engine.start()
+            await engine.warm()
+        await serve(engine, host=args.host, port=args.port, ready=ready)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import loadgen
+
+    queries = loadgen.build_queries(
+        args.workload, distinct=args.distinct, duplicates=args.duplicates
+    )
+
+    async def run() -> dict:
+        if args.url:
+            return await loadgen.run_against_url(
+                args.url, queries, concurrency=args.concurrency
+            )
+        engine = _service_engine(args)
+        async with engine:
+            await engine.warm([args.workload])
+            return await loadgen.run_against_engine(
+                engine, queries, concurrency=args.concurrency
+            )
+
+    summary = asyncio.run(run())
+    summary.pop("results", None)  # per-query payloads are load, not signal
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    engine_stats = summary.get("engine", {})
+    print(
+        f"{summary['queries']} queries in {summary['wall_seconds']:.3f}s"
+        f" ({summary['qps']:.0f} qps), p50 {summary['p50_ms']:.2f}ms,"
+        f" p99 {summary['p99_ms']:.2f}ms"
+    )
+    if engine_stats:
+        lru = engine_stats.get("lru", {})
+        batches = engine_stats.get("batches", {})
+        print(
+            f"engine: {engine_stats.get('coalesced', 0)} coalesced,"
+            f" {lru.get('hits', 0)} LRU hits,"
+            f" {batches.get('flushed', 0)} batch(es)"
+            f" (max width {batches.get('max_size', 0)})"
         )
     return 0
 
@@ -1161,6 +1282,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--list", action="store_true",
                        help="print the registered sections and exit")
+    bench.add_argument(
+        "--report", action="store_true",
+        help="render per-metric sparkline trajectories from the history"
+             " file (partitioned by host fingerprint) and exit",
+    )
+
+    def _add_service_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--workloads", action="append", default=None, metavar="NAMES",
+            help="comma-separated workloads to serve (repeatable;"
+                 " default: all built-ins)",
+        )
+        sub.add_argument("--cache", default=None,
+                         help="pipeline result-cache file shared as the"
+                              " persistent read tier")
+        sub.add_argument("--profile-nodes", type=int, default=3)
+        sub.add_argument(
+            "--lru-size", type=int, default=1024, metavar="N",
+            help="in-process result-LRU capacity (canonical query"
+                 " fingerprints)",
+        )
+        sub.add_argument(
+            "--batch-max", type=int, default=32, metavar="N",
+            help="micro-batch size bound for model-only queries",
+        )
+        sub.add_argument(
+            "--batch-delay-ms", type=float, default=2.0, metavar="MS",
+            help="micro-batch time bound: a lone query waits at most this"
+                 " long for company",
+        )
+        sub.add_argument(
+            "--queue-cap", type=int, default=16, metavar="N",
+            help="max outstanding simulation queries before new ones are"
+                 " rejected with a structured 429",
+        )
+        _add_workers_flag(sub)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the what-if query service (HTTP/JSON, see"
+             " docs/SERVICE.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument(
+        "--warm", action="store_true",
+        help="profile every served workload before accepting traffic",
+    )
+    _add_service_flags(serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="fire a deterministic what-if query mix at the service",
+    )
+    loadgen.add_argument(
+        "--url", default=None, metavar="HOST:PORT",
+        help="target a running `repro serve` over HTTP; omit to drive an"
+             " in-process engine",
+    )
+    loadgen.add_argument("--workload", default="svm")
+    loadgen.add_argument("--distinct", type=int, default=40,
+                         help="unique predict configurations in the mix")
+    loadgen.add_argument("--duplicates", type=int, default=5,
+                         help="repetitions of each unique query")
+    loadgen.add_argument("--concurrency", type=int, default=25,
+                         help="max queries in flight at once")
+    loadgen.add_argument("--json", action="store_true",
+                         help="emit throughput/latency/engine stats as JSON")
+    _add_service_flags(loadgen)
 
     return parser
 
@@ -1174,6 +1365,8 @@ _COMMANDS = {
     "pipeline": cmd_pipeline,
     "optimize": cmd_optimize,
     "bench": cmd_bench,
+    "serve": cmd_serve,
+    "loadgen": cmd_loadgen,
 }
 
 

@@ -102,6 +102,43 @@ class ExecutionError(DoppioError):
         super().__init__(message)
 
 
+class ServiceError(DoppioError):
+    """The query service could not accept or answer a request.
+
+    The serving tier's analogue of :class:`ExecutionError`: the model
+    and simulator are fine, the long-running process in front of them
+    is not (bad listen address, a dead engine, a malformed shutdown).
+    Mapped to its own exit code (6) so init systems can tell "the
+    service broke" from "your query was wrong" (2) and from "the model
+    broke" (3).
+    """
+
+
+class AdmissionError(ServiceError):
+    """A query was rejected at admission because the service is saturated.
+
+    The structured 429: the simulation queue is at its cap, so taking
+    the query would only grow latency unboundedly.  Carries the cap and
+    current depth so clients can back off intelligently.
+    """
+
+    def __init__(self, message: str, queue_depth: int = 0, queue_cap: int = 0) -> None:
+        self.queue_depth = queue_depth
+        self.queue_cap = queue_cap
+        super().__init__(message)
+
+
+class QueryError(ServiceError):
+    """A what-if query payload is malformed or references unknown entities.
+
+    The service-side sibling of :class:`ConfigurationError` — kept
+    distinct so the HTTP front can map it to 400 while other
+    :class:`ServiceError` states stay 500/503-shaped — but mapped to
+    the configuration exit code (2): a bad query is a caller mistake,
+    not a broken service.
+    """
+
+
 class BenchmarkRegressionError(DoppioError):
     """A benchmark run failed its regression gates (``repro bench --check``).
 
@@ -127,18 +164,24 @@ EXIT_CONFIG_ERROR = 2
 EXIT_SIMULATION_ERROR = 3
 EXIT_FAULT_ERROR = 4
 EXIT_EXECUTION_ERROR = 5
+EXIT_SERVICE_ERROR = 6
 
 
 def exit_code_for(error: DoppioError) -> int:
     """The CLI exit code one library error maps to.
 
     Ordering matters only in that more specific classes are checked
-    before their bases (``FaultError`` before the generic fallthrough).
+    before their bases (``QueryError`` before ``ServiceError``,
+    ``FaultError`` before the generic fallthrough).
     """
+    if isinstance(error, QueryError):
+        return EXIT_CONFIG_ERROR
     if isinstance(error, (ConfigurationError, WorkloadError)):
         return EXIT_CONFIG_ERROR
     if isinstance(error, FaultError):
         return EXIT_FAULT_ERROR
     if isinstance(error, ExecutionError):
         return EXIT_EXECUTION_ERROR
+    if isinstance(error, ServiceError):
+        return EXIT_SERVICE_ERROR
     return EXIT_SIMULATION_ERROR

@@ -26,6 +26,7 @@ from repro.parallel.backends import (
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+    auto_worker_count,
     available_cpus,
     resolve_backend,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "SupervisionReport",
     "TaskFailure",
     "TaskSupervisor",
+    "auto_worker_count",
     "available_cpus",
     "resolve_backend",
     "validate_execution",

@@ -133,10 +133,11 @@ def prediction_key(
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters, per product kind."""
+    """Hit/miss/eviction counters, per product kind."""
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     @property
     def total(self) -> int:
@@ -145,6 +146,15 @@ class CacheStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.total if self.total else 0.0
+
+    def to_dict(self) -> dict:
+        """The counters plus the derived rate, JSON-ready."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
 
 
 class ResultCache:
@@ -240,6 +250,16 @@ class ResultCache:
         """Counter-free presence check for a prediction key."""
         return key in self._predictions
 
+    @property
+    def num_predictions(self) -> int:
+        """How many predictions are stored.
+
+        The query service checks this before computing a prediction key:
+        against a store with no predictions at all, the (content-hash)
+        key could never hit, so the hot path skips building it.
+        """
+        return len(self._predictions)
+
     def contains_mix(self, key: str) -> bool:
         """Counter-free presence check for a mix key."""
         return key in self._mixes
@@ -303,9 +323,46 @@ class ResultCache:
         return sum(len(store) for _, store in self._sections())
 
     def clear(self) -> None:
-        """Drop every entry (counters are kept)."""
-        for _, store in self._sections():
+        """Drop every entry; the drops count as evictions per kind."""
+        for (_, store), stats in zip(self._sections(), self._all_stats()):
+            stats.evictions += len(store)
             store.clear()
+
+    def _all_stats(self) -> tuple[CacheStats, ...]:
+        """Per-kind counters, in :meth:`_sections` order."""
+        return (
+            self.measurement_stats,
+            self.prediction_stats,
+            self.report_stats,
+            self.mix_stats,
+        )
+
+    def stats(self) -> dict:
+        """Structured hit/miss/eviction counters, JSON-ready.
+
+        The observability surface ``pipeline --json`` and the query
+        service expose: per product kind, the lookup counters plus the
+        resident entry count, and aggregate totals across kinds — so a
+        tier-2 hit rate is readable without instrumentation hacks.
+        """
+        per_kind = {
+            section: {**stats.to_dict(), "entries": len(store)}
+            for (section, store), stats in zip(
+                self._sections(), self._all_stats()
+            )
+        }
+        hits = sum(stats.hits for stats in self._all_stats())
+        misses = sum(stats.misses for stats in self._all_stats())
+        total = hits + misses
+        return {
+            **per_kind,
+            "hits": hits,
+            "misses": misses,
+            "evictions": sum(stats.evictions for stats in self._all_stats()),
+            "hit_rate": hits / total if total else 0.0,
+            "entries": len(self),
+            "summary": self.stats_summary(),
+        }
 
     def stats_summary(self) -> str:
         """One-line reuse summary for logs and benchmark reports."""

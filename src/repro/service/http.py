@@ -1,0 +1,209 @@
+"""Thin stdlib HTTP/JSON front over the query engine.
+
+One ``asyncio.start_server`` listener, no frameworks: the protocol is a
+minimal HTTP/1.1 subset (request line, headers, ``Content-Length``
+body, ``Connection: close`` responses), which is all the load generator
+and CI smoke test need and keeps the service dependency-free.
+
+Routes
+------
+- ``GET /healthz`` — liveness: ``{"status": "ok"}``.
+- ``GET /stats`` — the engine's serving counters
+  (:meth:`QueryEngine.stats`).
+- ``POST /query`` — one what-if query per request; the JSON body is a
+  query payload (see :mod:`repro.service.query`), the response the
+  engine's result payload.
+
+Error mapping mirrors the CLI's exit codes: a malformed query
+(:class:`QueryError`, :class:`ConfigurationError`,
+:class:`WorkloadError`) is **400**, admission rejection
+(:class:`AdmissionError`) is **429** with the queue depth/cap in the
+body, anything else inside the engine is **500**.  Every error body is
+``{"error": type, "message": str, ...}`` so clients can branch without
+parsing prose.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    DoppioError,
+    QueryError,
+    WorkloadError,
+)
+from repro.service.engine import QueryEngine
+
+__all__ = ["QueryServer", "serve"]
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+#: Largest query body accepted, in bytes (queries are small objects).
+MAX_BODY_BYTES = 64 * 1024
+
+
+class QueryServer:
+    """The HTTP listener wrapping one :class:`QueryEngine`."""
+
+    def __init__(self, engine: QueryEngine, host: str = "127.0.0.1", port: int = 8642):
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — authoritative once started."""
+        if self._server is None or not self._server.sockets:
+            return (self.host, self.port)
+        sock = self._server.sockets[0]
+        name = sock.getsockname()
+        return (name[0], name[1])
+
+    async def start(self) -> None:
+        await self.engine.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.host, self.port = self.address
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.engine.close()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    # -- request handling ----------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._respond(reader)
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            status, payload = 500, {
+                "error": type(exc).__name__, "message": str(exc),
+            }
+        body = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode()
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass  # client went away; nothing to salvage
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _respond(self, reader: asyncio.StreamReader) -> tuple[int, dict]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            return 400, {"error": "BadRequest", "message": "empty request"}
+        parts = request_line.split()
+        if len(parts) < 2:
+            return 400, {
+                "error": "BadRequest",
+                "message": f"malformed request line {request_line!r}",
+            }
+        method, path = parts[0], parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+        if method == "GET" and path == "/healthz":
+            return 200, {"status": "ok"}
+        if method == "GET" and path == "/stats":
+            return 200, self.engine.stats()
+        if path == "/query":
+            if method != "POST":
+                return 405, {
+                    "error": "MethodNotAllowed",
+                    "message": "use POST /query",
+                }
+            try:
+                length = int(headers.get("content-length", "0"))
+            except ValueError:
+                return 400, {
+                    "error": "BadRequest",
+                    "message": "invalid Content-Length",
+                }
+            if length > MAX_BODY_BYTES:
+                return 413, {
+                    "error": "PayloadTooLarge",
+                    "message": f"body exceeds {MAX_BODY_BYTES} bytes",
+                }
+            raw = await reader.readexactly(length) if length else b""
+            try:
+                payload = json.loads(raw.decode() or "null")
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return 400, {
+                    "error": "BadRequest",
+                    "message": f"body is not valid JSON: {exc}",
+                }
+            return await self._query(payload)
+        return 404, {"error": "NotFound", "message": f"no route {method} {path}"}
+
+    async def _query(self, payload) -> tuple[int, dict]:
+        try:
+            result = await self.engine.submit(payload)
+        except AdmissionError as exc:
+            return 429, {
+                "error": "AdmissionError",
+                "message": str(exc),
+                "queue_depth": exc.queue_depth,
+                "queue_cap": exc.queue_cap,
+            }
+        except (QueryError, ConfigurationError, WorkloadError) as exc:
+            return 400, {"error": type(exc).__name__, "message": str(exc)}
+        except DoppioError as exc:
+            return 500, {"error": type(exc).__name__, "message": str(exc)}
+        return 200, result
+
+
+async def serve(
+    engine: QueryEngine,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    ready=None,
+) -> None:
+    """Run the server until cancelled; ``ready(host, port)`` fires once bound."""
+    server = QueryServer(engine, host=host, port=port)
+    await server.start()
+    if ready is not None:
+        ready(*server.address)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.close()

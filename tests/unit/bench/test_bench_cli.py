@@ -162,3 +162,30 @@ def test_list_prints_registry(fake_registry, capsys):
     assert main(["bench", "--list"]) == 0
     out = capsys.readouterr().out
     assert "fake engine" in out and "slow" in out
+
+
+def test_report_renders_history_trajectories(fake_registry, tmp_path, capsys):
+    assert bench(tmp_path) == 0
+    assert bench(tmp_path) == 0
+    capsys.readouterr()  # drop the two run reports
+    assert bench(tmp_path, "--report") == 0
+    out = capsys.readouterr().out
+    assert "bench history: 2 record(s)" in out
+    assert "fingerprint" in out
+    assert "engine.simulated_makespan_seconds" in out
+    assert "->" in out
+
+
+def test_report_on_empty_history(fake_registry, tmp_path, capsys):
+    assert bench(tmp_path, "--report") == 0
+    out = capsys.readouterr().out
+    assert "0 record(s)" in out
+    assert "no records yet" in out
+
+
+def test_report_runs_no_sections(fake_registry, tmp_path, capsys):
+    # --report is a pure read: it must not append a record or write a
+    # snapshot even though the normal path would.
+    assert bench(tmp_path, "--report") == 0
+    assert not (tmp_path / "h.jsonl").exists()
+    assert not (tmp_path / "snap.json").exists()

@@ -9,7 +9,7 @@ from repro.bench.registry import BenchmarkSection
 from repro.errors import ConfigurationError
 
 BUILTINS = ["engine", "cache", "search", "resilience", "parallel",
-            "vectorized", "multitenant"]
+            "vectorized", "multitenant", "service"]
 
 
 def test_builtin_sections_registered_in_order():
@@ -26,6 +26,7 @@ def test_snapshot_keys_match_legacy_layout():
         "parallel": "parallel",
         "vectorized": "vectorized",
         "multitenant": "multitenant",
+        "service": "service",
     }
 
 
@@ -41,7 +42,7 @@ def test_resolve_default_is_everything():
 def test_resolve_skip_slow_drops_flagged():
     names = [s.name for s in bench.resolve_sections(skip_slow=True)]
     assert names == ["engine", "search", "resilience", "vectorized",
-                     "multitenant"]
+                     "multitenant", "service"]
 
 
 def test_resolve_explicit_names_never_slow_filtered():

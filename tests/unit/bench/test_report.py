@@ -1,0 +1,107 @@
+"""bench --report: sparklines, metric flattening, partitions, gaps."""
+
+from repro.bench.report import (
+    GAP_CHAR,
+    MAX_COLUMNS,
+    SPARK_CHARS,
+    flatten_metrics,
+    render_history_report,
+    sparkline,
+)
+
+
+def record(sha, fp_key, sections):
+    return {
+        "git_sha": sha,
+        "fingerprint_key": fp_key,
+        "sections": sections,
+    }
+
+
+class TestFlattenMetrics:
+    def test_numeric_leaves_under_dotted_paths(self):
+        flat = flatten_metrics(
+            {"qps": 100, "lat": {"p50_ms": 1.5, "p99_ms": 4.0}, "name": "x"}
+        )
+        assert flat == {"qps": 100.0, "lat.p50_ms": 1.5, "lat.p99_ms": 4.0}
+
+    def test_bools_and_skip_suffixes_excluded(self):
+        flat = flatten_metrics(
+            {"ok": True, "wall_seconds_all": [1, 2], "wall_seconds": 2.0}
+        )
+        assert flat == {"wall_seconds": 2.0}
+        # The suffix rule also applies when the list was summarized to a
+        # number upstream.
+        assert "wall_seconds_all" not in flatten_metrics(
+            {"wall_seconds_all": 3.0}
+        )
+
+
+class TestSparkline:
+    def test_min_and_max_map_to_extremes(self):
+        line = sparkline([0.0, 10.0])
+        assert line == SPARK_CHARS[0] + SPARK_CHARS[-1]
+
+    def test_gaps_render_as_dots(self):
+        line = sparkline([1.0, None, 2.0])
+        assert line[1] == GAP_CHAR
+        assert len(line) == 3
+
+    def test_constant_series_is_flat_midline(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert line == SPARK_CHARS[len(SPARK_CHARS) // 2] * 3
+
+    def test_all_gaps(self):
+        assert sparkline([None, None]) == GAP_CHAR * 2
+
+
+class TestRenderReport:
+    def test_empty_history_hint(self):
+        text = render_history_report([])
+        assert "0 record(s)" in text
+        assert "no records yet" in text
+
+    def test_partitions_by_fingerprint_key(self):
+        records = [
+            record("aaaaaaaa1", "cpu1-a", {"model": {"qps": 1.0}}),
+            record("bbbbbbbb2", "cpu8-b", {"model": {"qps": 9.0}}),
+        ]
+        text = render_history_report(records)
+        assert "fingerprint cpu1-a — 1 record(s)" in text
+        assert "fingerprint cpu8-b — 1 record(s)" in text
+        # SHAs are truncated to 7 characters.
+        assert "aaaaaaa" in text and "aaaaaaaa1" not in text
+
+    def test_missing_section_renders_as_gap(self):
+        records = [
+            record("a" * 7, "k", {"model": {"qps": 1.0}, "sim": {"wall": 2.0}}),
+            record("b" * 7, "k", {"model": {"qps": 3.0}}),  # partial run
+            record("c" * 7, "k", {"model": {"qps": 5.0}, "sim": {"wall": 4.0}}),
+        ]
+        text = render_history_report(records)
+        sim_line = next(
+            line for line in text.splitlines() if "sim.wall" in line
+        )
+        assert GAP_CHAR in sim_line
+        assert "2 -> 4" in sim_line
+
+    def test_first_to_last_annotation_and_path_header(self):
+        records = [
+            record("a" * 7, "k", {"model": {"qps": 10.0}}),
+            record("b" * 7, "k", {"model": {"qps": 40.0}}),
+        ]
+        text = render_history_report(records, path="/tmp/h.jsonl")
+        assert "in /tmp/h.jsonl" in text
+        assert "model.qps" in text
+        assert "10 -> 40" in text
+
+    def test_only_newest_columns_kept(self):
+        records = [
+            record(f"sha{i:04d}", "k", {"model": {"qps": float(i)}})
+            for i in range(MAX_COLUMNS + 5)
+        ]
+        text = render_history_report(records)
+        line = next(row for row in text.splitlines() if "model.qps" in row)
+        spark = line.split()[1]
+        assert len(spark) == MAX_COLUMNS
+        assert "sha0000" not in text  # oldest trimmed

@@ -1,6 +1,9 @@
 """Unit tests for the content-addressed result cache."""
 
 import json
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -91,6 +94,62 @@ class TestStats:
         assert len(cache) == 2
         cache.clear()
         assert len(cache) == 0
+
+
+class TestStructuredStats:
+    """The stats() dict surfaced by pipeline --json and the service."""
+
+    def test_per_kind_counters_and_entries(self):
+        cache = ResultCache()
+        cache.get_measurement("miss")
+        cache.put_measurement("k", object())
+        cache.get_measurement("k")
+        stats = cache.stats()
+        assert stats["measurements"]["hits"] == 1
+        assert stats["measurements"]["misses"] == 1
+        assert stats["measurements"]["entries"] == 1
+        assert stats["measurements"]["hit_rate"] == 0.5
+        assert stats["predictions"]["hits"] == 0
+
+    def test_aggregate_totals_span_kinds(self):
+        cache = ResultCache()
+        cache.get_measurement("a")  # sim miss
+        cache.put_prediction("p", object())
+        cache.get_prediction("p")  # model hit
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["entries"] == 1
+
+    def test_clear_counts_evictions(self):
+        cache = ResultCache()
+        cache.put_measurement("a", object())
+        cache.put_prediction("b", object())
+        cache.clear()
+        stats = cache.stats()
+        assert stats["measurements"]["evictions"] == 1
+        assert stats["predictions"]["evictions"] == 1
+        assert stats["evictions"] == 2
+
+    def test_summary_is_embedded(self):
+        cache = ResultCache()
+        stats = cache.stats()
+        assert stats["summary"] == "cache unused"
+        cache.put_prediction("p", object())
+        cache.get_prediction("p")
+        assert "100% hits" in cache.stats()["summary"]
+
+    def test_num_predictions(self):
+        cache = ResultCache()
+        assert cache.num_predictions == 0
+        cache.put_prediction("p", object())
+        assert cache.num_predictions == 1
+
+    def test_stats_is_json_ready(self):
+        cache = ResultCache()
+        cache.get_mix("nope")
+        json.dumps(cache.stats())  # must not raise
 
 
 @pytest.fixture(scope="module")
@@ -361,6 +420,59 @@ class TestShardRecovery:
         assert final.contains_measurement("cell-0")
         assert final.contains_prediction("cell-0")
         assert final.contains_measurement("cell-1")
+
+    def test_concurrent_readers_never_observe_a_torn_snapshot(
+        self, populated, tmp_path
+    ):
+        # The multi-reader contract the query service leans on: while
+        # one process keeps merging shards and checkpointing, any other
+        # process may load the file at any instant and must see a
+        # complete, well-formed snapshot — never a half-written one.
+        # Readers run with -W error::UserWarning so the "unreadable" /
+        # "corrupt" degradation paths count as failures here.
+        shard_a, shard_b = self._shards(populated)
+        checkpoint = tmp_path / "shared.json"
+        writer = ResultCache(checkpoint)
+        writer.merge_shard(shard_a)
+        writer.save()
+
+        src = Path(__file__).resolve().parents[3] / "src"
+        reader_script = (
+            "import sys, time\n"
+            "from repro.pipeline.cache import ResultCache\n"
+            "path = sys.argv[1]\n"
+            "deadline = time.monotonic() + 30.0\n"
+            "while time.monotonic() < deadline:\n"
+            "    cache = ResultCache(path)  # warns -> -W error -> exit 1\n"
+            "    assert len(cache) >= 2  # at least shard A, fully formed\n"
+            "    if cache.contains_measurement('cell-1'):\n"
+            "        sys.exit(0)  # observed the merged shard B snapshot\n"
+            "sys.exit(1)\n"
+        )
+        readers = [
+            subprocess.Popen(
+                [sys.executable, "-W", "error::UserWarning", "-c",
+                 reader_script, str(checkpoint)],
+                env={"PYTHONPATH": str(src)},
+            )
+            for _ in range(2)
+        ]
+        try:
+            # Keep rewriting the checkpoint while the readers load it;
+            # merge shard B partway through so they have a terminal state
+            # to wait for.
+            for round_index in range(60):
+                if round_index == 20:
+                    writer.merge_shard(shard_b)
+                writer.save()
+                if all(r.poll() is not None for r in readers):
+                    break
+            exit_codes = [r.wait(timeout=60) for r in readers]
+        finally:
+            for r in readers:
+                if r.poll() is None:
+                    r.kill()
+        assert exit_codes == [0, 0]
 
 
 class TestCorruption:

@@ -1,0 +1,83 @@
+"""MicroBatcher: size bound, time bound, counters."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.batcher import MicroBatcher
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestBounds:
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_batch"):
+            MicroBatcher(lambda entries: None, max_batch=0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_delay"):
+            MicroBatcher(lambda entries: None, max_delay=-1.0)
+
+
+class TestFlushing:
+    def test_size_bound_flushes_synchronously(self):
+        async def scenario():
+            flushes = []
+            batcher = MicroBatcher(flushes.append, max_batch=3, max_delay=60.0)
+            batcher.add("a")
+            batcher.add("b")
+            assert flushes == []
+            batcher.add("c")  # size bound trips: no waiting on the timer
+            assert flushes == [["a", "b", "c"]]
+            assert len(batcher) == 0
+
+        run(scenario())
+
+    def test_time_bound_flushes_a_lone_entry(self):
+        async def scenario():
+            flushes = []
+            batcher = MicroBatcher(flushes.append, max_batch=64, max_delay=0.01)
+            batcher.add("lonely")
+            assert flushes == []
+            await asyncio.sleep(0.05)
+            assert flushes == [["lonely"]]
+
+        run(scenario())
+
+    def test_flush_preserves_arrival_order(self):
+        async def scenario():
+            flushes = []
+            batcher = MicroBatcher(flushes.append, max_batch=2)
+            for entry in range(6):
+                batcher.add(entry)
+            assert flushes == [[0, 1], [2, 3], [4, 5]]
+
+        run(scenario())
+
+    def test_close_flushes_the_remainder(self):
+        async def scenario():
+            flushes = []
+            batcher = MicroBatcher(flushes.append, max_batch=10, max_delay=60.0)
+            batcher.add("x")
+            batcher.close()
+            assert flushes == [["x"]]
+            batcher.close()  # idempotent on empty
+            assert flushes == [["x"]]
+
+        run(scenario())
+
+    def test_stats_track_widths(self):
+        async def scenario():
+            batcher = MicroBatcher(lambda entries: None, max_batch=2)
+            for entry in range(5):
+                batcher.add(entry)
+            stats = batcher.stats()
+            assert stats["flushed"] == 2
+            assert stats["entries"] == 4
+            assert stats["max_size"] == 2
+            assert stats["pending"] == 1
+
+        run(scenario())

@@ -214,7 +214,9 @@ class TestPipelineCommand:
         # must reproduce the records bit for bit.
         assert main(argv) == 0
         replayed = json.loads(capsys.readouterr().out)
-        assert "100% hits" in replayed["cache"]
+        assert "100% hits" in replayed["cache"]["summary"]
+        assert replayed["cache"]["hits"] > 0
+        assert replayed["cache"]["measurements"]["entries"] > 0
         assert replayed["runs"] == payload["runs"]
 
     def test_workers_flag_reproduces_serial_json(self, capsys):
@@ -263,3 +265,54 @@ class TestPipelineCommand:
         argv = ["optimize", "--workload", "svm", "--top", "0"]
         assert main(argv) == 2
         assert "ConfigurationError" in capsys.readouterr().err
+
+
+class TestServiceCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8642
+        assert args.lru_size == 1024
+        assert args.batch_max == 32
+        assert args.queue_cap == 16
+        assert not args.warm
+
+    def test_loadgen_parser_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.url is None
+        assert args.workload == "svm"
+        assert args.distinct == 40
+        assert args.duplicates == 5
+        assert args.concurrency == 25
+
+    def test_loadgen_in_process_json(self, capsys):
+        argv = [
+            "loadgen", "--workload", "lr-small", "--workloads", "lr-small",
+            "--profile-nodes", "2", "--distinct", "4", "--duplicates", "3",
+            "--concurrency", "8", "--json",
+        ]
+        assert main(argv) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["queries"] == 12
+        assert summary["qps"] > 0
+        assert "results" not in summary  # stripped: load, not signal
+        engine = summary["engine"]
+        assert engine["queries"] == 12
+        # 4 distinct configs and 12 queries: 8 were answered without a
+        # fresh evaluation, split between coalescing and the LRU.
+        assert engine["coalesced"] + engine["lru"]["hits"] == 8
+        assert engine["batches"]["flushed"] >= 1
+
+    def test_loadgen_human_summary(self, capsys):
+        argv = [
+            "loadgen", "--workload", "lr-small", "--workloads", "lr-small",
+            "--profile-nodes", "2", "--distinct", "2", "--duplicates", "2",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "4 queries in" in out
+        assert "engine:" in out and "batch(es)" in out
+
+    def test_loadgen_rejects_unknown_workload(self, capsys):
+        argv = ["loadgen", "--workload", "nope"]
+        assert main(argv) == 2

@@ -84,11 +84,27 @@ class TestExitCodes:
         stage_failed = errors.StageFailedError("s", 0, 1, 1, "r")
         assert errors.exit_code_for(stage_failed) == 3
 
+    def test_service_class_maps_to_6(self):
+        assert errors.exit_code_for(errors.ServiceError("x")) == 6
+        admission = errors.AdmissionError("full", queue_depth=16, queue_cap=16)
+        assert errors.exit_code_for(admission) == 6
+
+    def test_query_error_is_a_config_problem_not_a_service_fault(self):
+        # QueryError subclasses ServiceError, but a malformed query is
+        # the caller's mistake: it must map to the config exit code.
+        assert errors.exit_code_for(errors.QueryError("bad payload")) == 2
+
+    def test_admission_error_carries_queue_structure(self):
+        error = errors.AdmissionError("queue full", queue_depth=9, queue_cap=8)
+        assert error.queue_depth == 9
+        assert error.queue_cap == 8
+        assert isinstance(error, errors.ServiceError)
+
     def test_constants_are_distinct(self):
         codes = {
             errors.EXIT_OK, errors.EXIT_CONFIG_ERROR,
             errors.EXIT_SIMULATION_ERROR, errors.EXIT_FAULT_ERROR,
-            errors.EXIT_EXECUTION_ERROR,
+            errors.EXIT_EXECUTION_ERROR, errors.EXIT_SERVICE_ERROR,
         }
-        assert len(codes) == 5
+        assert len(codes) == 6
         assert 1 not in codes  # reserved for unexpected crashes

@@ -7,6 +7,7 @@ from repro.parallel import (
     AUTO_WORKERS,
     ProcessPoolBackend,
     SerialBackend,
+    auto_worker_count,
     available_cpus,
     resolve_backend,
 )
@@ -63,6 +64,23 @@ class TestResolveBackend:
             resolve_backend("four")
         with pytest.raises(ConfigurationError):
             resolve_backend(True)
+
+    def test_auto_worker_count_is_the_single_sizing_source(self, monkeypatch):
+        # Regression guard for the auto-sizing seam: resolve_backend's
+        # workers=0 path and the service's pool sizing must both read
+        # auto_worker_count(), so faking the affinity changes both.
+        import repro.parallel.backends as backends
+
+        monkeypatch.setattr(backends, "available_cpus", lambda: 3)
+        assert auto_worker_count() == 3
+        backend = resolve_backend(AUTO_WORKERS)
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.workers == auto_worker_count()
+        backend.shutdown()
+
+        monkeypatch.setattr(backends, "available_cpus", lambda: 1)
+        assert auto_worker_count() == 1
+        assert isinstance(resolve_backend(AUTO_WORKERS), SerialBackend)
 
 
 class TestSerialBackend:
